@@ -1,0 +1,38 @@
+# Power-Efficient Multiple Producer-Consumer — reproduction harness.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race .
+
+# One benchmark per paper figure/table, reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-scale regeneration of every table (≈ minutes).
+experiments:
+	$(GO) run ./cmd/pcbench -fig all -duration 50s -reps 3
+
+# The Figure 6 wakeup-timeline rendering.
+figures:
+	$(GO) run ./cmd/pcbench -fig 6 -duration 10s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/monitor
+	$(GO) run ./examples/router
+	$(GO) run ./examples/webserver
+
+clean:
+	$(GO) clean ./...

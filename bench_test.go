@@ -1,0 +1,312 @@
+package repro
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per artifact (DESIGN.md §4).
+// Each iteration performs a full (scaled-down) experiment; the custom
+// metrics reported per iteration are the figure's headline numbers, so
+//
+//	go test -bench=Fig -benchmem
+//
+// prints the reproduced results alongside the usual ns/op. The
+// full-scale tables (paper-length runs, 3 replicates, confidence
+// intervals) come from cmd/pcbench; these benches use the Quick
+// configuration so the suite stays minutes, not hours.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/impls"
+	"repro/internal/simtime"
+)
+
+func benchCfg() exp.Config {
+	// 5 virtual seconds: long enough that cold-start transients do not
+	// distort the figures, short enough for bench iterations.
+	return exp.Config{
+		Duration:   5 * simtime.Second,
+		Replicates: 1,
+		BaseSeed:   1998,
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: wakeups/s vs usage for the seven
+// single-pair implementations.
+func BenchmarkFig3(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("mutex", exp.KeyWakeups), "mutex-wk/s")
+	b.ReportMetric(last.MustValue("spbp", exp.KeyWakeups), "spbp-wk/s")
+	b.ReportMetric(last.MustValue("bw", exp.KeyUsage), "bw-usage-ms/s")
+}
+
+// BenchmarkFig4 regenerates Figure 4: power for the seven
+// implementations.
+func BenchmarkFig4(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("bw", exp.KeyPower), "bw-mW")
+	b.ReportMetric(last.MustValue("mutex", exp.KeyPower), "mutex-mW")
+	b.ReportMetric(last.MustValue("spbp", exp.KeyPower), "spbp-mW")
+}
+
+// BenchmarkCorrelations regenerates the §III-C correlation analysis.
+func BenchmarkCorrelations(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Correlations(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("idle-based-5", "r"), "pearson-r")
+}
+
+// BenchmarkFig9 regenerates Figure 9: the 5-consumer comparison.
+func BenchmarkFig9(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("mutex", exp.KeyPower), "mutex-mW")
+	b.ReportMetric(last.MustValue("bp", exp.KeyPower), "bp-mW")
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyPower), "pbpl-mW")
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyWakeups), "pbpl-wk/s")
+}
+
+// BenchmarkFig10 regenerates Figure 10: the consumer-count sweep.
+func BenchmarkFig10(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue(core.Name+" M=2", exp.KeyPower), "pbpl-M2-mW")
+	b.ReportMetric(last.MustValue(core.Name+" M=10", exp.KeyPower), "pbpl-M10-mW")
+	b.ReportMetric(last.MustValue("mutex M=10", exp.KeyPower), "mutex-M10-mW")
+}
+
+// BenchmarkFig11 regenerates Figure 11: the buffer-size sweep.
+func BenchmarkFig11(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("bp B=100", exp.KeyWakeups), "bp-B100-wk/s")
+	b.ReportMetric(last.MustValue(core.Name+" B=100", exp.KeyWakeups), "pbpl-B100-wk/s")
+}
+
+// BenchmarkWakeupAccounting regenerates the §VI-C scheduled-vs-overflow
+// counters (paper: 5160+1626 vs 9290; 82.5% conversion).
+func BenchmarkWakeupAccounting(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.WakeupAccounting(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyScheduled), "pbpl-sched")
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyOverflows), "pbpl-ovf")
+	b.ReportMetric(last.MustValue("bp", exp.KeyOverflows), "bp-ovf")
+}
+
+// BenchmarkBufferOccupancy regenerates the §VI-C average-buffer-size
+// observation (paper: 43 of 50).
+func BenchmarkBufferOccupancy(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.BufferOccupancy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyAvgBuffer), "avg-buffer")
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Ablation(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyWakeups), "pbpl-wk/s")
+	b.ReportMetric(last.MustValue(core.Name+"-nolatch", exp.KeyWakeups), "nolatch-wk/s")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: virtual
+// producer-consumer events processed per wall-clock second (harness
+// health, not a paper artifact).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	base := exp.MultiBase(5, 2*simtime.Second, 1998, 25)
+	var items uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := impls.Run(impls.BP, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items += r.Produced
+	}
+	b.ReportMetric(float64(items)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkPBPLRun measures a full PBPL simulation run.
+func BenchmarkPBPLRun(b *testing.B) {
+	base := exp.MultiBase(5, 2*simtime.Second, 1998, 25)
+	cfg := core.DefaultConfig(base)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLivePut measures the live runtime's producer fast path.
+func BenchmarkLivePut(b *testing.B) {
+	rt, err := New(WithSlotSize(5*time.Millisecond), WithMaxLatency(50*time.Millisecond), WithBuffer(1<<16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	var mu sync.Mutex
+	drained := 0
+	pair, err := NewPair(rt, func(batch []int) {
+		mu.Lock()
+		drained += len(batch)
+		mu.Unlock()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pair.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pair.Put(i) != nil {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkLiveEndToEnd measures delivered items/s through the live
+// runtime, batching included.
+func BenchmarkLiveEndToEnd(b *testing.B) {
+	rt, err := New(WithSlotSize(2*time.Millisecond), WithMaxLatency(20*time.Millisecond), WithBuffer(1<<14))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	done := make(chan struct{})
+	var mu sync.Mutex
+	drained := 0
+	target := b.N
+	pair, err := NewPair(rt, func(batch []int) {
+		mu.Lock()
+		drained += len(batch)
+		d := drained
+		mu.Unlock()
+		if d >= target {
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pair.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pair.Put(i) != nil {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		b.Fatal("drain timeout")
+	}
+	st := rt.Stats()
+	if w := st.TimerWakes + st.ForcedWakes; w > 0 {
+		b.ReportMetric(float64(st.ItemsOut)/float64(w), "items/wakeup")
+	}
+}
+
+// BenchmarkLatencyTradeoff regenerates the latency-vs-power table (the
+// §III-C trade the paper states in prose).
+func BenchmarkLatencyTradeoff(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Latency(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue(core.Name, exp.KeyLatencyP50), "pbpl-p50-ms")
+	b.ReportMetric(last.MustValue("mutex", exp.KeyLatencyP50), "mutex-p50-ms")
+}
+
+// BenchmarkPredictors regenerates the §VIII estimator comparison.
+func BenchmarkPredictors(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Predictors(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("pbpl/ma(8)", exp.KeyWakeups), "ma8-wk/s")
+	b.ReportMetric(last.MustValue("pbpl/kalman", exp.KeyWakeups), "kalman-wk/s")
+}
+
+// BenchmarkRaceToIdle regenerates the §II DVFS sensitivity table.
+func BenchmarkRaceToIdle(b *testing.B) {
+	var last exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RaceToIdle(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last.MustValue("bp@f=0.4", exp.KeyPower), "f0.4-mW")
+	b.ReportMetric(last.MustValue("bp@f=1.0", exp.KeyPower), "f1.0-mW")
+}

@@ -1,0 +1,176 @@
+// Command livebench replays a workload trace through the *live* PBPL
+// runtime — real goroutines, real timers, the actual Go scheduler — and
+// reports the wakeup economics next to a goroutine-per-item channel
+// baseline. It is the bridge between the simulator's figures and the
+// library a program would actually link.
+//
+//	livebench                                  # synthetic World-Cup trace
+//	livebench -trace real.pctr -speed 5        # replay a file 5× faster
+//	livebench -pairs 5 -duration 3s -slot 10ms
+//
+// The trace is split into -pairs phase-shifted producers (the §VI-A
+// construction). Real time elapsed ≈ trace duration / speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to replay (default: synthetic)")
+		duration  = flag.Duration("duration", 3*time.Second, "synthetic trace duration")
+		rate      = flag.Float64("rate", 2000, "synthetic base rate, items/s")
+		pairs     = flag.Int("pairs", 5, "producer-consumer pairs (phase-shifted)")
+		speed     = flag.Float64("speed", 1, "replay speed multiplier")
+		slot      = flag.Duration("slot", 10*time.Millisecond, "PBPL slot size")
+		maxLat    = flag.Duration("latency", 100*time.Millisecond, "max response latency")
+		buffer    = flag.Int("buffer", 64, "per-pair buffer B0")
+	)
+	flag.Parse()
+
+	var base trace.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = trace.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		dur := simtime.Duration(duration.Nanoseconds())
+		wc := trace.DefaultWorldCup(dur)
+		wc.BaseRate = *rate
+		// Scale burst density with the horizon so short demos aren't
+		// wall-to-wall flash crowds.
+		wc.Bursts = int(dur.Seconds()) + 1
+		wc.BurstPeak = 2 * *rate
+		base = trace.Generate(trace.WorldCup(wc), dur, 1998)
+	}
+	shards := base.PhaseShifts(*pairs)
+	total := 0
+	for _, s := range shards {
+		total += s.Count()
+	}
+	fmt.Printf("replaying %d items over ≈%.1fs wall clock (%d pairs, speed %gx)\n",
+		total, base.Duration.Seconds() / *speed, *pairs, *speed)
+
+	pbplWall, pbplStats := runPBPL(shards, *speed, *slot, *maxLat, *buffer)
+	chanWall, chanWakes := runChannels(shards, *speed)
+
+	wakes := pbplStats.TimerWakes + pbplStats.ForcedWakes
+	fmt.Printf("\nPBPL runtime   (%.2fs): %6d wakeups (%d timer + %d forced), %.1f items/wakeup, %d overflows\n",
+		pbplWall.Seconds(), wakes, pbplStats.TimerWakes, pbplStats.ForcedWakes,
+		float64(pbplStats.ItemsOut)/float64(max(wakes, 1)), pbplStats.Overflows)
+	fmt.Printf("channel/worker (%.2fs): %6d wakeups (one per item), 1.0 items/wakeup\n",
+		chanWall.Seconds(), chanWakes)
+	fmt.Printf("\nwakeup reduction: %.1f%%\n", 100*(1-float64(wakes)/float64(max(chanWakes, 1))))
+}
+
+// runPBPL replays the shards through the live runtime.
+func runPBPL(shards []trace.Trace, speed float64, slot, maxLat time.Duration, buffer int) (time.Duration, repro.Stats) {
+	rt, err := repro.New(
+		repro.WithSlotSize(slot),
+		repro.WithMaxLatency(maxLat),
+		repro.WithBuffer(buffer),
+		repro.WithMaxPairs(len(shards)),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	var consumed atomic.Uint64
+	producers := make([]*repro.Pair[int], len(shards))
+	for i := range shards {
+		p, err := repro.NewPair(rt, func(batch []int) {
+			consumed.Add(uint64(len(batch)))
+		})
+		if err != nil {
+			fatal(err)
+		}
+		producers[i] = p
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(p *repro.Pair[int], arrivals []simtime.Time) {
+			defer wg.Done()
+			for j, at := range arrivals {
+				sleepUntil(start, at, speed)
+				if err := p.PutWait(j, time.Second); err != nil {
+					return
+				}
+			}
+		}(producers[i], sh.Arrivals)
+	}
+	wg.Wait()
+	rt.Close() // drains everything
+	wall := time.Since(start)
+	return wall, rt.Stats()
+}
+
+// runChannels is the conventional baseline: one buffered channel and
+// one worker goroutine per pair; every item is its own wakeup.
+func runChannels(shards []trace.Trace, speed float64) (time.Duration, uint64) {
+	var wakes atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		ch := make(chan int, 64)
+		var cwg sync.WaitGroup
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for range ch {
+				// Each receive on a drained channel parks and re-wakes
+				// the goroutine: a wakeup per item in steady state.
+				wakes.Add(1)
+			}
+		}()
+		wg.Add(1)
+		go func(arrivals []simtime.Time) {
+			defer wg.Done()
+			for j, at := range arrivals {
+				sleepUntil(start, at, speed)
+				ch <- j
+			}
+			close(ch)
+			cwg.Wait()
+		}(sh.Arrivals)
+	}
+	wg.Wait()
+	return time.Since(start), wakes.Load()
+}
+
+// sleepUntil waits until virtual timestamp at (scaled by speed) has
+// elapsed since start.
+func sleepUntil(start time.Time, at simtime.Time, speed float64) {
+	target := start.Add(time.Duration(float64(at) / speed))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "livebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command pcbench regenerates the paper's tables and figures from the
+// simulated reproduction. Each figure of the evaluation (and the §III
+// power-profile study) is addressable by id:
+//
+//	pcbench -fig all                 # everything (default)
+//	pcbench -fig 9                   # Figure 9 only
+//	pcbench -fig 3,4,corr            # the §III study
+//	pcbench -duration 50s -reps 3    # paper-scale runs
+//	pcbench -markdown                # emit GitHub markdown (EXPERIMENTS.md sections)
+//
+// Ids: 3, 4, corr, 9, 10, 11, wakeups, buffer, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,all; 6 renders a timeline)")
+		duration = flag.Duration("duration", 10*time.Second, "virtual run duration per replicate")
+		reps     = flag.Int("reps", 3, "replicates per configuration")
+		seed     = flag.Int64("seed", 1998, "base workload seed")
+		markdown = flag.Bool("markdown", false, "render GitHub-flavoured markdown instead of text")
+		plot     = flag.Bool("plot", false, "render bar charts like the paper's figures")
+		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := exp.Config{
+		Duration:   simtime.Duration(duration.Nanoseconds()),
+		Replicates: *reps,
+		BaseSeed:   *seed,
+	}
+
+	// Figure 6 is a timeline rendering, not a table.
+	if *figs == "6" || *figs == "fig6" {
+		art, err := exp.Fig6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(out, art)
+		return
+	}
+
+	var tables []exp.Table
+	if *figs == "all" {
+		all, err := exp.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = all
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			t, err := exp.ByID(strings.TrimSpace(id), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, t)
+		}
+	}
+
+	for i, t := range tables {
+		if i > 0 && !*markdown {
+			fmt.Fprintln(out)
+		}
+		var err error
+		switch {
+		case *plot:
+			err = t.PlotDefault(out)
+		case *markdown:
+			err = t.Markdown(out)
+		default:
+			err = t.Render(out)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command powertop renders a PowerTop-style report for a simulated
+// producer-consumer run: per-implementation wakeups/s, usage (ms/s) and
+// estimated power, the §III-B measurement view of the paper.
+//
+//	powertop                       # the §III single-pair study
+//	powertop -multi -pairs 5       # the §VI multi-pair setup (adds PBPL)
+//	powertop -impl bp,pbpl -pairs 5 -buffer 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		implList = flag.String("impl", "", "comma-separated implementations (default: all seven; with -multi: mutex,sem,bp,pbpl)")
+		multi    = flag.Bool("multi", false, "multi producer-consumer setup (§VI)")
+		pairs    = flag.Int("pairs", 5, "producer-consumer pairs (with -multi)")
+		buffer   = flag.Int("buffer", 0, "per-pair buffer capacity B (0 = preset default: 64 study, 25 multi)")
+		duration = flag.Duration("duration", 10*time.Second, "virtual run duration")
+		seed     = flag.Int64("seed", 1998, "workload seed")
+	)
+	flag.Parse()
+
+	dur := simtime.Duration(duration.Nanoseconds())
+	names := strings.Split(*implList, ",")
+	if *implList == "" {
+		if *multi {
+			names = []string{"mutex", "sem", "bp", "pbpl"}
+		} else {
+			names = []string{"bw", "yield", "mutex", "sem", "bp", "pbp", "spbp"}
+		}
+	}
+
+	// Reuse the experiment harness's calibrated workloads so this tool
+	// shows the same regime as the figures.
+	var base impls.Config
+	if *multi {
+		b := *buffer
+		if b == 0 {
+			b = 25
+		}
+		base = exp.MultiBase(*pairs, dur, *seed, b)
+	} else {
+		b := *buffer
+		if b == 0 {
+			b = 64
+		}
+		base = exp.StudyBase(dur, *seed, b)
+	}
+
+	var reports []metrics.Report
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		var (
+			rpt metrics.Report
+			err error
+		)
+		if name == core.Name {
+			rpt, err = core.Run(core.DefaultConfig(base))
+		} else {
+			rpt, err = impls.Run(impls.Algorithm(name), base)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, rpt)
+	}
+
+	render(os.Stdout, reports)
+}
+
+// render mimics PowerTop's overview table, sorted by wakeups.
+func render(w *os.File, reports []metrics.Report) {
+	sort.SliceStable(reports, func(i, j int) bool {
+		return reports[i].AttributedPerSec() > reports[j].AttributedPerSec()
+	})
+	fmt.Fprintf(w, "PowerTop-style overview (simulated board, %v run)\n\n", reports[0].Duration)
+	fmt.Fprintf(w, "%10s  %12s  %12s  %12s  %10s  %s\n",
+		"wakeups/s", "core-wk/s", "usage(ms/s)", "power(mW)", "batch", "process")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%10.1f  %12.1f  %12.2f  %12.1f  %10.1f  [%s] %d pair(s)\n",
+			r.AttributedPerSec(), r.WakeupsPerSec(), r.UsageMsPerS(),
+			r.PowerMilliwatts, r.AvgBatch(), r.Impl, r.Pairs)
+	}
+	fmt.Fprintf(w, "\nC-state residency of the consumer core(s) (C0 / C1-WFI / deep):\n")
+	for _, r := range reports {
+		span := r.UsageMs + r.ShallowMs + r.DeepIdleMs
+		if span <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  [%-6s] C0 %5.1f%%   C1 %5.1f%%   deep %5.1f%%\n",
+			r.Impl, 100*r.UsageMs/span, 100*r.ShallowMs/span, 100*r.DeepIdleMs/span)
+	}
+	fmt.Fprintf(w, "\ninternal counters:\n")
+	for _, r := range reports {
+		fmt.Fprintf(w, "  [%s] scheduled=%d overflows=%d invocations=%d avg-buffer=%.1f max-latency=%v p99-latency=%v\n",
+			r.Impl, r.ScheduledWakeups, r.Overflows, r.Invocations, r.AvgBufferQuota, r.MaxLatency, r.LatencyP99)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powertop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Command tracegen generates and inspects the synthetic workload traces
+// that stand in for the 1998 World Cup access log (see DESIGN.md §2).
+//
+//	tracegen -preset worldcup -duration 10s -rate 2000 -o trace.pctr
+//	tracegen -inspect trace.pctr
+//	tracegen -preset constant -rate 500 -format csv -o trace.csv
+//	tracegen -preset worldcup -shift 0.2 -o shifted.pctr   # phase shift
+//	tracegen -clf access.log -o real.pctr                  # convert a real log
+//
+// Formats: "binary" (delta-encoded .pctr) and "csv" (one timestamp per
+// line; the interchange format for converted real logs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "worldcup", "workload preset: worldcup, constant, sinusoid")
+		duration = flag.Duration("duration", 10*time.Second, "trace duration")
+		rate     = flag.Float64("rate", 2000, "base rate, items/s")
+		depth    = flag.Float64("depth", 0.6, "diurnal modulation depth (worldcup/sinusoid)")
+		bursts   = flag.Int("bursts", 4, "flash crowds (worldcup)")
+		peak     = flag.Float64("peak", 5000, "flash-crowd peak rate, items/s (worldcup)")
+		seed     = flag.Int64("seed", 1998, "generator seed")
+		shift    = flag.Float64("shift", 0, "phase shift as a fraction of the duration")
+		format   = flag.String("format", "binary", "output format: binary, csv")
+		out      = flag.String("o", "", "output file (default stdout)")
+		inspect  = flag.String("inspect", "", "read a trace file and print its statistics")
+		clf      = flag.String("clf", "", "convert a Common Log Format access log into a trace")
+	)
+	flag.Parse()
+
+	if *clf != "" {
+		if err := runConvertCLF(*clf, *format, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *inspect != "" {
+		if err := runInspect(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	dur := simtime.Duration(duration.Nanoseconds())
+	var rateFn trace.Rate
+	switch *preset {
+	case "worldcup":
+		cfg := trace.DefaultWorldCup(dur)
+		cfg.BaseRate = *rate
+		cfg.DiurnalDepth = *depth
+		cfg.Bursts = *bursts
+		cfg.BurstPeak = *peak
+		cfg.Seed = *seed
+		rateFn = trace.WorldCup(cfg)
+	case "constant":
+		rateFn = trace.Constant(*rate)
+	case "sinusoid":
+		rateFn = trace.Sinusoid{Base: *rate, Depth: *depth, Period: dur}
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+
+	tr := trace.Generate(rateFn, dur, *seed)
+	if *shift != 0 {
+		tr = tr.Shift(simtime.Duration(float64(dur) * *shift))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(w, tr)
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d arrivals over %v (mean %.1f/s, peak %.1f/s @100ms)\n",
+		tr.Count(), tr.Duration, tr.MeanRate(), tr.PeakRate(100*simtime.Millisecond))
+}
+
+// runConvertCLF turns a real access log into a trace file — the
+// paper's own workload path (World Cup access logs) for users who have
+// such a log.
+func runConvertCLF(path, format, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, skipped, err := trace.ParseCLF(f)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		w = g
+	}
+	switch format {
+	case "binary":
+		err = trace.WriteBinary(w, tr)
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: converted %d requests over %v (skipped %d lines, mean %.1f/s)\n",
+		tr.Count(), tr.Duration, skipped, tr.MeanRate())
+	return nil
+}
+
+func runInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		// Fall back to CSV.
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return err
+		}
+		tr, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("duration:   %v\n", tr.Duration)
+	fmt.Printf("arrivals:   %d\n", tr.Count())
+	fmt.Printf("mean rate:  %.1f items/s\n", tr.MeanRate())
+	fmt.Printf("peak rate:  %.1f items/s (100ms windows)\n", tr.PeakRate(100*simtime.Millisecond))
+	series := tr.RateSeries(tr.Duration / 20)
+	fmt.Printf("rate shape (20 bins, items/s):\n")
+	max := 0.0
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range series {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * 50)
+		}
+		fmt.Printf("%3d%% %8.0f %s\n", i*5, v, stars(bar))
+	}
+	return nil
+}
+
+func stars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// The canonical setup: one runtime, one pair, batched consumption.
+func Example() {
+	rt, err := repro.New(
+		repro.WithSlotSize(10*time.Millisecond),
+		repro.WithMaxLatency(50*time.Millisecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	done := make(chan int, 1)
+	pair, err := repro.NewPair(rt, func(batch []string) {
+		select {
+		case done <- len(batch):
+		default:
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer pair.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := pair.Put(fmt.Sprintf("job-%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("first batch: %d items\n", <-done)
+	// Output: first batch: 3 items
+}
+
+// Pairs can carry any payload type and mix latency classes on one
+// runtime: a tight-latency pair for user-facing work next to a relaxed
+// one for background batching.
+func ExampleNewPair() {
+	rt, err := repro.New(repro.WithSlotSize(5 * time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	type audit struct{ user string }
+	urgent, err := repro.NewPair(rt, func(batch []audit) {},
+		repro.PairWithMaxLatency(20*time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	relaxed, err := repro.NewPair(rt, func(batch []audit) {},
+		repro.PairWithMaxLatency(500*time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	defer urgent.Close()
+	defer relaxed.Close()
+
+	fmt.Println(urgent.Put(audit{"alice"}), relaxed.Put(audit{"bob"}))
+	// Output: <nil> <nil>
+}
+
+// Put never blocks; PutWait trades bounded blocking for certainty.
+func ExamplePair_PutWait() {
+	rt, err := repro.New(
+		repro.WithSlotSize(5*time.Millisecond),
+		repro.WithMaxLatency(25*time.Millisecond),
+		repro.WithBuffer(2), repro.WithMinQuota(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	pair, err := repro.NewPair(rt, func(batch []int) {})
+	if err != nil {
+		panic(err)
+	}
+	defer pair.Close()
+
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if err := pair.PutWait(i, time.Second); err == nil {
+			accepted++
+		}
+	}
+	fmt.Println(accepted)
+	// Output: 10
+}
+
+// Stats exposes the wakeup economics that motivate the design.
+func ExampleRuntime_Stats() {
+	rt, err := repro.New(repro.WithSlotSize(5 * time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	pair, err := repro.NewPair(rt, func(batch []int) {})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		pair.PutWait(i, time.Second)
+	}
+	pair.Close()
+	rt.Close()
+
+	st := rt.Stats()
+	fmt.Println(st.ItemsOut == 100, st.TimerWakes+st.ForcedWakes+st.Invocations > 0)
+	// Output: true true
+}

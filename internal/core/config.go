@@ -1,0 +1,187 @@
+// Package core implements the paper's contribution: PBPL, periodic
+// batch processing with latching (§V).
+//
+// Time is a track of Δ-sized slots. Each simulated core has a core
+// manager holding slot reservations; the core wakes only at the
+// earliest reserved slot, invokes every consumer registered there, and
+// sleeps until the next reserved slot — empty slots cost nothing
+// (§V-B). Each consumer, at every invocation, (1) predicts its
+// producer's rate, (2) reserves the slot minimizing the per-item cost
+// ρ(s) = (w(s)+e(r̂·(s−now)))/(r̂·(s−now)) by starting at its predicted
+// buffer-fill slot and backtracking through already-reserved slots
+// (latching), and (3) resizes its buffer quota inside the global pool
+// to the predicted need (§V-C).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/impls"
+	"repro/internal/predict"
+	"repro/internal/simtime"
+	"repro/internal/track"
+)
+
+// Config parameterizes a PBPL run. Base carries the workload, machine
+// and service-cost model shared with the baseline implementations.
+type Config struct {
+	Base impls.Config
+
+	// SlotSize is Δ. Zero derives it from MaxLatency via the paper's
+	// rule (the minimum of all maximum response latencies; latencies
+	// are uniform here, so Δ = MaxLatency/LatencySlack... see below).
+	SlotSize simtime.Duration
+	// MaxLatency is the per-consumer maximum response latency: no
+	// reservation may be placed further than this beyond the current
+	// time, bounding how long an item can sit buffered. Zero defaults
+	// to 20 slots. (The paper defines the bound but never re-applies
+	// it after deriving Δ; we enforce it — DESIGN.md §2.)
+	MaxLatency simtime.Duration
+	// MaxLatencies optionally assigns each pair its own response
+	// latency (the §IV model: "each consumer defines the maximum time
+	// allowed for a data item to be buffered"). When set it must have
+	// one entry per trace; when SlotSize is zero the paper's rule
+	// applies: Δ = min over the latencies (§V-A).
+	MaxLatencies []simtime.Duration
+	// Predictor builds each consumer's rate estimator. Nil uses the
+	// paper's moving average with window 8.
+	Predictor predict.Factory
+	// MinQuota is the floor a consumer's buffer quota can shrink to.
+	// Zero defaults to 2.
+	MinQuota int
+	// Headroom is the target buffer utilization η ∈ (0, 1]: a consumer
+	// sizes its quota to predicted-need/η so stochastic arrival noise
+	// does not overflow a knife-edge buffer. The paper's rule ("only
+	// sufficient to accommodate the predicted items and not more",
+	// §V-C) is η = 1, which under Poisson arrivals overflows on every
+	// other slot; we default to 0.7 and treat η as an explicit knob
+	// (see DESIGN.md §2, deviations). Zero defaults to 0.7.
+	Headroom float64
+
+	// Ablation switches (not in the paper; see DESIGN.md §4 "ABL").
+	DisableLatching   bool // cost function ignores existing reservations
+	DisableResizing   bool // quotas pinned at B0
+	DisablePrediction bool // always reserve the very next slot
+}
+
+// DefaultConfig mirrors impls.DefaultConfig with the PBPL defaults.
+func DefaultConfig(base impls.Config) Config {
+	return Config{
+		Base:       base,
+		SlotSize:   5 * simtime.Millisecond,
+		MaxLatency: 100 * simtime.Millisecond,
+		Predictor:  predict.DefaultFactory,
+		MinQuota:   2,
+		Headroom:   0.7,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.SlotSize < 0 || c.MaxLatency < 0 {
+		return fmt.Errorf("core: negative slot size or latency")
+	}
+	if c.SlotSize > 0 && c.MaxLatency > 0 && c.MaxLatency < c.SlotSize {
+		return fmt.Errorf("core: max latency %v below slot size %v", c.MaxLatency, c.SlotSize)
+	}
+	if len(c.MaxLatencies) > 0 {
+		if len(c.MaxLatencies) != len(c.Base.Traces) {
+			return fmt.Errorf("core: %d per-pair latencies for %d pairs",
+				len(c.MaxLatencies), len(c.Base.Traces))
+		}
+		for i, l := range c.MaxLatencies {
+			if l <= 0 {
+				return fmt.Errorf("core: non-positive latency for pair %d", i)
+			}
+			if c.SlotSize > 0 && l < c.SlotSize {
+				return fmt.Errorf("core: pair %d latency %v below slot size %v", i, l, c.SlotSize)
+			}
+		}
+	}
+	if c.MinQuota < 0 {
+		return fmt.Errorf("core: negative min quota %d", c.MinQuota)
+	}
+	if c.MinQuota > c.Base.Buffer {
+		return fmt.Errorf("core: min quota %d above buffer %d", c.MinQuota, c.Base.Buffer)
+	}
+	if c.Headroom < 0 || c.Headroom > 1 {
+		return fmt.Errorf("core: headroom %v outside [0, 1]", c.Headroom)
+	}
+	return nil
+}
+
+// normalized fills defaults into a validated config.
+func (c Config) normalized() Config {
+	if c.SlotSize == 0 && len(c.MaxLatencies) > 0 {
+		// The paper's default: Δ is "the minimum of all maximum
+		// acceptable response latencies" (§V-A).
+		c.SlotSize = track.DefaultDelta(c.MaxLatencies)
+	}
+	if c.SlotSize == 0 {
+		if c.MaxLatency > 0 {
+			c.SlotSize = track.DefaultDelta([]simtime.Duration{c.MaxLatency}) / 20
+			if c.SlotSize == 0 {
+				c.SlotSize = c.MaxLatency
+			}
+		} else {
+			c.SlotSize = 10 * simtime.Millisecond
+		}
+	}
+	if c.MaxLatency == 0 {
+		c.MaxLatency = 20 * c.SlotSize
+	}
+	if c.Predictor == nil {
+		c.Predictor = predict.DefaultFactory
+	}
+	if c.MinQuota == 0 {
+		c.MinQuota = 2
+	}
+	if c.MinQuota > c.Base.Buffer {
+		c.MinQuota = c.Base.Buffer
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 0.7
+	}
+	return c
+}
+
+// Planner builds the shared reservation planner for a normalized
+// config over the given workload/cost base. The Eq. 8 energy constants
+// derive from the power model: a wakeup costs the fixed transition
+// energy plus the wake-latency window at active power; an item costs
+// its service time at active power.
+func (c Config) Planner(base impls.Config) *Planner {
+	c = c.normalized()
+	model := base.Model
+	return &Planner{
+		Track:      track.New(c.SlotSize, 0),
+		B0:         base.Buffer,
+		MaxLatency: c.MaxLatency,
+		Headroom:   c.Headroom,
+		OmegaMicro: model.WakeEnergyMicrojoules +
+			model.WakeLatency.Seconds()*model.ActiveMilliwatts*1000,
+		PerItemMicro:      base.PerItemWork.Seconds() * model.ActiveMilliwatts * 1000,
+		OverheadMicro:     base.InvokeOverhead.Seconds() * model.ActiveMilliwatts * 1000,
+		DisableLatching:   c.DisableLatching,
+		DisableResizing:   c.DisableResizing,
+		DisablePrediction: c.DisablePrediction,
+	}
+}
+
+// ImplName identifies the variant in reports.
+func (c Config) ImplName() string {
+	name := "pbpl"
+	if c.DisableLatching {
+		name += "-nolatch"
+	}
+	if c.DisableResizing {
+		name += "-noresize"
+	}
+	if c.DisablePrediction {
+		name += "-nopredict"
+	}
+	return name
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// consumer is the autonomous PBPL consumer of §V-C in the simulator:
+// "on a principal level all consumers behave identically and are
+// designed to be autonomous. The scheduling aspect of the consumer
+// invocation should not be dictated by the system." All reservation
+// decisions are delegated to the shared Planner; this type only wires
+// the planner to the event loop, the machine and the buffer pool.
+type consumer struct {
+	id      int
+	cm      *coreManager
+	core    *sim.Core
+	loop    *simtime.Loop
+	pool    *buffer.Pool
+	pred    predict.Predictor
+	m       *metrics.Collector
+	planner *Planner
+
+	buf       ring.Queue[simtime.Time]
+	quota     int // current buffer capacity Bi
+	traceSink *metrics.InvocationTrace
+
+	reservedSlot int64 // -1 when none pending
+	lastInvoke   simtime.Time
+
+	perItemWork    simtime.Duration
+	invokeOverhead simtime.Duration
+}
+
+// onArrival is the producer side: buffer the item; a full buffer forces
+// an unscheduled invocation (overflow); an un-reserved consumer arms
+// itself.
+func (c *consumer) onArrival(at simtime.Time) {
+	c.m.Produced++
+	c.buf.Push(at)
+	if c.buf.Len() >= c.quota {
+		c.m.Overflows++
+		c.invoke(false)
+		return
+	}
+	if c.reservedSlot < 0 {
+		c.reserveNext()
+	}
+}
+
+// invoke drains the buffer, updates the rate prediction, resizes, and
+// reserves the next slot — the consumer column of Fig. 7.
+func (c *consumer) invoke(scheduled bool) {
+	now := c.loop.Now()
+	if !scheduled {
+		// Overflow path: the pending reservation is stale.
+		c.cm.deregister(c)
+	}
+	batch := c.buf.Drain()
+	c.traceSink.Log(c.id, now, scheduled, len(batch))
+	c.m.Invocations++
+	c.m.Consume(now, batch)
+	c.core.RunFor(c.invokeOverhead + simtime.Duration(len(batch))*c.perItemWork)
+
+	// Rate observation: r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1}).
+	if dt := now.Sub(c.lastInvoke); dt > 0 {
+		c.pred.Observe(float64(len(batch)) / dt.Seconds())
+	}
+	c.lastInvoke = now
+
+	c.reserveNext()
+}
+
+// flush consumes whatever remains at the end of the run.
+func (c *consumer) flush() {
+	if c.buf.Len() == 0 {
+		return
+	}
+	now := c.loop.Now()
+	batch := c.buf.Drain()
+	c.m.Invocations++
+	c.m.Consume(now, batch)
+	c.core.RunFor(c.invokeOverhead + simtime.Duration(len(batch))*c.perItemWork)
+}
+
+// reserveNext delegates to the shared planner and applies its decision.
+func (c *consumer) reserveNext() {
+	now := c.loop.Now()
+	plan := c.planner.Next(now, c.pred.Predict(), c.buf.Len(), c.cm, c.requestQuota)
+	if !plan.Reserve {
+		return
+	}
+	if plan.Quota >= 0 {
+		c.quota = plan.Quota
+	}
+	c.cm.reserve(c, plan.Slot)
+}
+
+// requestQuota negotiates capacity with the global pool (Fig. 8).
+func (c *consumer) requestQuota(want int) int {
+	return c.pool.Request(c.id, want)
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// workload builds the standard multi-pair test workload: the synthetic
+// World Cup trace phase-shifted across pairs (§VI-A).
+func workload(t *testing.T, pairs int, dur simtime.Duration, buffer int) Config {
+	t.Helper()
+	wc := trace.WorldCup(trace.WorldCupConfig{
+		BaseRate:     2000,
+		DiurnalDepth: 0.6,
+		Period:       dur,
+		Bursts:       3,
+		BurstPeak:    5000,
+		BurstRise:    100 * simtime.Millisecond,
+		BurstDecay:   400 * simtime.Millisecond,
+		Horizon:      dur,
+		Seed:         7,
+	})
+	base := trace.Generate(wc, dur, 11)
+	return DefaultConfig(impls.DefaultConfig(base.PhaseShifts(pairs), buffer))
+}
+
+func runPBPL(t *testing.T, cfg Config) metrics.Report {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConservation(t *testing.T) {
+	cfg := workload(t, 5, simtime.Duration(2*simtime.Second), 25)
+	r := runPBPL(t, cfg)
+	if r.Produced == 0 {
+		t.Fatal("nothing produced")
+	}
+	if r.Produced != r.Consumed {
+		t.Fatalf("produced %d consumed %d", r.Produced, r.Consumed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := workload(t, 3, simtime.Duration(simtime.Second), 25)
+	a := runPBPL(t, cfg)
+	b := runPBPL(t, cfg)
+	if a != b {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := workload(t, 2, simtime.Duration(simtime.Second), 25)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Config){
+		"base":            func(c *Config) { c.Base.Buffer = 0 },
+		"neg slot":        func(c *Config) { c.SlotSize = -1 },
+		"latency < slot":  func(c *Config) { c.MaxLatency = c.SlotSize / 2 },
+		"neg min quota":   func(c *Config) { c.MinQuota = -1 },
+		"quota vs buffer": func(c *Config) { c.MinQuota = c.Base.Buffer + 1 },
+	}
+	for name, mutate := range mutations {
+		cfg := workload(t, 2, simtime.Duration(simtime.Second), 25)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	cfg := Config{Base: workload(t, 1, simtime.Duration(simtime.Second), 25).Base}
+	n := cfg.normalized()
+	if n.SlotSize <= 0 || n.MaxLatency <= 0 || n.Predictor == nil || n.MinQuota <= 0 {
+		t.Fatalf("normalized left defaults unset: %+v", n)
+	}
+	// MaxLatency-only config derives the slot from it.
+	cfg2 := cfg
+	cfg2.MaxLatency = 100 * simtime.Millisecond
+	n2 := cfg2.normalized()
+	if n2.SlotSize != 5*simtime.Millisecond {
+		t.Fatalf("derived slot = %v, want 5ms", n2.SlotSize)
+	}
+}
+
+func TestImplNames(t *testing.T) {
+	cfg := Config{}
+	if cfg.ImplName() != "pbpl" {
+		t.Fatalf("name = %q", cfg.ImplName())
+	}
+	cfg.DisableLatching = true
+	cfg.DisableResizing = true
+	cfg.DisablePrediction = true
+	if cfg.ImplName() != "pbpl-nolatch-noresize-nopredict" {
+		t.Fatalf("name = %q", cfg.ImplName())
+	}
+}
+
+// The paper's headline (Fig. 9): PBPL beats Mutex, Sem and BP on both
+// wakeups and power for 5 consumers.
+func TestBeatsBaselinesAtFiveConsumers(t *testing.T) {
+	dur := simtime.Duration(5 * simtime.Second)
+	cfg := workload(t, 5, dur, 25)
+	pbpl := runPBPL(t, cfg)
+
+	for _, alg := range []impls.Algorithm{impls.Mutex, impls.Sem, impls.BP} {
+		base, err := impls.Run(alg, cfg.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pbpl.Wakeups >= base.Wakeups {
+			t.Errorf("%s: PBPL wakeups %d should be below %d", alg, pbpl.Wakeups, base.Wakeups)
+		}
+		if pbpl.PowerMilliwatts >= base.PowerMilliwatts {
+			t.Errorf("%s: PBPL power %.1f should be below %.1f",
+				alg, pbpl.PowerMilliwatts, base.PowerMilliwatts)
+		}
+	}
+}
+
+// Wakeup reduction vs Mutex should fall in the paper's band (−39.5% at
+// 5 consumers; we accept a generous 25–70% band for robustness).
+func TestWakeupReductionBand(t *testing.T) {
+	dur := simtime.Duration(5 * simtime.Second)
+	cfg := workload(t, 5, dur, 25)
+	pbpl := runPBPL(t, cfg)
+	mutex, err := impls.Run(impls.Mutex, cfg.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - float64(pbpl.Wakeups)/float64(mutex.Wakeups)
+	if red < 0.25 {
+		t.Fatalf("wakeup reduction vs Mutex = %.1f%%, want ≥25%%", red*100)
+	}
+}
+
+// Latching: with several consumers per core, manager slot wakes are
+// shared — invocations must exceed scheduled wakeups.
+func TestLatchingSharesWakeups(t *testing.T) {
+	cfg := workload(t, 8, simtime.Duration(2*simtime.Second), 25)
+	r := runPBPL(t, cfg)
+	if r.ScheduledWakeups == 0 {
+		t.Fatal("no scheduled wakeups")
+	}
+	sharing := float64(r.Invocations-r.Overflows) / float64(r.ScheduledWakeups)
+	if sharing < 1.2 {
+		t.Fatalf("latch sharing factor %.2f, want >1.2 (invocations %d, scheduled %d)",
+			sharing, r.Invocations, r.ScheduledWakeups)
+	}
+}
+
+// Ablation: disabling latching must not *reduce* wakeups; at multiple
+// consumers per core it should cost extra wakeups.
+func TestAblationLatching(t *testing.T) {
+	cfg := workload(t, 6, simtime.Duration(3*simtime.Second), 25)
+	full := runPBPL(t, cfg)
+	cfg.DisableLatching = true
+	nolatch := runPBPL(t, cfg)
+	if nolatch.Wakeups < full.Wakeups {
+		t.Fatalf("no-latch wakeups %d below full PBPL %d", nolatch.Wakeups, full.Wakeups)
+	}
+}
+
+// Ablation: resizing converts overflows into scheduled wakeups — with
+// it disabled, overflows must not decrease.
+func TestAblationResizing(t *testing.T) {
+	cfg := workload(t, 5, simtime.Duration(3*simtime.Second), 25)
+	full := runPBPL(t, cfg)
+	cfg.DisableResizing = true
+	norez := runPBPL(t, cfg)
+	if norez.Overflows < full.Overflows {
+		t.Fatalf("no-resize overflows %d below full PBPL %d", norez.Overflows, full.Overflows)
+	}
+	if full.AvgBufferQuota >= float64(cfg.Base.Buffer) {
+		t.Fatalf("resizing should downsize on average: %v vs B=%d",
+			full.AvgBufferQuota, cfg.Base.Buffer)
+	}
+}
+
+// Ablation: disabling prediction degenerates to every-slot periodic
+// batching, which wakes more than PBPL on bursty input.
+func TestAblationPrediction(t *testing.T) {
+	// A large buffer lets predictive PBPL skip several slots between
+	// invocations; the no-predict ablation wakes every slot regardless.
+	cfg := workload(t, 5, simtime.Duration(3*simtime.Second), 100)
+	full := runPBPL(t, cfg)
+	cfg.DisablePrediction = true
+	nopred := runPBPL(t, cfg)
+	if nopred.ScheduledWakeups <= full.ScheduledWakeups {
+		t.Fatalf("no-predict scheduled wakeups %d should exceed full %d",
+			nopred.ScheduledWakeups, full.ScheduledWakeups)
+	}
+}
+
+// Response latency: items are processed within the configured bound
+// (plus one slot of slack for overflow-and-retry edges).
+func TestLatencyBound(t *testing.T) {
+	cfg := workload(t, 5, simtime.Duration(3*simtime.Second), 25)
+	r := runPBPL(t, cfg)
+	bound := cfg.MaxLatency + 2*cfg.SlotSize
+	if r.MaxLatency > bound {
+		t.Fatalf("max latency %v exceeds bound %v", r.MaxLatency, bound)
+	}
+}
+
+// Empty trace: no arrivals → no reservations → no wakeups at all (the
+// empty-slot skipping at its limit).
+func TestIdleStreamCostsNothing(t *testing.T) {
+	dur := simtime.Duration(2 * simtime.Second)
+	base := impls.DefaultConfig([]trace.Trace{{Duration: dur}}, 25)
+	r := runPBPL(t, DefaultConfig(base))
+	if r.Wakeups != 0 || r.Invocations != 0 {
+		t.Fatalf("idle stream cost wakeups=%d invocations=%d", r.Wakeups, r.Invocations)
+	}
+}
+
+// A consumer that goes quiet stops reserving: wakeups during the silent
+// half should be near zero.
+func TestQuietPeriodSheds(t *testing.T) {
+	dur := simtime.Duration(4 * simtime.Second)
+	// All arrivals in the first second.
+	tr := trace.Generate(trace.Constant(2000), simtime.Duration(simtime.Second), 3)
+	tr.Duration = dur
+	base := impls.DefaultConfig([]trace.Trace{tr}, 25)
+	r := runPBPL(t, DefaultConfig(base))
+	// If the consumer kept a heartbeat every slot for the 3 silent
+	// seconds it would cost ≥300 extra wakeups; allow a small tail for
+	// the moving average to decay.
+	active := float64(r.Wakeups)
+	burstOnly := float64(tr.Count()) / 25 * 3 // generous bound ≈ overflow count
+	if active > burstOnly+60 {
+		t.Fatalf("quiet period not shed: %v wakeups (bound %v)", active, burstOnly+60)
+	}
+}
+
+// Overflow conversion (§VI-C): against BP at the same buffer size, PBPL
+// converts most BP overflows into scheduled wakeups.
+func TestOverflowConversion(t *testing.T) {
+	dur := simtime.Duration(5 * simtime.Second)
+	cfg := workload(t, 5, dur, 50)
+	pbpl := runPBPL(t, cfg)
+	bp, err := impls.Run(impls.BP, cfg.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Overflows == 0 {
+		t.Skip("BP saw no overflows; workload too light")
+	}
+	conversion := 1 - float64(pbpl.Overflows)/float64(bp.Overflows)
+	if conversion < 0.5 {
+		t.Fatalf("overflow conversion %.1f%%, want ≥50%% (pbpl %d vs bp %d)",
+			conversion*100, pbpl.Overflows, bp.Overflows)
+	}
+}
+
+// Pool invariant is re-checked inside Run; also verify buffers shrink
+// below B0 on average but stay within the global pool.
+func TestDynamicBufferBehaviour(t *testing.T) {
+	cfg := workload(t, 5, simtime.Duration(3*simtime.Second), 50)
+	r := runPBPL(t, cfg)
+	if r.AvgBufferQuota <= 0 || r.AvgBufferQuota > float64(5*50) {
+		t.Fatalf("avg buffer quota %v out of range", r.AvgBufferQuota)
+	}
+	if r.AvgBufferQuota >= 50 {
+		t.Fatalf("avg buffer quota %v should sit below B0=50 (paper: 43 of 50)", r.AvgBufferQuota)
+	}
+}
+
+// Scaling (Fig. 10): PBPL's improvement over Mutex grows with the
+// number of consumers.
+func TestScalingImprovementGrows(t *testing.T) {
+	dur := simtime.Duration(4 * simtime.Second)
+	improvement := func(pairs int) float64 {
+		cfg := workload(t, pairs, dur, 25)
+		p := runPBPL(t, cfg)
+		mu, err := impls.Run(impls.Mutex, cfg.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - p.PowerMilliwatts/mu.PowerMilliwatts
+	}
+	small := improvement(2)
+	large := improvement(10)
+	if large <= small {
+		t.Fatalf("improvement should grow with consumers: 2→%.1f%%, 10→%.1f%%",
+			small*100, large*100)
+	}
+}
+
+// Kalman predictor (paper's future work) must run, conserve items, and
+// stay in the same wakeup ballpark as the moving average.
+func TestKalmanPredictorVariant(t *testing.T) {
+	cfg := workload(t, 3, simtime.Duration(2*simtime.Second), 25)
+	ma := runPBPL(t, cfg)
+	cfg.Predictor = func() predict.Predictor { return predict.NewKalman(5e5, 5e6) }
+	kf := runPBPL(t, cfg)
+	if kf.Produced != kf.Consumed {
+		t.Fatal("Kalman variant broke conservation")
+	}
+	ratio := float64(kf.Wakeups) / float64(ma.Wakeups)
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("Kalman wakeups %d wildly different from MA %d", kf.Wakeups, ma.Wakeups)
+	}
+}

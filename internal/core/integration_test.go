@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/impls"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// TestPropertyRandomWorkloads runs PBPL over randomized configurations
+// and checks every run-level invariant: item conservation, the
+// response-latency bound, internal counter consistency, and pool
+// integrity (checked inside Run). This is the failure-injection net for
+// the planner's edge cases — trickle rates, saturating bursts, tiny
+// buffers, many consumers on one core.
+func TestPropertyRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		dur := simtime.Duration(1+rng.Intn(3)) * simtime.Second
+		pairs := 1 + rng.Intn(8)
+		buffer := 4 + rng.Intn(97)
+		var rate trace.Rate
+		switch rng.Intn(4) {
+		case 0:
+			rate = trace.Constant(float64(10 + rng.Intn(5000)))
+		case 1:
+			rate = trace.Sinusoid{
+				Base:   float64(100 + rng.Intn(4000)),
+				Depth:  rng.Float64() * 1.5,
+				Period: dur / simtime.Duration(1+rng.Intn(4)),
+			}
+		case 2:
+			rate = trace.Burst{
+				Start: simtime.Time(rng.Int63n(int64(dur))),
+				Peak:  float64(1000 + rng.Intn(20000)),
+				Rise:  50 * simtime.Millisecond,
+				Decay: simtime.Duration(100+rng.Intn(400)) * simtime.Millisecond,
+			}
+		default:
+			rate = trace.WorldCup(trace.WorldCupConfig{
+				BaseRate:     float64(100 + rng.Intn(3000)),
+				DiurnalDepth: rng.Float64(),
+				Period:       dur,
+				Bursts:       rng.Intn(5),
+				BurstPeak:    float64(rng.Intn(10000)),
+				BurstRise:    50 * simtime.Millisecond,
+				BurstDecay:   300 * simtime.Millisecond,
+				Horizon:      dur,
+				Seed:         rng.Int63(),
+			})
+		}
+		base := trace.Generate(rate, dur, rng.Int63())
+		cfg := DefaultConfig(impls.DefaultConfig(base.PhaseShifts(pairs), buffer))
+		cfg.SlotSize = simtime.Duration(1+rng.Intn(10)) * simtime.Millisecond
+		cfg.MaxLatency = cfg.SlotSize * simtime.Duration(5+rng.Intn(30))
+		cfg.Headroom = 0.5 + rng.Float64()*0.5
+		cfg.DisableLatching = rng.Intn(4) == 0
+		cfg.DisableResizing = rng.Intn(4) == 0
+		cfg.DisablePrediction = rng.Intn(6) == 0
+
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Produced != r.Consumed {
+			t.Fatalf("trial %d: conservation %d vs %d", trial, r.Produced, r.Consumed)
+		}
+		bound := cfg.MaxLatency + 2*cfg.SlotSize
+		if r.MaxLatency > bound {
+			t.Fatalf("trial %d: latency %v exceeds bound %v (slot %v, pairs %d, buffer %d)",
+				trial, r.MaxLatency, bound, cfg.SlotSize, pairs, buffer)
+		}
+		if r.AttributedWakeups != r.Wakeups {
+			t.Fatalf("trial %d: PBPL attribution mismatch", trial)
+		}
+	}
+}
+
+// TestPoolExhaustionBurst drives one consumer far beyond what the
+// global pool can lend while its peers stay busy enough to keep their
+// quotas: the overloaded consumer must degrade to frequent scheduled
+// wakes and overflows without losing items or breaking the bound.
+func TestPoolExhaustionBurst(t *testing.T) {
+	dur := simtime.Duration(3 * simtime.Second)
+	steady := trace.Generate(trace.Constant(2500), dur, 1)
+	flood := trace.Generate(trace.Constant(30000), dur, 2)
+	traces := []trace.Trace{steady, steady, steady, steady, flood}
+	cfg := DefaultConfig(impls.DefaultConfig(traces, 16))
+	r := runPBPL(t, cfg)
+	if r.Produced != r.Consumed {
+		t.Fatalf("conservation: %d vs %d", r.Produced, r.Consumed)
+	}
+	if r.Overflows == 0 {
+		t.Fatal("a 30k/s flood into a 16-item buffer must overflow")
+	}
+	bound := cfg.MaxLatency + 2*cfg.SlotSize
+	if r.MaxLatency > bound {
+		t.Fatalf("latency %v exceeds bound %v under flood", r.MaxLatency, bound)
+	}
+}

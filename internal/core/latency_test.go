@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/impls"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestPerPairLatenciesValidate(t *testing.T) {
+	cfg := workload(t, 3, simtime.Duration(simtime.Second), 25)
+	cfg.MaxLatencies = []simtime.Duration{10 * simtime.Millisecond} // wrong arity
+	if cfg.Validate() == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	cfg.MaxLatencies = []simtime.Duration{
+		50 * simtime.Millisecond, 0, 50 * simtime.Millisecond,
+	}
+	if cfg.Validate() == nil {
+		t.Fatal("non-positive latency should fail")
+	}
+	cfg.MaxLatencies = []simtime.Duration{
+		simtime.Millisecond, 50 * simtime.Millisecond, 50 * simtime.Millisecond,
+	}
+	if cfg.Validate() == nil {
+		t.Fatal("latency below slot size should fail")
+	}
+}
+
+func TestPerPairLatenciesDeriveSlot(t *testing.T) {
+	cfg := workload(t, 2, simtime.Duration(simtime.Second), 25)
+	cfg.SlotSize = 0
+	cfg.MaxLatency = 0
+	cfg.MaxLatencies = []simtime.Duration{
+		40 * simtime.Millisecond, 8 * simtime.Millisecond,
+	}
+	n := cfg.normalized()
+	// The paper's §V-A rule: Δ = min over the max latencies.
+	if n.SlotSize != 8*simtime.Millisecond {
+		t.Fatalf("derived Δ = %v, want 8ms", n.SlotSize)
+	}
+}
+
+// Mixed latency classes coexist: a tight-latency consumer and a relaxed
+// one share the track; each respects its own bound. Per-class latency
+// is observed through separate single-pair runs with a shared seed —
+// the coexistence run then must not exceed the looser bound anywhere
+// and must conserve items.
+func TestMixedLatencyClasses(t *testing.T) {
+	dur := simtime.Duration(3 * simtime.Second)
+	base := trace.Generate(trace.Constant(1500), dur, 5)
+	cfg := DefaultConfig(impls.DefaultConfig(base.PhaseShifts(4), 25))
+	cfg.SlotSize = 5 * simtime.Millisecond
+	cfg.MaxLatencies = []simtime.Duration{
+		20 * simtime.Millisecond,
+		20 * simtime.Millisecond,
+		150 * simtime.Millisecond,
+		150 * simtime.Millisecond,
+	}
+	cfg.MaxLatency = 150 * simtime.Millisecond
+	r := runPBPL(t, cfg)
+	if r.Produced != r.Consumed {
+		t.Fatalf("conservation: %d vs %d", r.Produced, r.Consumed)
+	}
+	// Global worst latency bounded by the loosest class (+slack).
+	bound := 150*simtime.Millisecond + 2*cfg.SlotSize
+	if r.MaxLatency > bound {
+		t.Fatalf("max latency %v exceeds loosest bound %v", r.MaxLatency, bound)
+	}
+	// The tight class forces more frequent wakes than a uniform loose
+	// configuration would have.
+	loose := cfg
+	loose.MaxLatencies = nil
+	rLoose := runPBPL(t, loose)
+	if r.ScheduledWakeups < rLoose.ScheduledWakeups {
+		t.Fatalf("tight class should not reduce scheduled wakes: %d vs %d",
+			r.ScheduledWakeups, rLoose.ScheduledWakeups)
+	}
+}

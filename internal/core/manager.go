@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/track"
+)
+
+// coreManager owns one core's slot track: it "accepts reservation
+// requests for specific slots made by the consumers, maintains a list
+// of consumers to invoke at every slot, and supports deregistering"
+// (§V-B). It wakes the core only at the earliest slot holding at least
+// one reservation, "ensuring that the CPU is not activated needlessly".
+type coreManager struct {
+	core  *sim.Core
+	loop  *simtime.Loop
+	track track.Track
+
+	// reservations maps slot index → consumers registered for it. Only
+	// near-future slots ever exist: "past reservations are replaced and
+	// future reservations are limited to only the next invocation of
+	// every consumer" (§V-B), so the map holds at most one entry per
+	// consumer hosted on the core.
+	reservations map[int64][]*consumer
+
+	wakeEvent *simtime.Event
+	wakeSlot  int64
+
+	// scheduledWakes counts manager slot activations — the paper's
+	// internal "upper bound wakeups" metric.
+	scheduledWakes uint64
+}
+
+func newCoreManager(core *sim.Core, loop *simtime.Loop, tr track.Track) *coreManager {
+	return &coreManager{
+		core:         core,
+		loop:         loop,
+		track:        tr,
+		reservations: make(map[int64][]*consumer),
+	}
+}
+
+// Has reports whether slot already has a registered consumer — the
+// w(s)=0 condition in the reservation cost function. Together with
+// PrevReserved it satisfies the planner's Reservations view.
+func (cm *coreManager) Has(slot int64) bool {
+	return len(cm.reservations[slot]) > 0
+}
+
+// PrevReserved returns the latest reserved slot strictly inside
+// (after, before), mirroring the paper's "helper function in the core
+// manager that backtracks to the next slot with reservations". The
+// reservation set holds at most one entry per hosted consumer, so the
+// scan is O(consumers-per-core).
+func (cm *coreManager) PrevReserved(before, after int64) (int64, bool) {
+	best := int64(0)
+	found := false
+	for slot, cs := range cm.reservations {
+		if len(cs) == 0 {
+			continue
+		}
+		if slot > after && slot < before && (!found || slot > best) {
+			best = slot
+			found = true
+		}
+	}
+	return best, found
+}
+
+// reserve registers c for slot, replacing any previous reservation, and
+// pulls the manager's wakeup earlier if needed.
+func (cm *coreManager) reserve(c *consumer, slot int64) {
+	if c.reservedSlot == slot {
+		return
+	}
+	cm.deregister(c)
+	cm.reservations[slot] = append(cm.reservations[slot], c)
+	c.reservedSlot = slot
+	cm.ensureWake()
+}
+
+// deregister removes c's pending reservation, if any — "a consumer may
+// decide a slot is no longer appropriate".
+func (cm *coreManager) deregister(c *consumer) {
+	if c.reservedSlot < 0 {
+		return
+	}
+	slot := c.reservedSlot
+	list := cm.reservations[slot]
+	for i, other := range list {
+		if other == c {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(cm.reservations, slot)
+	} else {
+		cm.reservations[slot] = list
+	}
+	c.reservedSlot = -1
+	// If the manager was about to wake for a now-empty slot, move the
+	// wakeup to the next populated one (or cancel it).
+	if cm.wakeEvent != nil && slot == cm.wakeSlot && !cm.Has(slot) {
+		cm.loop.Cancel(cm.wakeEvent)
+		cm.wakeEvent = nil
+		cm.ensureWake()
+	}
+}
+
+// earliestReservedSlot returns the minimum populated slot index.
+func (cm *coreManager) earliestReservedSlot() (int64, bool) {
+	best := int64(0)
+	found := false
+	for slot, cs := range cm.reservations {
+		if len(cs) == 0 {
+			continue
+		}
+		if !found || slot < best {
+			best = slot
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ensureWake keeps the manager's single wake event pointed at the
+// earliest reserved slot.
+func (cm *coreManager) ensureWake() {
+	slot, ok := cm.earliestReservedSlot()
+	if !ok {
+		if cm.wakeEvent != nil {
+			cm.loop.Cancel(cm.wakeEvent)
+			cm.wakeEvent = nil
+		}
+		return
+	}
+	at := cm.track.Start(slot)
+	if cm.wakeEvent != nil {
+		if cm.wakeSlot == slot {
+			return
+		}
+		cm.loop.Cancel(cm.wakeEvent)
+	}
+	cm.wakeSlot = slot
+	cm.wakeEvent = cm.loop.Schedule(at, cm.onWake)
+}
+
+// onWake is the §V-B Fig. 7 sequence: activate every consumer
+// registered for the current slot (they drain, update predictions,
+// resize, and reserve their next slot), then schedule the next wakeup
+// at the earliest slot with a reservation.
+func (cm *coreManager) onWake() {
+	cm.wakeEvent = nil
+	slot := cm.wakeSlot
+	consumers := cm.reservations[slot]
+	delete(cm.reservations, slot)
+	cm.scheduledWakes++
+	for _, c := range consumers {
+		c.reservedSlot = -1
+		c.invoke(true)
+	}
+	cm.ensureWake()
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/impls"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// TestOverloadedConsumer drives service demand above what the consumer
+// core can supply (arrival rate × per-item work > 1): the system must
+// degrade gracefully — items conserved, counters consistent — even
+// though the backlog and latency necessarily grow.
+func TestOverloadedConsumer(t *testing.T) {
+	dur := simtime.Duration(2 * simtime.Second)
+	tr := trace.Generate(trace.Constant(5000), dur, 3)
+	base := impls.DefaultConfig([]trace.Trace{tr}, 50)
+	// 5000 items/s × 250µs/item = 1.25 cores of demand on one core.
+	base.PerItemWork = 250 * simtime.Microsecond
+	r := runPBPL(t, DefaultConfig(base))
+	if r.Produced != r.Consumed {
+		t.Fatalf("conservation under overload: %d vs %d", r.Produced, r.Consumed)
+	}
+	if r.Overflows == 0 {
+		t.Fatal("an overloaded consumer must overflow")
+	}
+	// Usage saturates: the consumer core is pinned near full activity.
+	if r.UsageMsPerS() < 900 {
+		t.Fatalf("usage = %.1f ms/s, want near saturation", r.UsageMsPerS())
+	}
+}
+
+// TestSlowHandlerOverrunsSlots checks the milder case: batches whose
+// service time exceeds one slot delay later latched consumers but leave
+// all invariants intact.
+func TestSlowHandlerOverrunsSlots(t *testing.T) {
+	dur := simtime.Duration(2 * simtime.Second)
+	base := trace.Generate(trace.Constant(1000), dur, 9)
+	cfg := DefaultConfig(impls.DefaultConfig(base.PhaseShifts(4), 25))
+	// A 25-item batch takes 25×300µs = 7.5ms > the 5ms slot.
+	cfg.Base.PerItemWork = 300 * simtime.Microsecond
+	r := runPBPL(t, cfg)
+	if r.Produced != r.Consumed {
+		t.Fatalf("conservation: %d vs %d", r.Produced, r.Consumed)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+	"repro/internal/track"
+)
+
+// Reservations is the view of a core manager's slot bookings a planner
+// consults: whether a slot is already booked (w(s)=0 in Eq. 8) and the
+// backtracking helper of §V-C.
+type Reservations interface {
+	// Has reports whether the slot holds at least one reservation.
+	Has(slot int64) bool
+	// PrevReserved returns the latest reserved slot strictly inside
+	// (after, before).
+	PrevReserved(before, after int64) (int64, bool)
+}
+
+// Plan is a reservation decision.
+type Plan struct {
+	// Reserve is false when the consumer should hold no reservation
+	// (idle stream; the next arrival re-arms it).
+	Reserve bool
+	// Slot is the chosen slot index (meaningful when Reserve).
+	Slot int64
+	// Quota is the buffer capacity granted for the plan, or -1 when
+	// resizing is disabled and the quota should stay at B0.
+	Quota int
+}
+
+// Planner is the pure decision core of the PBPL consumer (§V-C):
+// prediction-driven slot selection with latching via Eq. 8 and dynamic
+// buffer sizing against a shared pool. Both the simulator's consumer
+// and the live runtime execute exactly this planner; they differ only
+// in how "now" advances and how reservations fire.
+type Planner struct {
+	Track      track.Track
+	B0         int // preferred per-consumer buffer size
+	MaxLatency simtime.Duration
+	Headroom   float64 // target buffer utilization η
+
+	// Eq. 8 energy constants, µJ.
+	OmegaMicro    float64 // ω: one wakeup
+	PerItemMicro  float64 // e(1): one item
+	OverheadMicro float64 // fixed invocation overhead
+
+	DisableLatching   bool
+	DisableResizing   bool
+	DisablePrediction bool
+}
+
+// cost is Eq. 8: ρ(s) = (w(s) + e(n)) / n with n = r̂·(s−now), where
+// e(n) includes the invocation's fixed overhead (which is what makes
+// needlessly tiny latched batches expensive per item and terminates
+// backtracking).
+func (pl *Planner) cost(slot int64, now simtime.Time, rhat float64, res Reservations) float64 {
+	gap := pl.Track.Start(slot).Sub(now).Seconds()
+	n := rhat * gap
+	if n < 1e-9 {
+		n = 1e-9
+	}
+	w := 0.0
+	if pl.DisableLatching || !res.Has(slot) {
+		w = pl.OmegaMicro
+	}
+	return (w + pl.OverheadMicro + n*pl.PerItemMicro) / n
+}
+
+// Next runs the §V-C reservation procedure.
+//
+//   - now: the invocation (or arming) instant
+//   - rhat: the predicted production rate, items/s
+//   - buffered: items currently in the consumer's buffer
+//   - res: the core manager's reservation view
+//   - request: pool quota negotiation; given the desired capacity it
+//     returns the granted capacity. nil (or DisableResizing) keeps B0.
+func (pl *Planner) Next(now simtime.Time, rhat float64, buffered int, res Reservations, request func(int) int) Plan {
+	nowSlot := pl.Track.Index(now)
+
+	if pl.DisablePrediction {
+		// Ablation: plain periodic batching on the track (every slot),
+		// latched by construction since all consumers share slots.
+		return Plan{Reserve: true, Slot: nowSlot + 1, Quota: -1}
+	}
+
+	maxLatSec := pl.MaxLatency.Seconds()
+	if rhat*maxLatSec < 0.5 {
+		// Effectively idle: less than half an item expected within the
+		// whole latency window (this also absorbs floating-point
+		// residue a windowed average leaves after a stream goes quiet).
+		if buffered == 0 {
+			return Plan{Reserve: false, Quota: -1}
+		}
+		maxSlot := pl.Track.Index(now.Add(pl.MaxLatency))
+		if maxSlot <= nowSlot {
+			maxSlot = nowSlot + 1
+		}
+		if !pl.DisableLatching {
+			// Latch onto the latest already-reserved slot inside the
+			// latency bound: a free ride by Eq. 8 with w=0.
+			if s, ok := res.PrevReserved(maxSlot+1, nowSlot); ok {
+				return Plan{Reserve: true, Slot: s, Quota: -1}
+			}
+		}
+		if rhat <= 0 {
+			// Cold start with buffered items: peek at the very next
+			// slot to start learning the rate quickly.
+			return Plan{Reserve: true, Slot: nowSlot + 1, Quota: -1}
+		}
+		// Trickle stream: serve the stragglers at the latency bound.
+		return Plan{Reserve: true, Slot: maxSlot, Quota: -1}
+	}
+
+	// Candidate start: g(now + B/r̂), clamped by the response-latency
+	// bound and to the strict future. (Compare in seconds first: a
+	// near-zero rate would overflow the Duration conversion.)
+	fill := pl.MaxLatency
+	if fillSec := float64(pl.B0) / rhat; fillSec < maxLatSec {
+		fill = simtime.DurationOfSeconds(fillSec)
+	}
+	best := pl.Track.Index(now.Add(fill))
+	if best <= nowSlot {
+		best = nowSlot + 1
+	}
+	bestCost := pl.cost(best, now, rhat, res)
+
+	if !pl.DisableLatching {
+		// Backtrack through reserved slots while the cost decreases;
+		// "if the jth slot being evaluated has higher ρ than its
+		// predecessor, it is safe to assume that no better slots can
+		// be found by further backtracking."
+		j := best
+		for {
+			prev, ok := res.PrevReserved(j, nowSlot)
+			if !ok {
+				break
+			}
+			c := pl.cost(prev, now, rhat, res)
+			if c > bestCost {
+				break
+			}
+			best, bestCost = prev, c
+			j = prev
+		}
+	}
+
+	quota := -1
+	if !pl.DisableResizing && request != nil {
+		// Downsize to the predicted need (over the target utilization η
+		// so arrival noise has headroom, never below half the preferred
+		// size); upsize from the pool when the plan requires more than
+		// we hold. If the pool cannot cover the plan, keep what was
+		// granted and pull the reservation to the slot that capacity
+		// can sustain.
+		gap := pl.Track.Start(best).Sub(now)
+		need := int(math.Ceil(rhat * gap.Seconds() / pl.Headroom))
+		if floor := (pl.B0 + 1) / 2; need < floor {
+			need = floor
+		}
+		granted := request(need)
+		quota = granted
+		if granted < need {
+			sustain := simtime.DurationOfSeconds(float64(granted) * pl.Headroom / rhat)
+			s := pl.Track.Index(now.Add(sustain))
+			if s <= nowSlot {
+				s = nowSlot + 1
+			}
+			if s < best {
+				best = s
+			}
+		}
+	}
+
+	return Plan{Reserve: true, Slot: best, Quota: quota}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/track"
+)
+
+// Run executes PBPL (or a configured ablation) against the workload and
+// returns its metrics report. The architecture follows Fig. 5: one core
+// manager per core, consumers partitioned across cores (pair i on core
+// i mod Cores, disjoint sets C_αl), one global buffer pool of
+// Bg = B0 · M shared by all consumers.
+func Run(cfg Config) (metrics.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	cfg = cfg.normalized()
+	base := cfg.Base
+
+	if base.ConsumerCores == 0 {
+		base.ConsumerCores = 1
+	}
+	machine := sim.NewMachine(base.Cores, base.Model)
+	m := &metrics.Collector{}
+	tr := track.New(cfg.SlotSize, 0)
+
+	managers := make([]*coreManager, base.ConsumerCores)
+	for i := range managers {
+		managers[i] = newCoreManager(machine.Core(i), machine.Loop, tr)
+	}
+
+	pairs := len(base.Traces)
+	pool := buffer.NewPool(base.Buffer, pairs, cfg.MinQuota)
+
+	model := base.Model
+	planner := cfg.Planner(base)
+
+	consumers := make([]*consumer, pairs)
+	for i := range consumers {
+		cm := managers[i%base.ConsumerCores]
+		// Per-pair response latencies (§IV): each consumer plans with
+		// its own bound over the shared track.
+		pl := planner
+		if len(cfg.MaxLatencies) > 0 {
+			own := *planner
+			own.MaxLatency = cfg.MaxLatencies[i]
+			pl = &own
+		}
+		consumers[i] = &consumer{
+			id:             i,
+			cm:             cm,
+			core:           cm.core,
+			loop:           machine.Loop,
+			pool:           pool,
+			pred:           cfg.Predictor(),
+			m:              m,
+			planner:        pl,
+			traceSink:      base.TraceSink,
+			quota:          base.Buffer,
+			reservedSlot:   -1,
+			perItemWork:    base.PerItemWork,
+			invokeOverhead: base.InvokeOverhead,
+		}
+	}
+
+	for i, t := range base.Traces {
+		c := consumers[i]
+		pcore := producerCoreFor(machine, base, i)
+		if pcore == nil {
+			feedTrace(machine.Loop, t.Arrivals, c.onArrival)
+			continue
+		}
+		work := base.ProducerWork
+		feedTrace(machine.Loop, t.Arrivals, func(at simtime.Time) {
+			pcore.RunFor(work)
+			c.onArrival(at)
+		})
+	}
+
+	machine.Loop.RunUntil(simtime.Time(base.Duration()))
+	for _, c := range consumers {
+		c.flush()
+	}
+
+	// Assemble the report (mirrors impls.report, which is unexported
+	// and parameterized on the impls.Algorithm type).
+	res := machine.Finish()
+	dur := base.Duration()
+	// Consumer-core attribution for wakeups/usage, board-level power —
+	// matching the baseline harness (see impls.report).
+	var usageMs, shallowMs, idleMs float64
+	var wakeups uint64
+	for i, r := range res {
+		if i < base.ConsumerCores {
+			usageMs += float64(r.Active) / float64(simtime.Millisecond)
+			shallowMs += float64(r.Shallow) / float64(simtime.Millisecond)
+			idleMs += float64(r.Idle) / float64(simtime.Millisecond)
+			wakeups += r.Wakeups
+		}
+	}
+	var scheduled uint64
+	for _, cm := range managers {
+		scheduled += cm.scheduledWakes
+	}
+	avgBuffer := float64(base.Buffer)
+	if !cfg.DisableResizing && pool.MeanQuota() > 0 {
+		avgBuffer = pool.MeanQuota()
+	}
+	rep := metrics.Report{
+		Impl:              cfg.ImplName(),
+		Pairs:             pairs,
+		Cores:             base.Cores,
+		Duration:          dur,
+		Produced:          m.Produced,
+		Consumed:          m.Consumed,
+		Wakeups:           wakeups,
+		AttributedWakeups: wakeups,
+		Invocations:       m.Invocations,
+		ScheduledWakeups:  scheduled,
+		Overflows:         m.Overflows,
+		UsageMs:           usageMs,
+		ShallowMs:         shallowMs,
+		DeepIdleMs:        idleMs,
+		PowerMilliwatts:   model.ExtraPowerMilliwatts(res, dur),
+		EnergyMillijoules: model.TotalEnergyMillijoules(res, dur),
+		AvgBufferQuota:    avgBuffer,
+		MaxLatency:        m.MaxLatency,
+		SumLatency:        m.SumLatency,
+		LatencyP50:        m.Latencies.Percentile(50),
+		LatencyP99:        m.Latencies.Percentile(99),
+	}
+	if err := pool.CheckInvariant(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// producerCoreFor mirrors the baseline harness's producer placement:
+// producers round-robin over the non-consumer cores, or run externally
+// (nil) when there is no spare core or no producer cost.
+func producerCoreFor(machine *sim.Machine, base impls.Config, i int) *sim.Core {
+	spare := base.Cores - base.ConsumerCores
+	if spare <= 0 || base.ProducerWork <= 0 {
+		return nil
+	}
+	return machine.Core(base.ConsumerCores + i%spare)
+}
+
+// feedTrace chains arrival events so the heap stays O(pairs); identical
+// in spirit to the baseline harness's feed.
+func feedTrace(loop *simtime.Loop, arrivals []simtime.Time, onArrival func(simtime.Time)) {
+	if len(arrivals) == 0 {
+		return
+	}
+	var idx int
+	var step func()
+	step = func() {
+		at := arrivals[idx]
+		onArrival(at)
+		idx++
+		if idx < len(arrivals) {
+			loop.Schedule(arrivals[idx], step)
+		}
+	}
+	loop.Schedule(arrivals[0], step)
+}
+
+// Name is the canonical implementation label used in figures.
+const Name = "pbpl"

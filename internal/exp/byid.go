@@ -1,0 +1,48 @@
+package exp
+
+import "fmt"
+
+// ByID resolves a figure/table id (as used by cmd/pcbench) to its
+// experiment. Fig6 is a timeline rendering, not a Table, and has its
+// own entry point.
+func ByID(id string, cfg Config) (Table, error) {
+	switch id {
+	case "3", "fig3":
+		return Fig3(cfg)
+	case "4", "fig4":
+		return Fig4(cfg)
+	case "corr":
+		return Correlations(cfg)
+	case "9", "fig9":
+		return Fig9(cfg)
+	case "10", "fig10":
+		return Fig10(cfg)
+	case "11", "fig11":
+		return Fig11(cfg)
+	case "wakeups":
+		return WakeupAccounting(cfg)
+	case "buffer":
+		return BufferOccupancy(cfg)
+	case "ablation":
+		return Ablation(cfg)
+	case "latency":
+		return Latency(cfg)
+	case "predictors":
+		return Predictors(cfg)
+	case "racetoidle":
+		return RaceToIdle(cfg)
+	case "alignment":
+		return Alignment(cfg)
+	default:
+		return Table{}, fmt.Errorf("exp: unknown figure id %q", id)
+	}
+}
+
+// IDs lists the table ids ByID accepts, in presentation order.
+func IDs() []string {
+	return []string{
+		"fig3", "fig4", "corr", "fig9", "fig10", "fig11",
+		"wakeups", "buffer", "ablation", "latency", "predictors",
+		"racetoidle", "alignment",
+	}
+}

@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+func TestByID(t *testing.T) {
+	cfg := Quick()
+	// Aliases resolve to the same experiment.
+	a, err := ByID("9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByID("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "fig9" || b.ID != "fig9" {
+		t.Fatalf("aliases: %s %s", a.ID, b.ID)
+	}
+	if _, err := ByID("nope", cfg); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+	// Every advertised id resolves.
+	for _, id := range IDs() {
+		if _, err := ByID(id, cfg); err != nil {
+			t.Errorf("ByID(%q): %v", id, err)
+		}
+	}
+}

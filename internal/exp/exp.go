@@ -1,0 +1,157 @@
+// Package exp is the experiment harness: every table and figure in the
+// paper's evaluation (§III and §VI) is a function returning a Table,
+// run over seeded replicates with 95% confidence intervals exactly as
+// the paper reports its measurements. cmd/pcbench renders these tables;
+// the root bench_test.go wraps them in testing.B benchmarks.
+//
+// Workload scaling: the paper replays 50 s of the 1998 World Cup access
+// log on an Arndale board, with PBP periods of 100 µs. The simulated
+// reproduction shrinks the run to 10 s and scales rates down so runs
+// stay tractable, preserving the dimensionless ratios that drive the
+// results (buffer-fill time vs batch period vs slot size; see
+// EXPERIMENTS.md "Calibration").
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Config scales every experiment.
+type Config struct {
+	// Duration of each run (paper: 50 s; default here: 10 s).
+	Duration simtime.Duration
+	// Replicates per configuration (paper and default: 3).
+	Replicates int
+	// BaseSeed varies the workload realization across replicates.
+	BaseSeed int64
+}
+
+// Default returns the standard harness configuration.
+func Default() Config {
+	return Config{
+		Duration:   10 * simtime.Second,
+		Replicates: 3,
+		BaseSeed:   1998,
+	}
+}
+
+// Quick returns a fast configuration for smoke tests and testing.B
+// loops: one replicate, two seconds.
+func Quick() Config {
+	return Config{
+		Duration:   2 * simtime.Second,
+		Replicates: 1,
+		BaseSeed:   1998,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("exp: non-positive duration %v", c.Duration)
+	}
+	if c.Replicates < 1 {
+		return fmt.Errorf("exp: replicates %d < 1", c.Replicates)
+	}
+	return nil
+}
+
+// studyTrace is the §III single-pair workload: a busy web server whose
+// buffer-fill time (B=64 at ≈8 k items/s → 8 ms) straddles the batch
+// period (10 ms), the regime where the seven implementations separate.
+func studyTrace(dur simtime.Duration, seed int64) trace.Trace {
+	wc := trace.WorldCup(trace.WorldCupConfig{
+		BaseRate:     8000,
+		DiurnalDepth: 0.7,
+		Period:       dur,
+		Bursts:       5,
+		BurstPeak:    20000,
+		BurstRise:    100 * simtime.Millisecond,
+		BurstDecay:   500 * simtime.Millisecond,
+		Horizon:      dur,
+		Seed:         seed,
+	})
+	return trace.Generate(wc, dur, seed+101)
+}
+
+// multiTraces is the §VI workload: M phase-shifted copies of a calmer
+// per-pair stream (≈2 k items/s base with flash crowds), exactly the
+// paper's "each consumer is shifted one Mth further into the dataset".
+func multiTraces(pairs int, dur simtime.Duration, seed int64) []trace.Trace {
+	wc := trace.WorldCup(trace.WorldCupConfig{
+		BaseRate:     2000,
+		DiurnalDepth: 0.6,
+		Period:       dur,
+		Bursts:       4,
+		BurstPeak:    5000,
+		BurstRise:    100 * simtime.Millisecond,
+		BurstDecay:   400 * simtime.Millisecond,
+		Horizon:      dur,
+		Seed:         seed,
+	})
+	return trace.Generate(wc, dur, seed+211).PhaseShifts(pairs)
+}
+
+// studyConfig builds the §III base configuration over a trace.
+func studyConfig(tr trace.Trace, buffer int) impls.Config {
+	return impls.DefaultConfig([]trace.Trace{tr}, buffer)
+}
+
+// runner abstracts "an implementation to measure" over both the
+// baselines and PBPL.
+type runner struct {
+	label string
+	run   func(base impls.Config) (metrics.Report, error)
+}
+
+func baselineRunner(alg impls.Algorithm) runner {
+	return runner{
+		label: string(alg),
+		run: func(base impls.Config) (metrics.Report, error) {
+			return impls.Run(alg, base)
+		},
+	}
+}
+
+func pbplRunner(mutate ...func(*core.Config)) runner {
+	cfg := core.DefaultConfig(impls.Config{})
+	for _, f := range mutate {
+		f(&cfg)
+	}
+	label := cfg.ImplName()
+	return runner{
+		label: label,
+		run: func(base impls.Config) (metrics.Report, error) {
+			c := core.DefaultConfig(base)
+			for _, f := range mutate {
+				f(&c)
+			}
+			c.Base = base
+			return core.Run(c)
+		},
+	}
+}
+
+// measure runs one implementation over the configured replicates,
+// regenerating the workload with a different seed each time, and
+// aggregates the reports.
+func measure(cfg Config, r runner, workload func(seed int64) impls.Config) (metrics.Aggregate, error) {
+	reports := make([]metrics.Report, 0, cfg.Replicates)
+	for rep := 0; rep < cfg.Replicates; rep++ {
+		base := workload(cfg.BaseSeed + int64(rep)*7919)
+		rpt, err := r.run(base)
+		if err != nil {
+			return metrics.Aggregate{}, fmt.Errorf("exp: %s replicate %d: %w", r.label, rep, err)
+		}
+		if err := rpt.Validate(); err != nil {
+			return metrics.Aggregate{}, fmt.Errorf("exp: %s replicate %d: %w", r.label, rep, err)
+		}
+		reports = append(reports, rpt)
+	}
+	return metrics.Aggregated(reports), nil
+}

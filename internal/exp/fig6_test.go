@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestFig6Timeline(t *testing.T) {
+	cfg := Config{Duration: 10 * simtime.Second, Replicates: 1, BaseSeed: 1998}
+	art, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(a) BP — uncontrolled",
+		"(b) PBPL — aligned",
+		"activation instants",
+		"full run: BP",
+	} {
+		if !strings.Contains(art, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	// The full-run comparison must show PBPL below BP (rendered as a
+	// negative percentage change).
+	if !strings.Contains(art, "(-") {
+		t.Errorf("PBPL should reduce full-run wakeups; rendering:\n%s", art)
+	}
+	// Deterministic.
+	art2, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art != art2 {
+		t.Error("Fig6 rendering is nondeterministic")
+	}
+	if _, err := Fig6(Config{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

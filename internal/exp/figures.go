@@ -1,0 +1,445 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Standard value keys shared across tables.
+const (
+	// KeyWakeups is the PowerTop-attributed wakeups/s — the paper's
+	// reported metric. KeyCoreWakeups is the machine truth (idle→active
+	// edges the power model charges for); they differ only for SPBP.
+	KeyWakeups     = "wakeups_s"
+	KeyWakeupsCI   = "wakeups_ci"
+	KeyCoreWakeups = "core_wakeups_s"
+	KeyPower       = "power_mw"
+	KeyPowerCI     = "power_ci"
+	KeyUsage       = "usage_ms_s"
+	KeyScheduled   = "scheduled"
+	KeyOverflows   = "overflows"
+	KeyAvgBuffer   = "avg_buffer"
+	KeyAvgBatch    = "avg_batch"
+	KeyAvgLatency  = "avg_latency_ms"
+	KeyLatencyP50  = "latency_p50_ms"
+	KeyLatencyP99  = "latency_p99_ms"
+	KeyMaxLatency  = "max_latency_ms"
+)
+
+func aggRow(label string, a metrics.Aggregate) Row {
+	return Row{
+		Label: label,
+		Values: map[string]float64{
+			KeyWakeups:     a.Attributed.Mean,
+			KeyWakeupsCI:   a.Attributed.CI95,
+			KeyCoreWakeups: a.Wakeups.Mean,
+			KeyPower:       a.Power.Mean,
+			KeyPowerCI:     a.Power.CI95,
+			KeyUsage:       a.Usage.Mean,
+			KeyScheduled:   a.Scheduled.Mean,
+			KeyOverflows:   a.Overflows.Mean,
+			KeyAvgBuffer:   a.AvgBuffer.Mean,
+			KeyAvgBatch:    a.AvgBatch.Mean,
+			KeyAvgLatency:  a.AvgLatency.Mean,
+			KeyLatencyP50:  a.LatencyP50.Mean,
+			KeyLatencyP99:  a.LatencyP99.Mean,
+			KeyMaxLatency:  float64(a.MaxLatency) / float64(simtime.Millisecond),
+		},
+	}
+}
+
+var (
+	colWakeups     = Column{KeyWakeups, "wakeups/s", "%.1f"}
+	colWakeupsCI   = Column{KeyWakeupsCI, "±", "%.1f"}
+	colCoreWakeups = Column{KeyCoreWakeups, "core-wk/s", "%.1f"}
+	colPower       = Column{KeyPower, "power(mW)", "%.1f"}
+	colPowerCI     = Column{KeyPowerCI, "±", "%.1f"}
+	colUsage       = Column{KeyUsage, "usage(ms/s)", "%.2f"}
+	colScheduled   = Column{KeyScheduled, "sched-wk", "%.0f"}
+	colOverflows   = Column{KeyOverflows, "overflows", "%.0f"}
+	colAvgBuffer   = Column{KeyAvgBuffer, "avg-buf", "%.1f"}
+	colAvgBatch    = Column{KeyAvgBatch, "avg-batch", "%.1f"}
+)
+
+// studyReports runs the §III single-pair study once: the seven
+// implementations over the busy web-server trace, per-replicate.
+func studyReports(cfg Config) (map[impls.Algorithm][]metrics.Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	const buffer = 64
+	out := make(map[impls.Algorithm][]metrics.Report, len(impls.All))
+	for _, alg := range impls.All {
+		for rep := 0; rep < cfg.Replicates; rep++ {
+			seed := cfg.BaseSeed + int64(rep)*7919
+			base := studyConfig(studyTrace(cfg.Duration, seed), buffer)
+			rpt, err := impls.Run(alg, base)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s replicate %d: %w", alg, rep, err)
+			}
+			if err := rpt.Validate(); err != nil {
+				return nil, fmt.Errorf("exp: %s replicate %d: %w", alg, rep, err)
+			}
+			out[alg] = append(out[alg], rpt)
+		}
+	}
+	return out, nil
+}
+
+// Fig3 reproduces Figure 3: wakeups/s and usage (ms/s) for the seven
+// single producer-consumer implementations.
+func Fig3(cfg Config) (Table, error) {
+	reports, err := studyReports(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	return fig3From(reports), nil
+}
+
+func fig3From(reports map[impls.Algorithm][]metrics.Report) Table {
+	t := Table{
+		ID:      "fig3",
+		Title:   "wakeups/s vs usage (ms/s), single pair, 7 implementations",
+		Columns: []Column{colWakeups, colWakeupsCI, colCoreWakeups, colUsage},
+	}
+	for _, alg := range impls.All {
+		t.Rows = append(t.Rows, aggRow(string(alg), metrics.Aggregated(reports[alg])))
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: power for the same seven implementations
+// (the paper plots it in watts on a log scale; values here are extra
+// milliwatts over the idle machine).
+func Fig4(cfg Config) (Table, error) {
+	reports, err := studyReports(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	return fig4From(reports), nil
+}
+
+func fig4From(reports map[impls.Algorithm][]metrics.Report) Table {
+	t := Table{
+		ID:      "fig4",
+		Title:   "power (extra mW), single pair, 7 implementations",
+		Columns: []Column{colPower, colPowerCI},
+	}
+	var mutexPower, spbpPower float64
+	for _, alg := range impls.All {
+		agg := metrics.Aggregated(reports[alg])
+		t.Rows = append(t.Rows, aggRow(string(alg), agg))
+		switch alg {
+		case impls.Mutex:
+			mutexPower = agg.Power.Mean
+		case impls.SPBP:
+			spbpPower = agg.Power.Mean
+		}
+	}
+	if mutexPower > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"SPBP vs Mutex power: %+.1f%% (paper: -33%%)",
+			100*stats.RelativeChange(mutexPower, spbpPower)))
+	}
+	return t
+}
+
+// Correlations reproduces the §III-C analysis: the wakeups↔power
+// correlation over all seven implementations (paper: −79.6%, biased by
+// the spinners) and over the five idle-based ones (paper: +74%), plus
+// the significance test the paper runs at 99% confidence.
+func Correlations(cfg Config) (Table, error) {
+	reports, err := studyReports(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	return corrFrom(reports)
+}
+
+func corrFrom(reports map[impls.Algorithm][]metrics.Report) (Table, error) {
+	var allW, allP, idleW, idleP []float64
+	for _, alg := range impls.All {
+		for _, r := range reports[alg] {
+			allW = append(allW, r.AttributedPerSec())
+			allP = append(allP, r.PowerMilliwatts)
+			switch alg {
+			case impls.BW, impls.Yield:
+			default:
+				idleW = append(idleW, r.AttributedPerSec())
+				idleP = append(idleP, r.PowerMilliwatts)
+			}
+		}
+	}
+	rAll, err := stats.Pearson(allW, allP)
+	if err != nil {
+		return Table{}, err
+	}
+	rIdle, err := stats.Pearson(idleW, idleP)
+	if err != nil {
+		return Table{}, err
+	}
+	sig := 0.0
+	if stats.CorrelationSignificant(rIdle, len(idleW), 0.99) {
+		sig = 1
+	}
+	t := Table{
+		ID:    "corr",
+		Title: "wakeups↔power correlation (§III-C)",
+		Columns: []Column{
+			{"r", "pearson r", "%+.3f"},
+			{"n", "n", "%.0f"},
+			{"significant99", "sig@99%", "%.0f"},
+		},
+		Rows: []Row{
+			{Label: "all-7", Values: map[string]float64{"r": rAll, "n": float64(len(allW)), "significant99": 0}},
+			{Label: "idle-based-5", Values: map[string]float64{"r": rIdle, "n": float64(len(idleW)), "significant99": sig}},
+		},
+		Notes: []string{
+			"paper: -79.6% across all seven (biased by BW/Yield usage), +74% across the idle-based five",
+			"hypothesis 'wakeups have a significant effect on power' tested at 99% confidence on the idle-based five",
+		},
+	}
+	return t, nil
+}
+
+// multiRunners is the §VI implementation set: the two popular blocking
+// implementations, the best §III performer, and PBPL.
+func multiRunners() []runner {
+	return []runner{
+		baselineRunner(impls.Mutex),
+		baselineRunner(impls.Sem),
+		baselineRunner(impls.BP),
+		pbplRunner(),
+	}
+}
+
+func multiWorkload(pairs, buffer int, cfg Config) func(seed int64) impls.Config {
+	return func(seed int64) impls.Config {
+		return impls.DefaultConfig(multiTraces(pairs, cfg.Duration, seed), buffer)
+	}
+}
+
+// Fig9 reproduces Figure 9: wakeups/s and power for Mutex, Sem, BP and
+// PBPL with 5 consumers and buffer size 25.
+func Fig9(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig9",
+		Title:   "wakeups/s vs power, 5 consumers, buffer 25",
+		Columns: []Column{colWakeups, colWakeupsCI, colPower, colPowerCI, colUsage},
+	}
+	aggs := map[string]metrics.Aggregate{}
+	for _, r := range multiRunners() {
+		agg, err := measure(cfg, r, multiWorkload(5, 25, cfg))
+		if err != nil {
+			return Table{}, err
+		}
+		aggs[r.label] = agg
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+	}
+	mu, bp, pb := aggs["mutex"], aggs["bp"], aggs[core.Name]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("PBPL vs Mutex: wakeups %+.1f%% (paper: -39.5%%), power %+.1f%% (paper: -20%%)",
+			100*stats.RelativeChange(mu.Attributed.Mean, pb.Attributed.Mean),
+			100*stats.RelativeChange(mu.Power.Mean, pb.Power.Mean)),
+		fmt.Sprintf("PBPL vs BP: wakeups %+.1f%% (paper: -37.8%%), power %+.1f%% (paper: -7.4%%)",
+			100*stats.RelativeChange(bp.Attributed.Mean, pb.Attributed.Mean),
+			100*stats.RelativeChange(bp.Power.Mean, pb.Power.Mean)),
+	)
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: the consumer-count sweep (2, 5, 10) at
+// buffer size 25 for all four implementations.
+func Fig10(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig10",
+		Title:   "consumer-count sweep (M = 2, 5, 10), buffer 25",
+		Columns: []Column{colWakeups, colWakeupsCI, colPower, colPowerCI},
+	}
+	counts := []int{2, 5, 10}
+	power := map[string]map[int]float64{}
+	for _, r := range multiRunners() {
+		power[r.label] = map[int]float64{}
+		for _, m := range counts {
+			agg, err := measure(cfg, r, multiWorkload(m, 25, cfg))
+			if err != nil {
+				return Table{}, err
+			}
+			label := fmt.Sprintf("%s M=%d", r.label, m)
+			t.Rows = append(t.Rows, aggRow(label, agg))
+			power[r.label][m] = agg.Power.Mean
+		}
+	}
+	for _, m := range counts {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"M=%d: PBPL vs Mutex power %+.1f%% (paper: -7.5%%, -20%%, -30%% at M=2,5,10)",
+			m, 100*stats.RelativeChange(power["mutex"][m], power[core.Name][m])))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the buffer-size sweep (25, 50, 100) for
+// BP and PBPL at 5 consumers.
+func Fig11(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig11",
+		Title:   "buffer-size sweep (B = 25, 50, 100), BP vs PBPL, 5 consumers",
+		Columns: []Column{colWakeups, colWakeupsCI, colPower, colPowerCI},
+	}
+	sizes := []int{25, 50, 100}
+	power := map[string]map[int]float64{}
+	for _, r := range []runner{baselineRunner(impls.BP), pbplRunner()} {
+		power[r.label] = map[int]float64{}
+		for _, b := range sizes {
+			agg, err := measure(cfg, r, multiWorkload(5, b, cfg))
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, aggRow(fmt.Sprintf("%s B=%d", r.label, b), agg))
+			power[r.label][b] = agg.Power.Mean
+		}
+	}
+	for _, b := range sizes {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"B=%d: PBPL vs BP power gap %+.1f%% (paper: gap narrows as B grows)",
+			b, 100*stats.RelativeChange(power["bp"][b], power[core.Name][b])))
+	}
+	return t, nil
+}
+
+// WakeupAccounting reproduces the §VI-C internal counters: PBPL's
+// scheduled wakeups and overflows vs BP's overflows at buffer 50 (the
+// paper reports 5160 scheduled + 1626 overflows vs 9290, a 25% total
+// reduction and an 82.5% overflow conversion).
+func WakeupAccounting(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "wakeups",
+		Title:   "scheduled vs overflow wakeups, 5 consumers, buffer 50 (§VI-C)",
+		Columns: []Column{colScheduled, colOverflows, {"total", "total", "%.0f"}},
+	}
+	workload := multiWorkload(5, 50, cfg)
+	var bpOverflow, pbplTotal float64
+	for _, r := range []runner{baselineRunner(impls.BP), pbplRunner()} {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		row := aggRow(r.label, agg)
+		row.Values["total"] = agg.Scheduled.Mean + agg.Overflows.Mean
+		t.Rows = append(t.Rows, row)
+		if r.label == "bp" {
+			bpOverflow = agg.Overflows.Mean
+		} else {
+			pbplTotal = agg.Scheduled.Mean + agg.Overflows.Mean
+		}
+	}
+	pbplRow, _ := t.Row(core.Name)
+	conversion := 100 * (1 - pbplRow.Value(KeyOverflows)/bpOverflow)
+	reduction := 100 * (1 - pbplTotal/bpOverflow)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("overflow conversion: %.1f%% (paper: 82.5%%)", conversion),
+		fmt.Sprintf("total wakeup reduction vs BP: %.1f%% (paper: 25%%)", reduction),
+	)
+	return t, nil
+}
+
+// BufferOccupancy reproduces the §VI-C dynamic-resizing observation:
+// with B0 = 50, PBPL's average granted buffer sits below the
+// allocation (paper: 43 of 50).
+func BufferOccupancy(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "buffer",
+		Title:   "average buffer quota under dynamic resizing, B0 = 50 (§VI-C)",
+		Columns: []Column{colAvgBuffer, colAvgBatch, colOverflows},
+	}
+	workload := multiWorkload(5, 50, cfg)
+	for _, r := range []runner{
+		pbplRunner(),
+		pbplRunner(func(c *core.Config) { c.DisableResizing = true }),
+	} {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+	}
+	t.Notes = append(t.Notes, "paper: 43 of 50 buffer slots used on average with resizing on")
+	return t, nil
+}
+
+// Ablation quantifies each PBPL design choice (not in the paper; see
+// DESIGN.md §4 "ABL"): full PBPL vs latching, resizing and prediction
+// disabled, at 5 consumers and buffer 50.
+func Ablation(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation",
+		Title:   "PBPL design-choice ablations, 5 consumers, buffer 50",
+		Columns: []Column{colWakeups, colPower, colScheduled, colOverflows, colAvgBatch},
+	}
+	// Buffer 50 gives the predictor room to skip slots (at B=25 the
+	// buffer-fill time collapses onto the slot size and every variant
+	// must wake each slot anyway).
+	workload := multiWorkload(5, 50, cfg)
+	for _, r := range []runner{
+		pbplRunner(),
+		pbplRunner(func(c *core.Config) { c.DisableLatching = true }),
+		pbplRunner(func(c *core.Config) { c.DisableResizing = true }),
+		pbplRunner(func(c *core.Config) { c.DisablePrediction = true }),
+	} {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+	}
+	return t, nil
+}
+
+// All runs every experiment, reusing the §III study runs for Fig3,
+// Fig4 and the correlation analysis.
+func All(cfg Config) ([]Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	reports, err := studyReports(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tables := []Table{fig3From(reports), fig4From(reports)}
+	corr, err := corrFrom(reports)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, corr)
+	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment} {
+		tb, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}

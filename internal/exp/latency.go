@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/impls"
+	"repro/internal/simtime"
+)
+
+// Latency quantifies the §III-C trade the paper states but does not
+// plot: "Batch processing has its drawbacks, mainly of which is the
+// latency in responding to items. Mutex and Sem implementations have
+// much lower latency. However, when energy efficiency is a main
+// concern, a batch-based implementation with a bounded latency can
+// provide a power-efficient and acceptable solution." The table pairs
+// each implementation's power with its item-latency distribution at
+// the Figure 9 operating point (5 consumers, buffer 25).
+func Latency(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "latency",
+		Title: "power vs item latency (avg / p50 / p99 / max), 5 consumers, buffer 25",
+		Columns: []Column{
+			colPower,
+			{KeyAvgLatency, "avg-lat(ms)", "%.3f"},
+			{KeyLatencyP50, "p50(ms)", "%.3f"},
+			{KeyLatencyP99, "p99(ms)", "%.3f"},
+			{KeyMaxLatency, "max(ms)", "%.3f"},
+		},
+	}
+	workload := multiWorkload(5, 25, cfg)
+	for _, r := range multiRunners() {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+	}
+	mu, _ := t.Row("mutex")
+	pb, _ := t.Row("pbpl")
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"the trade: PBPL spends %.2f ms median latency (Mutex: %.3f ms) to buy %.0f%% less power — bounded by MaxLatency (%v default)",
+		pb.Value(KeyLatencyP50), mu.Value(KeyLatencyP50),
+		100*(1-pb.Value(KeyPower)/mu.Value(KeyPower)),
+		100*simtime.Millisecond))
+	_ = impls.All // imports kept symmetrical with siblings
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders one column of the table as a horizontal bar chart — the
+// textual analogue of the paper's figures. logScale reproduces the
+// paper's log-axis plots (Figure 4 spans BW's watts down to the batch
+// trio's milliwatts).
+func (t Table) Plot(w io.Writer, key string, logScale bool) error {
+	col, ok := t.column(key)
+	if !ok {
+		return fmt.Errorf("exp: table %s has no column %q", t.ID, key)
+	}
+
+	labelWidth := 0
+	maxVal := 0.0
+	minPos := math.Inf(1)
+	for _, r := range t.Rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+		v := r.Value(key)
+		if v > maxVal {
+			maxVal = v
+		}
+		if v > 0 && v < minPos {
+			minPos = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s — %s ==\n", strings.ToUpper(t.ID), t.Title, col.Header)
+	if logScale {
+		b.WriteString("(log scale)\n")
+	}
+
+	const width = 60
+	for _, r := range t.Rows {
+		v := r.Value(key)
+		bar := 0
+		switch {
+		case maxVal <= 0 || v <= 0:
+			// zero-length bar
+		case logScale && maxVal > minPos:
+			span := math.Log(maxVal) - math.Log(minPos)
+			if span <= 0 {
+				bar = width
+			} else {
+				frac := (math.Log(v) - math.Log(minPos)) / span
+				bar = 1 + int(frac*float64(width-1))
+			}
+		default:
+			bar = int(v / maxVal * width)
+		}
+		if bar > width {
+			bar = width
+		}
+		fmt.Fprintf(&b, "%-*s  %s%s  "+col.Format+"\n",
+			labelWidth, r.Label,
+			strings.Repeat("█", bar), strings.Repeat(" ", width-bar), v)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// column finds a displayed column by key.
+func (t Table) column(key string) (Column, bool) {
+	for _, c := range t.Columns {
+		if c.Key == key {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// PlotDefault picks the column the paper plots for this table: power
+// for fig4 (log scale), wakeups/s elsewhere when present, otherwise the
+// first column.
+func (t Table) PlotDefault(w io.Writer) error {
+	if t.ID == "fig4" {
+		return t.Plot(w, KeyPower, true)
+	}
+	if _, ok := t.column(KeyWakeups); ok {
+		if err := t.Plot(w, KeyWakeups, false); err != nil {
+			return err
+		}
+		if _, ok := t.column(KeyPower); ok {
+			_, _ = io.WriteString(w, "\n")
+			return t.Plot(w, KeyPower, false)
+		}
+		return nil
+	}
+	if len(t.Columns) > 0 {
+		return t.Plot(w, t.Columns[0].Key, false)
+	}
+	return fmt.Errorf("exp: table %s has nothing to plot", t.ID)
+}

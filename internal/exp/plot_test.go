@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFixture() Table {
+	return Table{
+		ID:    "fig4",
+		Title: "power",
+		Columns: []Column{
+			{KeyPower, "power(mW)", "%.1f"},
+			{KeyWakeupsCI, "±", "%.1f"},
+		},
+		Rows: []Row{
+			{Label: "bw", Values: map[string]float64{KeyPower: 2000}},
+			{Label: "mutex", Values: map[string]float64{KeyPower: 500}},
+			{Label: "spbp", Values: map[string]float64{KeyPower: 300}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestPlotLinear(t *testing.T) {
+	var b strings.Builder
+	if err := plotFixture().Plot(&b, KeyPower, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bars := map[string]int{}
+	for _, line := range lines {
+		for _, label := range []string{"bw", "mutex", "spbp"} {
+			if strings.HasPrefix(line, label+" ") || strings.HasPrefix(line, label+"  ") {
+				bars[label] = strings.Count(line, "█")
+			}
+		}
+	}
+	if !(bars["bw"] > bars["mutex"] && bars["mutex"] > bars["spbp"]) {
+		t.Fatalf("bar lengths not ordered: %v\n%s", bars, out)
+	}
+	// Linear scaling: mutex should be ≈ a quarter of bw.
+	if bars["mutex"] < bars["bw"]/5 || bars["mutex"] > bars["bw"]/3 {
+		t.Fatalf("linear scaling off: %v", bars)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestPlotLog(t *testing.T) {
+	var b strings.Builder
+	if err := plotFixture().Plot(&b, KeyPower, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "(log scale)") {
+		t.Fatal("log scale marker missing")
+	}
+	// Log scaling compresses: mutex's bar should exceed a quarter of
+	// bw's even though its value is a quarter.
+	bars := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		for _, label := range []string{"bw", "mutex"} {
+			if strings.HasPrefix(line, label+" ") {
+				bars[label] = strings.Count(line, "█")
+			}
+		}
+	}
+	if bars["mutex"] <= bars["bw"]/4 {
+		t.Fatalf("log compression missing: %v", bars)
+	}
+}
+
+func TestPlotErrorsAndDefault(t *testing.T) {
+	tb := plotFixture()
+	var b strings.Builder
+	if err := tb.Plot(&b, "missing", false); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if err := tb.PlotDefault(&b); err != nil {
+		t.Fatal(err) // fig4 → log power plot
+	}
+	if !strings.Contains(b.String(), "(log scale)") {
+		t.Fatal("fig4 default should be log scale")
+	}
+	if err := (Table{ID: "x"}).PlotDefault(&b); err == nil {
+		t.Fatal("empty table should fail")
+	}
+}
+
+func TestPlotDefaultWakeupsAndPower(t *testing.T) {
+	tb := Table{
+		ID:      "fig9",
+		Columns: []Column{colWakeups, colPower},
+		Rows: []Row{{Label: "a", Values: map[string]float64{
+			KeyWakeups: 10, KeyPower: 5,
+		}}},
+	}
+	var b strings.Builder
+	if err := tb.PlotDefault(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "wakeups/s") || !strings.Contains(out, "power(mW)") {
+		t.Fatalf("default should plot both axes:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/simtime"
+)
+
+// Predictors explores the paper's §VIII future work — "using Kalman
+// filter for estimating producer rate with better accuracy" — by
+// driving PBPL with each available estimator at the Figure 9 operating
+// point, alongside each estimator's standalone one-step-ahead accuracy
+// on the same workload's rate series.
+func Predictors(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "predictors",
+		Title: "PBPL with different rate estimators, 5 consumers, buffer 50 (§VIII)",
+		Columns: []Column{
+			colWakeups, colPower, colOverflows, colAvgBatch,
+			{"mae", "rate-MAE", "%.1f"},
+		},
+	}
+
+	// Standalone accuracy: one-step-ahead error over the per-slot rate
+	// series of the first pair's trace (10ms windows ≈ the invocation
+	// cadence).
+	rates := multiTraces(1, cfg.Duration, cfg.BaseSeed)[0].
+		RateSeries(10 * simtime.Millisecond)
+
+	variants := []struct {
+		name    string
+		factory predict.Factory
+	}{
+		{"ma(8)", func() predict.Predictor { return predict.NewMovingAverage(8) }},
+		{"ma(32)", func() predict.Predictor { return predict.NewMovingAverage(32) }},
+		{"ewma(0.3)", func() predict.Predictor { return predict.NewEWMA(0.3) }},
+		{"kalman", func() predict.Predictor { return predict.NewKalman(5e4, 5e5) }},
+		{"hold", func() predict.Predictor { return predict.NewHold() }},
+	}
+	workload := multiWorkload(5, 50, cfg)
+	for _, v := range variants {
+		v := v
+		r := runner{
+			label: "pbpl/" + v.name,
+			run: func(base impls.Config) (metrics.Report, error) {
+				c := core.DefaultConfig(base)
+				c.Predictor = v.factory
+				return core.Run(c)
+			},
+		}
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		row := aggRow(r.label, agg)
+		row.Values["mae"] = predict.Evaluate(v.factory(), rates).MAE
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"rate-MAE: standalone one-step-ahead error on the workload's 10ms rate series",
+		"paper §VIII names the Kalman filter as future work for better rate accuracy")
+	return t, nil
+}

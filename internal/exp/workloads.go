@@ -1,0 +1,19 @@
+package exp
+
+import (
+	"repro/internal/impls"
+	"repro/internal/simtime"
+)
+
+// StudyBase exposes the §III single-pair workload (busy web server,
+// buffer straddling the batch period) for external tools like
+// cmd/powertop.
+func StudyBase(dur simtime.Duration, seed int64, buffer int) impls.Config {
+	return studyConfig(studyTrace(dur, seed), buffer)
+}
+
+// MultiBase exposes the §VI multi-pair workload (M phase-shifted calmer
+// streams) for external tools.
+func MultiBase(pairs int, dur simtime.Duration, seed int64, buffer int) impls.Config {
+	return impls.DefaultConfig(multiTraces(pairs, dur, seed), buffer)
+}

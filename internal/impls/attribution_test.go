@@ -1,0 +1,86 @@
+package impls
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// The PowerTop attribution model (EXPERIMENTS.md): SIGALRM-driven
+// scheduled drains do not attribute to the process, so SPBP's
+// attributed count sits below its core wakeups; every other
+// implementation attributes one-for-one.
+func TestAttributionSplit(t *testing.T) {
+	dur := simtime.Duration(3 * simtime.Second)
+	tr := trace.Generate(trace.Constant(4000), dur, 21)
+	cfg := DefaultConfig([]trace.Trace{tr}, 64)
+
+	for _, alg := range All {
+		r, err := Run(alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch alg {
+		case SPBP:
+			if r.AttributedWakeups >= r.Wakeups {
+				t.Errorf("SPBP attributed %d should be below core wakeups %d",
+					r.AttributedWakeups, r.Wakeups)
+			}
+			// The attributed remainder is (approximately) the overflow
+			// count: only off-schedule drains reach the process line.
+			if r.Overflows > 0 && r.AttributedWakeups > r.Overflows+5 {
+				t.Errorf("SPBP attributed %d should track overflows %d",
+					r.AttributedWakeups, r.Overflows)
+			}
+		case BW, Yield:
+			if r.AttributedWakeups != 0 || r.Wakeups != 0 {
+				t.Errorf("%s: spinners never wake (%d/%d)", alg, r.AttributedWakeups, r.Wakeups)
+			}
+		default:
+			if r.AttributedWakeups != r.Wakeups {
+				t.Errorf("%s: attribution should be one-for-one (%d vs %d)",
+					alg, r.AttributedWakeups, r.Wakeups)
+			}
+		}
+	}
+}
+
+// Producer placement: with no spare core or zero producer cost the
+// producers are external events and leave the machine untouched.
+func TestProducerPlacement(t *testing.T) {
+	dur := simtime.Duration(simtime.Second)
+	tr := trace.Generate(trace.Constant(2000), dur, 5)
+	base := DefaultConfig([]trace.Trace{tr}, 64)
+
+	withProducers, err := Run(BP, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	external := base
+	external.ProducerWork = 0
+	withoutProducers, err := Run(BP, external)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withoutProducers.PowerMilliwatts >= withProducers.PowerMilliwatts {
+		t.Fatalf("on-board producers should cost power: %.1f vs %.1f",
+			withoutProducers.PowerMilliwatts, withProducers.PowerMilliwatts)
+	}
+	// Consumer-attributed wakeups are unaffected by producer placement.
+	if withoutProducers.Wakeups != withProducers.Wakeups {
+		t.Fatalf("producer load leaked into consumer wakeups: %d vs %d",
+			withoutProducers.Wakeups, withProducers.Wakeups)
+	}
+	// All consumer cores hosting: ConsumerCores == Cores → no spare core,
+	// producers external even with nonzero cost.
+	packed := base
+	packed.ConsumerCores = packed.Cores
+	p, err := Run(BP, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package impls
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// batchMode selects the trigger policy of a batch-processing consumer.
+type batchMode int
+
+const (
+	// batchFullOnly is BP: the consumer is invoked only when the buffer
+	// fills — "the consumer waits until the buffer is full and then
+	// processes all items in one batch". Every invocation is, in the
+	// paper's accounting, a buffer overflow (§VI-C).
+	batchFullOnly batchMode = iota
+	// batchSleepTimer is PBP: a nanosleep loop — {sleep(period); drain}
+	// — whose oversleep jitter delays drains, so the buffer overflows
+	// before the period expires more often: "the jitter associated
+	// with sleep() causes more buffer overflows and thus, more
+	// wakeups" (§III-C3).
+	batchSleepTimer
+	// batchSignalTimer is SPBP: a SIGALRM periodic timer aligned to
+	// absolute boundaries with only small delivery jitter.
+	batchSignalTimer
+)
+
+// runBatch models BP, PBP and SPBP over the simulated machine.
+//
+// Timer semantics are deliberately naive, as in the paper's baselines:
+// the periodic consumers tick for the entire run whether or not items
+// are buffered (an empty tick is still a wakeup that checks the buffer
+// and goes back to sleep). Skipping empty slots is exactly the core
+// manager optimization PBPL introduces (§V-B) — the baselines must not
+// have it. Overflow semantics (all modes): an arrival that fills the
+// buffer forces an immediate drain, independent of the timer.
+func runBatch(cfg Config, mode batchMode) metrics.Report {
+	machine := sim.NewMachine(cfg.Cores, cfg.Model)
+	m := &metrics.Collector{}
+	rng := jitterSource(cfg.Seed)
+
+	type pairState struct {
+		buf ring.Queue[simtime.Time]
+	}
+	pairs := make([]*pairState, len(cfg.Traces))
+	for i := range pairs {
+		pairs[i] = &pairState{}
+	}
+
+	end := simtime.Time(cfg.Duration())
+
+	for i, tr := range cfg.Traces {
+		p := pairs[i]
+		core := machine.Core(i % cfg.ConsumerCores)
+		loop := machine.Loop
+
+		drain := func(scheduled bool) {
+			now := loop.Now()
+			batch := p.buf.Drain()
+			cfg.TraceSink.Log(i, now, scheduled, len(batch))
+			m.Invocations++
+			if scheduled {
+				m.Scheduled++
+			} else {
+				m.Overflows++
+			}
+			m.Consume(now, batch)
+			before := core.Wakeups()
+			core.RunFor(cfg.InvokeOverhead + simtime.Duration(len(batch))*cfg.PerItemWork)
+			if core.Wakeups() != before && !(mode == batchSignalTimer && scheduled) {
+				// PowerTop charges this transition to the process —
+				// except SIGALRM expirations, which land under the
+				// kernel's timer line (hence SPBP's low Figure 3 count).
+				m.Attributed++
+			}
+		}
+
+		if mode != batchFullOnly {
+			// Periodic tick loop, running for the whole experiment.
+			var tick func()
+			nextAt := func() simtime.Time {
+				now := loop.Now()
+				switch mode {
+				case batchSleepTimer:
+					// nanosleep: relative period plus uniform oversleep.
+					jitter := simtime.Duration(0)
+					if cfg.SleepJitter > 0 {
+						jitter = simtime.Duration(rng.Int63n(int64(cfg.SleepJitter)))
+					}
+					return now.Add(cfg.Period + jitter)
+				default:
+					// SIGALRM: next absolute boundary plus delivery jitter.
+					boundary := now - now%simtime.Time(cfg.Period) + simtime.Time(cfg.Period)
+					jitter := simtime.Duration(0)
+					if cfg.SignalJitter > 0 {
+						jitter = simtime.Duration(rng.Int63n(int64(cfg.SignalJitter)))
+					}
+					return boundary.Add(jitter)
+				}
+			}
+			tick = func() {
+				drain(true)
+				if at := nextAt(); at < end {
+					loop.Schedule(at, tick)
+				}
+			}
+			if at := nextAt(); at < end {
+				loop.Schedule(at, tick)
+			}
+		}
+
+		pcore := producerCore(machine, cfg, i)
+		feed(loop, tr, func(at simtime.Time) {
+			m.Produced++
+			if pcore != nil {
+				pcore.RunFor(cfg.ProducerWork)
+			}
+			p.buf.Push(at)
+			if p.buf.Len() >= cfg.Buffer {
+				// Overflow: the producer cannot make progress; the
+				// consumer is forced awake off-schedule. The periodic
+				// timer is untouched — overflow handling is the extra
+				// complication the paper notes, not a rescheduling.
+				drain(false)
+			}
+		})
+	}
+
+	machine.Loop.RunUntil(end)
+
+	// Flush remaining items (final invocation, Eq. 2).
+	now := machine.Loop.Now()
+	for i, p := range pairs {
+		if p.buf.Len() > 0 {
+			core := machine.Core(i % cfg.ConsumerCores)
+			batch := p.buf.Drain()
+			m.Invocations++
+			m.Scheduled++
+			m.Consume(now, batch)
+			before := core.Wakeups()
+			core.RunFor(cfg.InvokeOverhead + simtime.Duration(len(batch))*cfg.PerItemWork)
+			if core.Wakeups() != before {
+				m.Attributed++
+			}
+		}
+	}
+
+	var name Algorithm
+	switch mode {
+	case batchFullOnly:
+		name = BP
+	case batchSleepTimer:
+		name = PBP
+	default:
+		name = SPBP
+	}
+	return report(name, cfg, machine, m, float64(cfg.Buffer))
+}

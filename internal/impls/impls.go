@@ -1,0 +1,258 @@
+// Package impls implements the producer-consumer variants studied in
+// the paper's §III power-profile study, generalized to M pairs for the
+// §VI evaluation:
+//
+//	BW    busy-waiting consumer (spins on head ≠ tail)
+//	Yield spinning consumer that yields the CPU (DVFS derates it)
+//	Mutex mutex + condition variables, item-at-a-time
+//	Sem   two counting semaphores over a circular buffer
+//	BP    batch processing: drain only when the buffer fills
+//	PBP   periodic batch processing via nanosleep (jittery timer)
+//	SPBP  periodic batch processing via SIGALRM (precise timer)
+//
+// Each variant is expressed as an invocation policy over the simulated
+// machine of internal/sim; the policies — when does the consumer run —
+// are what differ between the real implementations, and they are what
+// drives wakeups and therefore power. The paper's PBPL algorithm lives
+// in internal/core and plugs into the same harness.
+package impls
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Algorithm names a producer-consumer implementation.
+type Algorithm string
+
+// The implementations of the §III study.
+const (
+	BW    Algorithm = "bw"
+	Yield Algorithm = "yield"
+	Mutex Algorithm = "mutex"
+	Sem   Algorithm = "sem"
+	BP    Algorithm = "bp"
+	PBP   Algorithm = "pbp"
+	SPBP  Algorithm = "spbp"
+)
+
+// All lists the §III implementations in the paper's presentation order.
+var All = []Algorithm{BW, Yield, Mutex, Sem, BP, PBP, SPBP}
+
+// Config parameterizes a run. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	Cores int
+	// ConsumerCores is how many of the cores host consumers (§IV-A
+	// "consumer isolation": consumers are locked to a set of cores on
+	// which no background process executes; the remaining cores carry
+	// the background/producer side). Pair i runs on core i mod
+	// ConsumerCores. Zero defaults to 1.
+	ConsumerCores int
+	Model         power.Model
+	// Traces drive the producers, one per pair. All must share one
+	// duration. Pair i's consumer runs on core i mod Cores.
+	Traces []trace.Trace
+	// Buffer is B, the per-pair buffer capacity in items.
+	Buffer int
+
+	// Service-cost model.
+	PerItemWork      simtime.Duration // e(1): processing time per item
+	InvokeOverhead   simtime.Duration // per consumer activation (context switch, lock)
+	ContinueOverhead simtime.Duration // per additional item while staying awake (Mutex)
+	SemOverhead      simtime.Duration // extra per-item semaphore pair cost (Sem)
+
+	// ProducerWork is the per-item cost the producer process pays on
+	// its own core (the paper replays the web-log dataset from real
+	// producer processes; §IV-A isolates them on cores/contexts that
+	// "do not interfere with consumers"). Producers round-robin over
+	// the non-consumer cores; zero cost or no spare core models purely
+	// external event sources.
+	ProducerWork simtime.Duration
+
+	// Periodic batching (PBP/SPBP).
+	Period       simtime.Duration // batch period
+	SleepJitter  simtime.Duration // nanosleep oversleep bound (PBP)
+	SignalJitter simtime.Duration // SIGALRM delivery jitter (SPBP)
+
+	// Seed drives jitter randomness.
+	Seed int64
+
+	// TraceSink, when non-nil, records every consumer invocation for
+	// timeline rendering (Fig. 6). Leave nil for measurement runs.
+	TraceSink *metrics.InvocationTrace
+}
+
+// DefaultConfig returns the calibrated service-cost model with the
+// given workload. See EXPERIMENTS.md for the constants' rationale.
+func DefaultConfig(traces []trace.Trace, buffer int) Config {
+	return Config{
+		Cores:            2, // the Arndale's dual-core A15
+		ConsumerCores:    1, // consumers isolated on one core; background on the other
+		Model:            power.Default(),
+		Traces:           traces,
+		Buffer:           buffer,
+		PerItemWork:      1 * simtime.Microsecond,
+		InvokeOverhead:   4 * simtime.Microsecond,
+		ContinueOverhead: 500 * simtime.Nanosecond,
+		SemOverhead:      700 * simtime.Nanosecond,
+		ProducerWork:     2 * simtime.Microsecond,
+		Period:           10 * simtime.Millisecond,
+		SleepJitter:      2500 * simtime.Microsecond,
+		SignalJitter:     50 * simtime.Microsecond,
+		Seed:             1,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("impls: invalid core count %d", c.Cores)
+	}
+	if c.ConsumerCores < 0 || c.ConsumerCores > c.Cores {
+		return fmt.Errorf("impls: consumer cores %d outside [0, %d]", c.ConsumerCores, c.Cores)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if len(c.Traces) == 0 {
+		return fmt.Errorf("impls: no traces")
+	}
+	dur := c.Traces[0].Duration
+	if dur <= 0 {
+		return fmt.Errorf("impls: non-positive trace duration %v", dur)
+	}
+	for i, tr := range c.Traces {
+		if tr.Duration != dur {
+			return fmt.Errorf("impls: trace %d duration %v != %v", i, tr.Duration, dur)
+		}
+	}
+	if c.Buffer < 1 {
+		return fmt.Errorf("impls: buffer %d < 1", c.Buffer)
+	}
+	if c.PerItemWork < 0 || c.InvokeOverhead < 0 || c.ContinueOverhead < 0 || c.SemOverhead < 0 || c.ProducerWork < 0 {
+		return fmt.Errorf("impls: negative service cost")
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("impls: non-positive period %v", c.Period)
+	}
+	if c.SleepJitter < 0 || c.SignalJitter < 0 {
+		return fmt.Errorf("impls: negative jitter")
+	}
+	return nil
+}
+
+// Duration returns the run length (the shared trace duration).
+func (c Config) Duration() simtime.Duration { return c.Traces[0].Duration }
+
+// Run executes one implementation against the configuration and
+// returns its metrics report.
+func Run(alg Algorithm, cfg Config) (metrics.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	if cfg.ConsumerCores == 0 {
+		cfg.ConsumerCores = 1
+	}
+	switch alg {
+	case BW:
+		return runSpin(cfg, false), nil
+	case Yield:
+		return runSpin(cfg, true), nil
+	case Mutex:
+		return runLocked(cfg, false), nil
+	case Sem:
+		return runLocked(cfg, true), nil
+	case BP:
+		return runBatch(cfg, batchFullOnly), nil
+	case PBP:
+		return runBatch(cfg, batchSleepTimer), nil
+	case SPBP:
+		return runBatch(cfg, batchSignalTimer), nil
+	default:
+		return metrics.Report{}, fmt.Errorf("impls: unknown algorithm %q", alg)
+	}
+}
+
+// feed schedules pair arrivals as a chained event sequence: one pending
+// event per pair, each firing onArrival and scheduling its successor.
+// This keeps the event heap O(pairs), not O(items).
+func feed(loop *simtime.Loop, tr trace.Trace, onArrival func(at simtime.Time)) {
+	if len(tr.Arrivals) == 0 {
+		return
+	}
+	var idx int
+	var step func()
+	step = func() {
+		at := tr.Arrivals[idx]
+		onArrival(at)
+		idx++
+		if idx < len(tr.Arrivals) {
+			loop.Schedule(tr.Arrivals[idx], step)
+		}
+	}
+	loop.Schedule(tr.Arrivals[0], step)
+}
+
+// report assembles the final metrics from the machine and counters.
+func report(name Algorithm, cfg Config, machine *sim.Machine, m *metrics.Collector, avgBuffer float64) metrics.Report {
+	res := machine.Finish()
+	dur := cfg.Duration()
+	// PowerTop attributes wakeups and usage to the measured process, so
+	// both metrics cover the consumer cores only; power and energy are
+	// board-level, like the resistor measurement.
+	var usageMs, shallowMs, idleMs float64
+	var wakeups uint64
+	for i, r := range res {
+		if i < cfg.ConsumerCores {
+			usageMs += float64(r.Active) / float64(simtime.Millisecond)
+			shallowMs += float64(r.Shallow) / float64(simtime.Millisecond)
+			idleMs += float64(r.Idle) / float64(simtime.Millisecond)
+			wakeups += r.Wakeups
+		}
+	}
+	return metrics.Report{
+		Impl:              string(name),
+		Pairs:             len(cfg.Traces),
+		Cores:             cfg.Cores,
+		Duration:          dur,
+		Produced:          m.Produced,
+		Consumed:          m.Consumed,
+		Wakeups:           wakeups,
+		AttributedWakeups: m.Attributed,
+		Invocations:       m.Invocations,
+		ScheduledWakeups:  m.Scheduled,
+		Overflows:         m.Overflows,
+		UsageMs:           usageMs,
+		ShallowMs:         shallowMs,
+		DeepIdleMs:        idleMs,
+		PowerMilliwatts:   cfg.Model.ExtraPowerMilliwatts(res, dur),
+		EnergyMillijoules: cfg.Model.TotalEnergyMillijoules(res, dur),
+		AvgBufferQuota:    avgBuffer,
+		MaxLatency:        m.MaxLatency,
+		SumLatency:        m.SumLatency,
+		LatencyP50:        m.Latencies.Percentile(50),
+		LatencyP99:        m.Latencies.Percentile(99),
+	}
+}
+
+// producerCore returns the core that pair i's producer runs on, or nil
+// when producers are external events (no spare cores or zero cost).
+func producerCore(machine *sim.Machine, cfg Config, i int) *sim.Core {
+	spare := cfg.Cores - cfg.ConsumerCores
+	if spare <= 0 || cfg.ProducerWork <= 0 {
+		return nil
+	}
+	return machine.Core(cfg.ConsumerCores + i%spare)
+}
+
+// jitterSource returns the deterministic jitter stream for a run.
+func jitterSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

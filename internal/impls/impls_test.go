@@ -1,0 +1,303 @@
+package impls
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// testConfig builds a 2-second single-pair workload small enough for
+// unit tests but busy enough to exercise every code path.
+func testConfig(t *testing.T, pairs int) Config {
+	t.Helper()
+	dur := simtime.Duration(2 * simtime.Second)
+	base := trace.Generate(trace.Sinusoid{Base: 2000, Depth: 0.8, Period: dur}, dur, 42)
+	return DefaultConfig(base.PhaseShifts(pairs), 25)
+}
+
+func runOrDie(t *testing.T, alg Algorithm, cfg Config) metrics.Report {
+	t.Helper()
+	r, err := Run(alg, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	return r
+}
+
+func TestAllImplementationsConserveItems(t *testing.T) {
+	cfg := testConfig(t, 1)
+	for _, alg := range All {
+		r := runOrDie(t, alg, cfg)
+		if r.Produced == 0 {
+			t.Fatalf("%s: produced nothing", alg)
+		}
+		if r.Produced != r.Consumed {
+			t.Fatalf("%s: produced %d consumed %d", alg, r.Produced, r.Consumed)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(Algorithm("nope"), testConfig(t, 1)); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Buffer = 0
+	if _, err := Run(BP, cfg); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := testConfig(t, 2)
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Config){
+		"cores":          func(c *Config) { c.Cores = 0 },
+		"model":          func(c *Config) { c.Model.ActiveMilliwatts = 0 },
+		"no traces":      func(c *Config) { c.Traces = nil },
+		"mixed duration": func(c *Config) { c.Traces = append(c.Traces, trace.Trace{Duration: 1}) },
+		"zero duration": func(c *Config) {
+			c.Traces = []trace.Trace{{}}
+		},
+		"buffer":     func(c *Config) { c.Buffer = 0 },
+		"neg cost":   func(c *Config) { c.PerItemWork = -1 },
+		"period":     func(c *Config) { c.Period = 0 },
+		"neg jitter": func(c *Config) { c.SleepJitter = -1 },
+	}
+	for name, mutate := range mutations {
+		c := testConfig(t, 2)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestSpinnersNeverWake(t *testing.T) {
+	cfg := testConfig(t, 1)
+	for _, alg := range []Algorithm{BW, Yield} {
+		r := runOrDie(t, alg, cfg)
+		if r.Wakeups != 0 {
+			t.Fatalf("%s: wakeups = %d, want 0", alg, r.Wakeups)
+		}
+		// Spinners hold one core hot for the entire run.
+		if got := r.UsageMsPerS(); got < 999 {
+			t.Fatalf("%s: usage = %v ms/s, want ≈1000", alg, got)
+		}
+		if r.MaxLatency != 0 {
+			t.Fatalf("%s: spinner latency = %v", alg, r.MaxLatency)
+		}
+	}
+}
+
+func TestYieldCheaperThanBW(t *testing.T) {
+	cfg := testConfig(t, 1)
+	bw := runOrDie(t, BW, cfg)
+	yd := runOrDie(t, Yield, cfg)
+	if yd.PowerMilliwatts >= bw.PowerMilliwatts {
+		t.Fatalf("Yield %v mW should be below BW %v mW (DVFS derating)",
+			yd.PowerMilliwatts, bw.PowerMilliwatts)
+	}
+}
+
+func TestSpinnersBurnMorePowerThanBlockers(t *testing.T) {
+	// §III's headline: BW/Yield dwarf every idle-based implementation.
+	cfg := testConfig(t, 1)
+	bw := runOrDie(t, BW, cfg)
+	for _, alg := range []Algorithm{Mutex, Sem, BP, PBP, SPBP} {
+		r := runOrDie(t, alg, cfg)
+		if r.PowerMilliwatts >= bw.PowerMilliwatts/2 {
+			t.Fatalf("%s power %v mW should be far below BW %v mW",
+				alg, r.PowerMilliwatts, bw.PowerMilliwatts)
+		}
+	}
+}
+
+func TestLockedWakeupsTrackItemBursts(t *testing.T) {
+	cfg := testConfig(t, 1)
+	mu := runOrDie(t, Mutex, cfg)
+	se := runOrDie(t, Sem, cfg)
+	bp := runOrDie(t, BP, cfg)
+	// Item-at-a-time blockers wake orders of magnitude more often than
+	// batchers (Fig. 3).
+	if mu.Wakeups < bp.Wakeups*5 {
+		t.Fatalf("Mutex wakeups %d should dwarf BP %d", mu.Wakeups, bp.Wakeups)
+	}
+	// Mutex and Sem are kin (same invocation policy).
+	ratio := float64(mu.Wakeups) / float64(se.Wakeups)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("Mutex %d vs Sem %d wakeups should be close", mu.Wakeups, se.Wakeups)
+	}
+	// Sem pays more per item → at least as much usage.
+	if se.UsageMs < mu.UsageMs {
+		t.Fatalf("Sem usage %v should be ≥ Mutex %v", se.UsageMs, mu.UsageMs)
+	}
+}
+
+func TestBPInvocationsAreOverflows(t *testing.T) {
+	cfg := testConfig(t, 1)
+	r := runOrDie(t, BP, cfg)
+	// "For BP, every wakeup … is essentially a buffer overflow" — all
+	// invocations except the final flush.
+	if r.Overflows+1 < r.Invocations {
+		t.Fatalf("BP: %d invocations but %d overflows", r.Invocations, r.Overflows)
+	}
+	if r.ScheduledWakeups > 1 {
+		t.Fatalf("BP should have no scheduled wakeups beyond flush, got %d", r.ScheduledWakeups)
+	}
+	// Batch size ≈ buffer.
+	if got := r.AvgBatch(); got < float64(cfg.Buffer)*0.8 {
+		t.Fatalf("BP avg batch %v, want ≈%d", got, cfg.Buffer)
+	}
+}
+
+func TestPeriodicBatchersRespectPeriodBound(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Buffer = 1 << 20 // never overflow: isolate the timer path
+	for _, alg := range []Algorithm{PBP, SPBP} {
+		r := runOrDie(t, alg, cfg)
+		if r.Overflows != 0 {
+			t.Fatalf("%s: unexpected overflows %d with huge buffer", alg, r.Overflows)
+		}
+		// Latency bounded by period + jitter slack (plus service).
+		bound := cfg.Period + cfg.SleepJitter + simtime.Millisecond
+		if r.MaxLatency > bound {
+			t.Fatalf("%s: max latency %v exceeds bound %v", alg, r.MaxLatency, bound)
+		}
+		// Scheduled drains only.
+		if r.ScheduledWakeups != r.Invocations {
+			t.Fatalf("%s: scheduled %d != invocations %d", alg, r.ScheduledWakeups, r.Invocations)
+		}
+	}
+}
+
+func TestJitterCausesOverflows(t *testing.T) {
+	// With a buffer sized near one period of traffic, the sloppy
+	// nanosleep timer overflows more than the precise SIGALRM timer —
+	// the paper's §III-C3 observation.
+	dur := simtime.Duration(5 * simtime.Second)
+	tr := trace.Generate(trace.Constant(3000), dur, 7)
+	// One period carries ≈30 items, one period plus worst-case jitter
+	// ≈37.5: a buffer of 33 overflows only when the timer is late.
+	cfg := DefaultConfig([]trace.Trace{tr}, 33)
+	pbp := runOrDie(t, PBP, cfg)
+	spbp := runOrDie(t, SPBP, cfg)
+	if pbp.Overflows <= spbp.Overflows {
+		t.Fatalf("PBP overflows %d should exceed SPBP %d", pbp.Overflows, spbp.Overflows)
+	}
+	if pbp.Wakeups <= spbp.Wakeups {
+		t.Fatalf("PBP wakeups %d should exceed SPBP %d", pbp.Wakeups, spbp.Wakeups)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig(t, 2)
+	for _, alg := range All {
+		a := runOrDie(t, alg, cfg)
+		b := runOrDie(t, alg, cfg)
+		if a != b {
+			t.Fatalf("%s: runs differ:\n%+v\n%+v", alg, a, b)
+		}
+	}
+}
+
+func TestMultiPairDistributesAcrossCores(t *testing.T) {
+	cfg := testConfig(t, 5)
+	r := runOrDie(t, BP, cfg)
+	if r.Pairs != 5 || r.Cores != 2 {
+		t.Fatalf("header: %+v", r)
+	}
+	single := runOrDie(t, BP, testConfig(t, 1))
+	if r.Produced <= single.Produced*4 {
+		t.Fatalf("5 pairs should produce ≈5×: %d vs %d", r.Produced, single.Produced)
+	}
+}
+
+func TestMoreConsumersFewerWakeupsPerInvocation(t *testing.T) {
+	// Fig. 10's mechanism: with more consumers per core, more
+	// invocations find the core already active, so wakeups grow
+	// sublinearly with invocations.
+	small := runOrDie(t, Mutex, testConfig(t, 2))
+	large := runOrDie(t, Mutex, testConfig(t, 10))
+	rSmall := float64(small.Wakeups) / float64(small.Invocations)
+	rLarge := float64(large.Wakeups) / float64(large.Invocations)
+	if rLarge >= rSmall {
+		t.Fatalf("wakeups/invocation should fall with consumer count: %v vs %v", rLarge, rSmall)
+	}
+}
+
+func TestLargerBufferFewerWakeups(t *testing.T) {
+	// Fig. 11's trend for BP.
+	cfg25 := testConfig(t, 2)
+	cfg25.Buffer = 25
+	cfg100 := testConfig(t, 2)
+	cfg100.Buffer = 100
+	small := runOrDie(t, BP, cfg25)
+	big := runOrDie(t, BP, cfg100)
+	if big.Wakeups >= small.Wakeups {
+		t.Fatalf("B=100 wakeups %d should be below B=25 %d", big.Wakeups, small.Wakeups)
+	}
+	if big.PowerMilliwatts >= small.PowerMilliwatts {
+		t.Fatalf("B=100 power %v should be below B=25 %v", big.PowerMilliwatts, small.PowerMilliwatts)
+	}
+}
+
+func TestEmptyTraceRuns(t *testing.T) {
+	dur := simtime.Duration(simtime.Second)
+	cfg := DefaultConfig([]trace.Trace{{Duration: dur}}, 10)
+	for _, alg := range All {
+		r := runOrDie(t, alg, cfg)
+		if r.Consumed != 0 {
+			t.Fatalf("%s: empty trace consumed %d", alg, r.Consumed)
+		}
+		switch alg {
+		case PBP, SPBP:
+			// The naive periodic loops tick the whole run even with no
+			// items — the wasted wakeups PBPL's empty-slot skipping
+			// eliminates.
+			if r.Invocations == 0 || r.Wakeups == 0 {
+				t.Fatalf("%s: periodic loop should tick on an empty trace", alg)
+			}
+		default:
+			if r.Invocations != 0 {
+				t.Fatalf("%s: empty trace invoked %d times", alg, r.Invocations)
+			}
+		}
+	}
+}
+
+func TestFlushCountsTailItems(t *testing.T) {
+	// A few items that never fill the buffer still get consumed at the
+	// end-of-run flush.
+	dur := simtime.Duration(simtime.Second)
+	tr := trace.Trace{Arrivals: []simtime.Time{100, 200, 300}, Duration: dur}
+	cfg := DefaultConfig([]trace.Trace{tr}, 1000)
+	r := runOrDie(t, BP, cfg)
+	if r.Consumed != 3 {
+		t.Fatalf("flush lost items: consumed %d", r.Consumed)
+	}
+	if r.Invocations != 1 {
+		t.Fatalf("flush invocations = %d", r.Invocations)
+	}
+}
+
+func TestFeedOrdering(t *testing.T) {
+	loop := simtime.NewLoop()
+	tr := trace.Trace{Arrivals: []simtime.Time{5, 5, 7}, Duration: 10}
+	var got []simtime.Time
+	feed(loop, tr, func(at simtime.Time) { got = append(got, at) })
+	loop.Run()
+	if len(got) != 3 || got[0] != 5 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("feed order = %v", got)
+	}
+}

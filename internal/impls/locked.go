@@ -1,0 +1,117 @@
+package impls
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// runLocked models the Mutex and Sem implementations. Both are
+// item-at-a-time blocking consumers: whenever the buffer is non-empty
+// the consumer is running; when it empties the consumer blocks and its
+// core may idle. The arrival that finds the consumer blocked signals it
+// (cond_signal / sem_post) — which is a consumer activation and, if the
+// core is idle, a CPU wakeup.
+//
+// The two differ only in per-item cost: the semaphore variant pays a
+// post/wait pair on every single item, while the mutex variant holds
+// the lock across the dequeue and pays its full overhead only on the
+// sleep/wake boundary. Their wakeup profiles are nearly identical,
+// matching Fig. 3/4 where Mutex and Sem sit together.
+func runLocked(cfg Config, sem bool) metrics.Report {
+	machine := sim.NewMachine(cfg.Cores, cfg.Model)
+	m := &metrics.Collector{}
+
+	type pairState struct {
+		buf     ring.Queue[simtime.Time]
+		running bool
+	}
+	pairs := make([]*pairState, len(cfg.Traces))
+	for i := range pairs {
+		pairs[i] = &pairState{}
+	}
+
+	perItem := cfg.PerItemWork + cfg.ContinueOverhead
+	if sem {
+		perItem = cfg.PerItemWork + cfg.SemOverhead
+	}
+
+	for i, tr := range cfg.Traces {
+		p := pairs[i]
+		core := machine.Core(i % cfg.ConsumerCores)
+		loop := machine.Loop
+
+		// processNext dequeues one item, runs it on the core and
+		// schedules the completion check — the consumer's run loop.
+		var processNext func()
+		processNext = func() {
+			now := loop.Now()
+			if p.buf.Len() == 0 {
+				// Buffer empty: block. The next arrival signals us.
+				p.running = false
+				return
+			}
+			// Dequeue a single item (item-at-a-time semantics).
+			arrival, _ := p.buf.PopFront()
+			m.Consume(now, []simtime.Time{arrival})
+			end := core.RunFor(perItem)
+			loop.Schedule(end, processNext)
+		}
+
+		pcore := producerCore(machine, cfg, i)
+		feed(loop, tr, func(at simtime.Time) {
+			m.Produced++
+			if pcore != nil {
+				pcore.RunFor(cfg.ProducerWork)
+			}
+			// A full buffer makes the producer drop into a cond_wait;
+			// at the rates this implementation sustains the buffer
+			// never fills in practice, but guard anyway by forcing the
+			// consumer to run (it is already running if buf > 0).
+			p.buf.Push(at)
+			if !p.running {
+				// Signal: consumer activation. Wakeup cost is paid
+				// implicitly by RunFor if the core was idle, and a
+				// futex/condvar wake always attributes to the process.
+				p.running = true
+				cfg.TraceSink.Log(i, loop.Now(), false, 1)
+				m.Invocations++
+				before := core.Wakeups()
+				end := core.RunFor(cfg.InvokeOverhead)
+				if core.Wakeups() != before {
+					m.Attributed++
+				}
+				loop.Schedule(end, processNext)
+			}
+		})
+	}
+
+	machine.Loop.RunUntil(simtime.Time(cfg.Duration()))
+
+	// Flush: consume whatever is still buffered at the end of the run
+	// so conservation holds (the paper's runs likewise end after the
+	// last item is processed, Eq. 2).
+	now := machine.Loop.Now()
+	for i, p := range pairs {
+		if n := p.buf.Len(); n > 0 {
+			core := machine.Core(i % cfg.ConsumerCores)
+			batch := p.buf.Drain()
+			m.Consume(now, batch)
+			if !p.running {
+				m.Invocations++
+			}
+			before := core.Wakeups()
+			core.RunFor(cfg.InvokeOverhead + simtime.Duration(n)*perItem)
+			if core.Wakeups() != before {
+				m.Attributed++
+			}
+		}
+	}
+
+	name := Mutex
+	if sem {
+		name = Sem
+	}
+	return report(name, cfg, machine, m, float64(cfg.Buffer))
+}

@@ -1,0 +1,53 @@
+package impls
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// runSpin models the busy-waiting (BW) and Yield implementations: the
+// consumer never blocks, so its core never idles and never wakes up —
+// "the CPU spends 99.5% of its time executing the consumer process"
+// (§III-C2). Items are consumed the moment they arrive, so latency is
+// effectively the per-item service time.
+//
+// Yield differs only in DVFS derating: the continuous sched_yield calls
+// let the governor drop the frequency, "attributed to DVFS setting the
+// CPU frequency to a smaller value due to the yield instructions".
+func runSpin(cfg Config, yield bool) metrics.Report {
+	machine := sim.NewMachine(cfg.Cores, cfg.Model)
+	m := &metrics.Collector{}
+
+	for i := range cfg.Traces {
+		core := machine.Core(i % cfg.ConsumerCores)
+		core.PinAwake()
+		if yield {
+			core.SetDerating(cfg.Model.YieldDerating)
+		}
+	}
+
+	for i, tr := range cfg.Traces {
+		core := machine.Core(i % cfg.ConsumerCores)
+		pcore := producerCore(machine, cfg, i)
+		feed(machine.Loop, tr, func(simtime.Time) {
+			m.Produced++
+			if pcore != nil {
+				pcore.RunFor(cfg.ProducerWork)
+			}
+			// The spinner picks the item up immediately; the only cost
+			// is the item's processing time on the already-hot core.
+			core.RunFor(cfg.PerItemWork)
+			m.Invocations++
+			m.Consumed++
+			// Zero buffering latency by construction.
+		})
+	}
+
+	machine.Loop.RunUntil(simtime.Time(cfg.Duration()))
+	name := BW
+	if yield {
+		name = Yield
+	}
+	return report(name, cfg, machine, m, float64(cfg.Buffer))
+}

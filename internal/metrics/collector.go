@@ -1,0 +1,34 @@
+package metrics
+
+import "repro/internal/simtime"
+
+// Collector accumulates the run-wide counters a simulated
+// implementation produces; report assembly turns it into a Report.
+type Collector struct {
+	Produced    uint64
+	Attributed  uint64
+	Consumed    uint64
+	Invocations uint64
+	Scheduled   uint64
+	Overflows   uint64
+	SumLatency  simtime.Duration
+	MaxLatency  simtime.Duration
+	Latencies   Reservoir
+}
+
+// Consume accounts a drained batch whose arrival times are given,
+// measured against the drain instant.
+func (c *Collector) Consume(now simtime.Time, arrivals []simtime.Time) {
+	for _, at := range arrivals {
+		lat := now.Sub(at)
+		if lat < 0 {
+			lat = 0
+		}
+		c.SumLatency += lat
+		if lat > c.MaxLatency {
+			c.MaxLatency = lat
+		}
+		c.Latencies.Add(lat)
+	}
+	c.Consumed += uint64(len(arrivals))
+}

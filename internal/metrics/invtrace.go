@@ -1,0 +1,41 @@
+package metrics
+
+import "repro/internal/simtime"
+
+// Invocation is one consumer activation, for timeline rendering
+// (Fig. 6: uncontrolled vs aligned wakeups).
+type Invocation struct {
+	Pair      int
+	At        simtime.Time
+	Scheduled bool // slot/timer-driven (true) vs overflow-forced (false)
+	Items     int
+}
+
+// InvocationTrace accumulates invocations when attached to a run's
+// Collector. Tracing is opt-in: the figure harness attaches a sink for
+// the short timeline runs only.
+type InvocationTrace struct {
+	Events []Invocation
+}
+
+// Log appends one invocation.
+func (t *InvocationTrace) Log(pair int, at simtime.Time, scheduled bool, items int) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Invocation{Pair: pair, At: at, Scheduled: scheduled, Items: items})
+}
+
+// Window returns the events with At in [from, to).
+func (t *InvocationTrace) Window(from, to simtime.Time) []Invocation {
+	if t == nil {
+		return nil
+	}
+	var out []Invocation
+	for _, e := range t.Events {
+		if e.At >= from && e.At < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}

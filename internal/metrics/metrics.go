@@ -1,0 +1,205 @@
+// Package metrics defines the measurement record every simulated run
+// produces, mirroring the paper's experimental metrics (§III-B, §VI-B):
+// power (extra milliwatts), wakeups/s, usage (ms/s), plus the paper's
+// internal batch-processing counters (scheduled wakeups, buffer
+// overflows, average buffer size) and the latency/conservation checks
+// our harness adds.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Report is the outcome of one simulated run of one implementation.
+type Report struct {
+	Impl     string
+	Pairs    int
+	Cores    int
+	Duration simtime.Duration
+
+	// Item accounting.
+	Produced uint64
+	Consumed uint64
+
+	// Wakeups are idle→active core transitions (Eq. 4's objective),
+	// summed over the consumer cores. This is the quantity the power
+	// model charges ω for.
+	Wakeups uint64
+	// AttributedWakeups is the PowerTop view of Wakeups: transitions
+	// attributed to the measured process. SIGALRM-driven timer
+	// expirations (SPBP's scheduled ticks) land under the kernel's
+	// timer line in PowerTop rather than the process, which is how the
+	// paper's Figure 3 shows SPBP with the fewest wakeups (see
+	// EXPERIMENTS.md, "PowerTop attribution"). For every other
+	// implementation this equals Wakeups.
+	AttributedWakeups uint64
+	// Invocations counts consumer activations (batch drains).
+	Invocations uint64
+	// ScheduledWakeups is the batch implementations' internal upper
+	// bound on planned (timer/slot) wakeups (§VI-B "upper bound
+	// wakeups").
+	ScheduledWakeups uint64
+	// Overflows counts unscheduled invocations forced by a full buffer
+	// (§VI-B "number of buffer overflows"). For BP every invocation is
+	// an overflow by definition.
+	Overflows uint64
+
+	// UsageMs is the total active core time in milliseconds; ShallowMs
+	// and DeepIdleMs complete the consumer cores' C-state residency
+	// split (C0 / C1-WFI / deep idle).
+	UsageMs    float64
+	ShallowMs  float64
+	DeepIdleMs float64
+	// PowerMilliwatts is the paper's power metric: the increase in
+	// average power over the all-idle machine.
+	PowerMilliwatts float64
+	// EnergyMillijoules is the absolute integrated energy.
+	EnergyMillijoules float64
+
+	// AvgBufferQuota is the mean per-consumer buffer capacity sampled
+	// at every resize decision (≡ allocated B when resizing is off).
+	AvgBufferQuota float64
+
+	// Latency of items from production to the start of their batch
+	// drain: extremes, total, and sampled percentiles.
+	MaxLatency simtime.Duration
+	SumLatency simtime.Duration
+	LatencyP50 simtime.Duration
+	LatencyP99 simtime.Duration
+}
+
+// WakeupsPerSec normalizes wakeups over the run.
+func (r Report) WakeupsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Wakeups) / r.Duration.Seconds()
+}
+
+// AttributedPerSec normalizes process-attributed wakeups over the run —
+// the PowerTop metric the paper reports.
+func (r Report) AttributedPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.AttributedWakeups) / r.Duration.Seconds()
+}
+
+// UsageMsPerS is PowerTop's usage metric: ms of execution per second.
+func (r Report) UsageMsPerS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.UsageMs / r.Duration.Seconds()
+}
+
+// AvgBatch is the mean number of items per consumer invocation.
+func (r Report) AvgBatch() float64 {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return float64(r.Consumed) / float64(r.Invocations)
+}
+
+// AvgLatency is the mean item buffering latency.
+func (r Report) AvgLatency() simtime.Duration {
+	if r.Consumed == 0 {
+		return 0
+	}
+	return r.SumLatency / simtime.Duration(r.Consumed)
+}
+
+// Validate checks run-level invariants: conservation (every produced
+// item was consumed — the paper's implementations "consume the same
+// number of data items", §III-C3), and internal counter consistency.
+func (r Report) Validate() error {
+	if r.Produced != r.Consumed {
+		return fmt.Errorf("metrics: conservation violated: produced %d != consumed %d", r.Produced, r.Consumed)
+	}
+	if r.Duration <= 0 {
+		return fmt.Errorf("metrics: non-positive duration %v", r.Duration)
+	}
+	if r.Overflows > r.Invocations {
+		return fmt.Errorf("metrics: overflows %d exceed invocations %d", r.Overflows, r.Invocations)
+	}
+	if r.AttributedWakeups > r.Wakeups {
+		return fmt.Errorf("metrics: attributed wakeups %d exceed wakeups %d", r.AttributedWakeups, r.Wakeups)
+	}
+	if r.MaxLatency < 0 || r.SumLatency < 0 {
+		return fmt.Errorf("metrics: negative latency")
+	}
+	return nil
+}
+
+// Aggregate summarizes replicate reports of the same configuration with
+// means and 95% confidence intervals, the paper's reporting format.
+type Aggregate struct {
+	Impl       string
+	Replicates int
+	Wakeups    stats.Summary // core wakeups/s
+	Attributed stats.Summary // PowerTop-attributed wakeups/s
+	Power      stats.Summary // extra milliwatts
+	Usage      stats.Summary // ms/s
+	Scheduled  stats.Summary // scheduled wakeups (count)
+	Overflows  stats.Summary // overflow count
+	AvgBuffer  stats.Summary // mean buffer quota
+	AvgBatch   stats.Summary
+	AvgLatency stats.Summary // mean item latency, ms
+	LatencyP50 stats.Summary // median item latency, ms
+	LatencyP99 stats.Summary // tail item latency, ms
+	MaxLatency simtime.Duration
+}
+
+// Aggregated builds an Aggregate from replicate reports. It panics on
+// an empty or mixed-implementation input — a harness bug.
+func Aggregated(reports []Report) Aggregate {
+	if len(reports) == 0 {
+		panic("metrics: aggregating zero reports")
+	}
+	impl := reports[0].Impl
+	var wk, at, pw, us, sch, ov, ab, bt, al, l50, l99 []float64
+	agg := Aggregate{Impl: impl, Replicates: len(reports)}
+	for _, r := range reports {
+		if r.Impl != impl {
+			panic(fmt.Sprintf("metrics: mixed implementations %q and %q", impl, r.Impl))
+		}
+		wk = append(wk, r.WakeupsPerSec())
+		at = append(at, r.AttributedPerSec())
+		pw = append(pw, r.PowerMilliwatts)
+		us = append(us, r.UsageMsPerS())
+		sch = append(sch, float64(r.ScheduledWakeups))
+		ov = append(ov, float64(r.Overflows))
+		ab = append(ab, r.AvgBufferQuota)
+		bt = append(bt, r.AvgBatch())
+		al = append(al, float64(r.AvgLatency())/float64(simtime.Millisecond))
+		l50 = append(l50, float64(r.LatencyP50)/float64(simtime.Millisecond))
+		l99 = append(l99, float64(r.LatencyP99)/float64(simtime.Millisecond))
+		if r.MaxLatency > agg.MaxLatency {
+			agg.MaxLatency = r.MaxLatency
+		}
+	}
+	agg.Wakeups = stats.Summarize(wk)
+	agg.Attributed = stats.Summarize(at)
+	agg.Power = stats.Summarize(pw)
+	agg.Usage = stats.Summarize(us)
+	agg.Scheduled = stats.Summarize(sch)
+	agg.Overflows = stats.Summarize(ov)
+	agg.AvgBuffer = stats.Summarize(ab)
+	agg.AvgBatch = stats.Summarize(bt)
+	agg.AvgLatency = stats.Summarize(al)
+	agg.LatencyP50 = stats.Summarize(l50)
+	agg.LatencyP99 = stats.Summarize(l99)
+	return agg
+}
+
+// String renders the aggregate as one table row.
+func (a Aggregate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  wakeups/s %9.1f ±%6.1f  power %8.1f ±%5.1f mW  usage %8.2f ms/s",
+		a.Impl, a.Wakeups.Mean, a.Wakeups.CI95, a.Power.Mean, a.Power.CI95, a.Usage.Mean)
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func sampleReport() Report {
+	return Report{
+		Impl:             "bp",
+		Pairs:            1,
+		Cores:            2,
+		Duration:         simtime.Duration(10 * simtime.Second),
+		Produced:         1000,
+		Consumed:         1000,
+		Wakeups:          50,
+		Invocations:      40,
+		ScheduledWakeups: 30,
+		Overflows:        10,
+		UsageMs:          200,
+		PowerMilliwatts:  150,
+		SumLatency:       simtime.Duration(1000 * simtime.Millisecond),
+		MaxLatency:       simtime.Duration(5 * simtime.Millisecond),
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	r := sampleReport()
+	if got := r.WakeupsPerSec(); got != 5 {
+		t.Fatalf("WakeupsPerSec = %v", got)
+	}
+	if got := r.UsageMsPerS(); got != 20 {
+		t.Fatalf("UsageMsPerS = %v", got)
+	}
+	if got := r.AvgBatch(); got != 25 {
+		t.Fatalf("AvgBatch = %v", got)
+	}
+	if got := r.AvgLatency(); got != simtime.Millisecond {
+		t.Fatalf("AvgLatency = %v", got)
+	}
+}
+
+func TestDerivedMetricsZeroGuards(t *testing.T) {
+	var r Report
+	if r.WakeupsPerSec() != 0 || r.UsageMsPerS() != 0 || r.AvgBatch() != 0 || r.AvgLatency() != 0 {
+		t.Fatal("zero report should give zero derived metrics")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleReport()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Report){
+		"conservation": func(r *Report) { r.Consumed-- },
+		"duration":     func(r *Report) { r.Duration = 0 },
+		"overflow>inv": func(r *Report) { r.Overflows = r.Invocations + 1 },
+		"neg latency":  func(r *Report) { r.MaxLatency = -1 },
+	}
+	for name, mutate := range cases {
+		r := sampleReport()
+		mutate(&r)
+		if r.Validate() == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	a := sampleReport()
+	b := sampleReport()
+	b.Wakeups = 70 // 7/s
+	b.MaxLatency = simtime.Duration(9 * simtime.Millisecond)
+	agg := Aggregated([]Report{a, b})
+	if agg.Replicates != 2 || agg.Impl != "bp" {
+		t.Fatalf("agg header: %+v", agg)
+	}
+	if math.Abs(agg.Wakeups.Mean-6) > 1e-9 {
+		t.Fatalf("wakeups mean = %v", agg.Wakeups.Mean)
+	}
+	if agg.MaxLatency != simtime.Duration(9*simtime.Millisecond) {
+		t.Fatalf("max latency = %v", agg.MaxLatency)
+	}
+	if agg.Wakeups.CI95 <= 0 {
+		t.Fatal("CI should be positive for differing replicates")
+	}
+	if agg.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestAggregatedPanics(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		Aggregated(nil)
+	})
+	t.Run("mixed", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		a := sampleReport()
+		b := sampleReport()
+		b.Impl = "mutex"
+		Aggregated([]Report{a, b})
+	})
+}

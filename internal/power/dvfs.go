@@ -1,0 +1,29 @@
+package power
+
+import "fmt"
+
+// AtFrequency derives the model for a core running at relative
+// frequency f ∈ (0, 1]: dynamic power follows P_d = C·V²·f with the
+// voltage tracking frequency down to a floor, so
+//
+//	Active(f) = Active · (leakage + (1−leakage)·f²)
+//
+// with a 30% leakage/static floor typical of mobile silicon. Work takes
+// 1/f longer at frequency f — the caller scales its service times.
+// This is the §II DVFS model behind the race-to-idle analysis: slowing
+// down saves dynamic power but stretches execution over time the core
+// could have spent in deep idle.
+func (m Model) AtFrequency(f float64) Model {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("power: invalid relative frequency %v", f))
+	}
+	const leakage = 0.30
+	scaled := m
+	scaled.ActiveMilliwatts = m.ActiveMilliwatts * (leakage + (1-leakage)*f*f)
+	// Shallow power scales the same way (a clocked-but-waiting core).
+	scaled.ShallowMilliwatts = m.ShallowMilliwatts * (leakage + (1-leakage)*f*f)
+	if scaled.ShallowMilliwatts < scaled.IdleMilliwatts {
+		scaled.ShallowMilliwatts = scaled.IdleMilliwatts
+	}
+	return scaled
+}

@@ -1,0 +1,65 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtFrequencyScaling(t *testing.T) {
+	m := Default()
+	full := m.AtFrequency(1.0)
+	if full.ActiveMilliwatts != m.ActiveMilliwatts {
+		t.Fatalf("f=1 should be identity: %v", full.ActiveMilliwatts)
+	}
+	half := m.AtFrequency(0.5)
+	// leakage 0.30 + 0.70×0.25 = 0.475
+	want := m.ActiveMilliwatts * 0.475
+	if math.Abs(half.ActiveMilliwatts-want) > 1e-9 {
+		t.Fatalf("f=0.5 active = %v, want %v", half.ActiveMilliwatts, want)
+	}
+	if half.ShallowMilliwatts >= m.ShallowMilliwatts {
+		t.Fatal("shallow power should scale down too")
+	}
+	if half.ShallowMilliwatts < half.IdleMilliwatts {
+		t.Fatal("shallow power must stay above idle")
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtFrequencyMonotone(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, f := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		p := m.AtFrequency(f).ActiveMilliwatts
+		if p <= prev {
+			t.Fatalf("power not monotone in frequency at f=%v", f)
+		}
+		prev = p
+	}
+}
+
+func TestAtFrequencyShallowFloor(t *testing.T) {
+	m := Default()
+	m.ShallowMilliwatts = m.IdleMilliwatts + 1 // nearly at the floor
+	low := m.AtFrequency(0.2)
+	if low.ShallowMilliwatts != low.IdleMilliwatts {
+		t.Fatalf("shallow should clamp to idle: %v vs %v",
+			low.ShallowMilliwatts, low.IdleMilliwatts)
+	}
+}
+
+func TestAtFrequencyInvalid(t *testing.T) {
+	m := Default()
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("f=%v should panic", f)
+				}
+			}()
+			m.AtFrequency(f)
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Default()
+	mutations := map[string]func(*Model){
+		"zero active":     func(m *Model) { m.ActiveMilliwatts = 0 },
+		"idle ≥ active":   func(m *Model) { m.IdleMilliwatts = m.ActiveMilliwatts },
+		"negative idle":   func(m *Model) { m.IdleMilliwatts = -1 },
+		"negative wake":   func(m *Model) { m.WakeLatency = -1 },
+		"negative energy": func(m *Model) { m.WakeEnergyMicrojoules = -1 },
+		"negative bg":     func(m *Model) { m.BackgroundMilliwatts = -1 },
+		"zero derating":   func(m *Model) { m.YieldDerating = 0 },
+		"derating > 1":    func(m *Model) { m.YieldDerating = 1.5 },
+	}
+	for name, mutate := range mutations {
+		m := base
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Errorf("%s: expected validation failure", name)
+		}
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := Model{
+		ActiveMilliwatts:      1000,
+		IdleMilliwatts:        100,
+		ShallowMilliwatts:     100,
+		WakeEnergyMicrojoules: 500,
+		YieldDerating:         1,
+	}
+	r := Residency{
+		Active:  simtime.Duration(2 * simtime.Second),
+		Idle:    simtime.Duration(8 * simtime.Second),
+		Wakeups: 1000,
+	}
+	// 2s×1000mW + 8s×100mW + 1000×0.5mJ = 2000 + 800 + 500 mJ
+	got := m.EnergyMillijoules(r)
+	if math.Abs(got-3300) > 1e-9 {
+		t.Fatalf("energy = %v, want 3300", got)
+	}
+}
+
+func TestEnergyDerating(t *testing.T) {
+	m := Model{ActiveMilliwatts: 1000, IdleMilliwatts: 0, YieldDerating: 0.8}
+	r := Residency{Active: simtime.Duration(simtime.Second), Derating: 0.5}
+	if got := m.EnergyMillijoules(r); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("derated energy = %v, want 500", got)
+	}
+}
+
+func TestTotalAndAvgPower(t *testing.T) {
+	m := Model{
+		ActiveMilliwatts:     1000,
+		IdleMilliwatts:       100,
+		ShallowMilliwatts:    100,
+		BackgroundMilliwatts: 50,
+		YieldDerating:        1,
+	}
+	run := simtime.Duration(10 * simtime.Second)
+	cores := []Residency{
+		{Active: simtime.Duration(simtime.Second), Idle: simtime.Duration(9 * simtime.Second)},
+		{Idle: run},
+	}
+	// core0: 1000 + 900; core1: 1000; bg: 500 → 3400 mJ
+	total := m.TotalEnergyMillijoules(cores, run)
+	if math.Abs(total-3400) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+	avg := m.AvgPowerMilliwatts(cores, run)
+	if math.Abs(avg-340) > 1e-9 {
+		t.Fatalf("avg = %v", avg)
+	}
+	if m.AvgPowerMilliwatts(cores, 0) != 0 {
+		t.Fatal("zero runtime should give 0")
+	}
+}
+
+func TestExtraPower(t *testing.T) {
+	m := Model{
+		ActiveMilliwatts:  1000,
+		IdleMilliwatts:    100,
+		ShallowMilliwatts: 100,
+		YieldDerating:     1,
+	}
+	run := simtime.Duration(simtime.Second)
+	allIdle := []Residency{{Idle: run}, {Idle: run}}
+	if got := m.ExtraPowerMilliwatts(allIdle, run); math.Abs(got) > 1e-9 {
+		t.Fatalf("all-idle extra power = %v, want 0", got)
+	}
+	oneBusy := []Residency{{Active: run}, {Idle: run}}
+	// 1000+100 − 200 = 900
+	if got := m.ExtraPowerMilliwatts(oneBusy, run); math.Abs(got-900) > 1e-9 {
+		t.Fatalf("extra = %v", got)
+	}
+	if got := m.IdleFloorMilliwatts(2); got != 200 {
+		t.Fatalf("floor = %v", got)
+	}
+}
+
+// Property: energy is monotone in active time, wakeups, and never below
+// the idle-only energy for the same span.
+func TestPropertyEnergyMonotone(t *testing.T) {
+	m := Default()
+	f := func(activeMs, idleMs uint16, wakeups uint16) bool {
+		r := Residency{
+			Active:  simtime.Duration(activeMs) * simtime.Millisecond,
+			Idle:    simtime.Duration(idleMs) * simtime.Millisecond,
+			Wakeups: uint64(wakeups),
+		}
+		e := m.EnergyMillijoules(r)
+		if e < 0 {
+			return false
+		}
+		// Adding a wakeup strictly increases energy.
+		r2 := r
+		r2.Wakeups++
+		if m.EnergyMillijoules(r2) <= e {
+			return false
+		}
+		// Converting idle time to active time increases energy.
+		if r.Idle > 0 {
+			r3 := r
+			r3.Idle -= simtime.Millisecond
+			r3.Active += simtime.Millisecond
+			if m.EnergyMillijoules(r3) <= e {
+				return false
+			}
+		}
+		// Energy is at least the all-idle floor over the same span.
+		floor := m.IdleMilliwatts * r.Span().Seconds()
+		return e >= floor-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package predict
+
+import "math"
+
+// Accuracy summarizes a predictor's one-step-ahead error over a rate
+// series: each observation is first predicted, then revealed.
+type Accuracy struct {
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	N    int
+}
+
+// Evaluate replays a rate series through a fresh predictor and measures
+// its one-step-ahead accuracy, skipping the cold-start prediction
+// (before any observation every predictor returns 0). This is the
+// harness behind the paper's future-work claim that a Kalman filter
+// could estimate producer rates "with better accuracy" (§VIII).
+func Evaluate(p Predictor, rates []float64) Accuracy {
+	p.Reset()
+	var absSum, sqSum float64
+	n := 0
+	for i, r := range rates {
+		if i > 0 {
+			err := p.Predict() - r
+			absSum += math.Abs(err)
+			sqSum += err * err
+			n++
+		}
+		p.Observe(r)
+	}
+	if n == 0 {
+		return Accuracy{}
+	}
+	return Accuracy{
+		MAE:  absSum / float64(n),
+		RMSE: math.Sqrt(sqSum / float64(n)),
+		N:    n,
+	}
+}

@@ -1,0 +1,72 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluateConstantSeriesIsPerfect(t *testing.T) {
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = 500
+	}
+	for _, p := range []Predictor{NewMovingAverage(8), NewEWMA(0.3), NewKalman(1, 10), NewHold()} {
+		acc := Evaluate(p, rates)
+		if acc.N != 99 {
+			t.Fatalf("%s: N = %d", p.Name(), acc.N)
+		}
+		if acc.MAE > 1e-9 || acc.RMSE > 1e-9 {
+			t.Errorf("%s: constant series should be exact: %+v", p.Name(), acc)
+		}
+	}
+}
+
+func TestEvaluateEmptyAndSingleton(t *testing.T) {
+	if acc := Evaluate(NewHold(), nil); acc.N != 0 || acc.MAE != 0 {
+		t.Fatalf("empty: %+v", acc)
+	}
+	if acc := Evaluate(NewHold(), []float64{5}); acc.N != 0 {
+		t.Fatalf("singleton: %+v", acc)
+	}
+}
+
+// On a noisy constant signal, averaging predictors beat last-value; the
+// Kalman filter (tuned for slow drift) beats the short moving average —
+// the paper's §VIII hypothesis.
+func TestEvaluateNoisyConstantOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rates := make([]float64, 2000)
+	for i := range rates {
+		rates[i] = 1000 + rng.NormFloat64()*200
+	}
+	hold := Evaluate(NewHold(), rates)
+	ma := Evaluate(NewMovingAverage(8), rates)
+	kalman := Evaluate(NewKalman(100, 40000), rates)
+	if ma.MAE >= hold.MAE {
+		t.Errorf("MA %.1f should beat Hold %.1f on noise", ma.MAE, hold.MAE)
+	}
+	if kalman.MAE >= ma.MAE {
+		t.Errorf("Kalman %.1f should beat MA(8) %.1f on noisy constant", kalman.MAE, ma.MAE)
+	}
+}
+
+// On an abrupt level shift, faster predictors recover sooner: Hold beats
+// a wide moving average immediately after the step.
+func TestEvaluateStepResponse(t *testing.T) {
+	rates := make([]float64, 0, 200)
+	for i := 0; i < 100; i++ {
+		rates = append(rates, 100)
+	}
+	for i := 0; i < 100; i++ {
+		rates = append(rates, 2000)
+	}
+	hold := Evaluate(NewHold(), rates)
+	ma32 := Evaluate(NewMovingAverage(32), rates)
+	if hold.MAE >= ma32.MAE {
+		t.Errorf("Hold %.1f should beat MA(32) %.1f across a step", hold.MAE, ma32.MAE)
+	}
+	if math.IsNaN(ma32.RMSE) {
+		t.Fatal("NaN RMSE")
+	}
+}

@@ -1,0 +1,192 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SegmentPool is a preallocated arena of fixed-size segments shared by
+// a set of Segmented queues. It realizes the paper's global buffer Bg:
+// "a preallocated buffer of size Bg = B0 × M" whose walls between
+// consumer buffers are elastic (§V-C, Fig. 8). Queues grow by taking
+// segments from the pool and shrink by returning them; the pool never
+// allocates after construction.
+type SegmentPool[T any] struct {
+	mu      sync.Mutex
+	segSize int
+	free    [][]T
+	total   int
+}
+
+// NewSegmentPool builds a pool of segments×segSize item slots.
+func NewSegmentPool[T any](segments, segSize int) *SegmentPool[T] {
+	if segments <= 0 || segSize <= 0 {
+		panic(fmt.Sprintf("ring: invalid pool geometry %d×%d", segments, segSize))
+	}
+	p := &SegmentPool[T]{segSize: segSize, total: segments}
+	backing := make([]T, segments*segSize)
+	for i := 0; i < segments; i++ {
+		p.free = append(p.free, backing[i*segSize:(i+1)*segSize:(i+1)*segSize])
+	}
+	return p
+}
+
+// SegSize returns the items per segment.
+func (p *SegmentPool[T]) SegSize() int { return p.segSize }
+
+// Total returns the pool's total segment count.
+func (p *SegmentPool[T]) Total() int { return p.total }
+
+// FreeSegments returns how many segments are currently unclaimed.
+func (p *SegmentPool[T]) FreeSegments() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+func (p *SegmentPool[T]) acquire() ([]T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return nil, false
+	}
+	seg := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return seg, true
+}
+
+func (p *SegmentPool[T]) release(seg []T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.total {
+		panic("ring: segment released twice")
+	}
+	p.free = append(p.free, seg)
+}
+
+type segment[T any] struct {
+	slots []T
+	head  int
+	tail  int
+	next  *segment[T]
+}
+
+// Segmented is an elastic FIFO queue backed by pool segments. Its
+// capacity is governed by a quota (in items): Push fails once the queue
+// holds quota items, or when the quota demands a segment the pool
+// cannot supply. A single mutex guards the queue; the contention cost
+// is irrelevant to the power study (wakeups dominate), and it keeps
+// resizing trivially safe across producer/manager goroutines.
+type Segmented[T any] struct {
+	mu    sync.Mutex
+	pool  *SegmentPool[T]
+	head  *segment[T]
+	tail  *segment[T]
+	size  int
+	quota int
+}
+
+// NewSegmented returns an elastic queue with the given initial item
+// quota drawing from pool.
+func NewSegmented[T any](pool *SegmentPool[T], quota int) *Segmented[T] {
+	if quota < 0 {
+		panic(fmt.Sprintf("ring: negative quota %d", quota))
+	}
+	return &Segmented[T]{pool: pool, quota: quota}
+}
+
+// Len returns the number of buffered items.
+func (q *Segmented[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Quota returns the current item quota.
+func (q *Segmented[T]) Quota() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.quota
+}
+
+// SetQuota adjusts the item quota. Shrinking below the current length
+// is allowed: no items are dropped, but pushes fail until the queue
+// drains below the new quota (matching the paper's downsizing, which
+// only constrains future buffering).
+func (q *Segmented[T]) SetQuota(quota int) {
+	if quota < 0 {
+		quota = 0
+	}
+	q.mu.Lock()
+	q.quota = quota
+	q.mu.Unlock()
+}
+
+// Push appends v, returning false when the quota is reached or the pool
+// has no segment to back the growth.
+func (q *Segmented[T]) Push(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.size >= q.quota {
+		return false
+	}
+	if q.tail == nil || q.tail.tail == len(q.tail.slots) {
+		slots, ok := q.pool.acquire()
+		if !ok {
+			return false
+		}
+		seg := &segment[T]{slots: slots}
+		if q.tail == nil {
+			q.head, q.tail = seg, seg
+		} else {
+			q.tail.next = seg
+			q.tail = seg
+		}
+	}
+	q.tail.slots[q.tail.tail] = v
+	q.tail.tail++
+	q.size++
+	return true
+}
+
+// Pop removes the oldest item, releasing emptied segments back to the
+// pool immediately so other queues can grow.
+func (q *Segmented[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *Segmented[T]) popLocked() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	seg := q.head
+	v = seg.slots[seg.head]
+	var zero T
+	seg.slots[seg.head] = zero
+	seg.head++
+	q.size--
+	if seg.head == seg.tail {
+		// Segment drained: unlink and return to pool.
+		q.head = seg.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		seg.head, seg.tail, seg.next = 0, 0, nil
+		q.pool.release(seg.slots)
+	}
+	return v, true
+}
+
+// DrainTo pops every buffered item into dst (appending) and returns the
+// extended slice. This is the batch-processing drain.
+func (q *Segmented[T]) DrainTo(dst []T) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size > 0 {
+		v, _ := q.popLocked()
+		dst = append(dst, v)
+	}
+	return dst
+}

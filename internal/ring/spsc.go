@@ -1,0 +1,163 @@
+// Package ring provides the queue structures shared by the simulator
+// and the live runtime:
+//
+//   - SPSC: a lock-free single-producer/single-consumer bounded ring,
+//     the fast path between one producer and its consumer (the paper's
+//     pairing is strictly 1:1, §I).
+//   - Buffer: a plain, single-goroutine circular buffer used for
+//     bookkeeping inside the simulator.
+//   - Segmented: a mutex-guarded elastic queue built from fixed-size
+//     segments drawn from a shared pool, implementing the paper's
+//     "linked lists, not actual contiguous resizing" dynamic buffer
+//     (§V-C, Fig. 8) for the live runtime.
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SPSC is a bounded lock-free single-producer single-consumer queue.
+// Exactly one goroutine may call Push and exactly one may call Pop;
+// Len and Cap are safe from either.
+//
+// The implementation is the classic cached-index ring: head and tail
+// are monotonically increasing counters, masked into a power-of-two
+// slot array. False sharing between the producer and consumer indices
+// is avoided with pad fields.
+type SPSC[T any] struct {
+	_     [8]uint64 // pad
+	head  atomic.Uint64
+	_     [7]uint64 // pad
+	tail  atomic.Uint64
+	_     [7]uint64 // pad
+	mask  uint64
+	slots []T
+}
+
+// NewSPSC returns a ring with capacity rounded up to the next power of
+// two (minimum 2). It panics on non-positive capacities.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ring: invalid SPSC capacity %d", capacity))
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{mask: uint64(n - 1), slots: make([]T, n)}
+}
+
+// Cap returns the ring's capacity.
+func (q *SPSC[T]) Cap() int { return len(q.slots) }
+
+// Len returns the number of buffered items. It is a snapshot: with
+// concurrent producers/consumers it may be immediately stale.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Push appends v, returning false when the ring is full.
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() >= uint64(len(q.slots)) {
+		return false
+	}
+	q.slots[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes and returns the oldest item, with ok=false when empty.
+func (q *SPSC[T]) Pop() (v T, ok bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return v, false
+	}
+	v = q.slots[head&q.mask]
+	var zero T
+	q.slots[head&q.mask] = zero
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch pops up to len(dst) items into dst and returns the count.
+// Batching amortizes the atomic index update across the drain — the
+// whole point of batch processing in the paper.
+func (q *SPSC[T]) PopBatch(dst []T) int {
+	head := q.head.Load()
+	avail := q.tail.Load() - head
+	n := uint64(len(dst))
+	if avail < n {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & q.mask
+		dst[i] = q.slots[idx]
+		q.slots[idx] = zero
+	}
+	q.head.Store(head + n)
+	return int(n)
+}
+
+// Buffer is a plain single-goroutine circular buffer. The simulator
+// uses it where the paper's implementations use a circular buffer but
+// no real concurrency exists (virtual time is single-threaded).
+type Buffer[T any] struct {
+	slots []T
+	head  int
+	size  int
+}
+
+// NewBuffer returns a Buffer with exactly the given capacity.
+func NewBuffer[T any](capacity int) *Buffer[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ring: invalid Buffer capacity %d", capacity))
+	}
+	return &Buffer[T]{slots: make([]T, capacity)}
+}
+
+// Cap returns the capacity.
+func (b *Buffer[T]) Cap() int { return len(b.slots) }
+
+// Len returns the number of buffered items.
+func (b *Buffer[T]) Len() int { return b.size }
+
+// Full reports whether the buffer is at capacity.
+func (b *Buffer[T]) Full() bool { return b.size == len(b.slots) }
+
+// Push appends v, returning false when full.
+func (b *Buffer[T]) Push(v T) bool {
+	if b.size == len(b.slots) {
+		return false
+	}
+	b.slots[(b.head+b.size)%len(b.slots)] = v
+	b.size++
+	return true
+}
+
+// Pop removes the oldest item.
+func (b *Buffer[T]) Pop() (v T, ok bool) {
+	if b.size == 0 {
+		return v, false
+	}
+	v = b.slots[b.head]
+	var zero T
+	b.slots[b.head] = zero
+	b.head = (b.head + 1) % len(b.slots)
+	b.size--
+	return v, true
+}
+
+// Drain removes all items, appending them to dst and returning it.
+func (b *Buffer[T]) Drain(dst []T) []T {
+	for b.size > 0 {
+		v, _ := b.Pop()
+		dst = append(dst, v)
+	}
+	return dst
+}

@@ -1,0 +1,218 @@
+// Package sim provides the discrete-event multicore machine every
+// experiment runs on: the §IV system model made executable.
+//
+// A Machine owns a simtime.Loop and a set of Cores. A Core is a busy
+// horizon: callers enqueue work with RunFor, and the core is active
+// from the first enqueue until the horizon drains, then idle until the
+// next enqueue — which is a *wakeup* (Eq. 3: w(τ) = ω iff the core was
+// idle). Residency in each state is integrated lazily and handed to the
+// power model at the end of the run.
+//
+// The machine is strictly single-threaded over virtual time, so every
+// run is deterministic given its inputs.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/simtime"
+)
+
+// Machine is a simulated multicore system.
+type Machine struct {
+	Loop  *simtime.Loop
+	Model power.Model
+	cores []*Core
+}
+
+// NewMachine builds a machine with n cores under the given power model.
+func NewMachine(n int, model power.Model) *Machine {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: invalid core count %d", n))
+	}
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{Loop: simtime.NewLoop(), Model: model}
+	for i := 0; i < n; i++ {
+		m.cores = append(m.cores, &Core{machine: m, id: i, busyUntil: neverRan})
+	}
+	return m
+}
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Now returns the machine's current virtual time.
+func (m *Machine) Now() simtime.Time { return m.Loop.Now() }
+
+// Finish closes residency accounting at the loop's current time and
+// returns per-core residencies. Call once, after the run completes.
+func (m *Machine) Finish() []power.Residency {
+	end := m.Loop.Now()
+	out := make([]power.Residency, len(m.cores))
+	for i, c := range m.cores {
+		c.account(end)
+		out[i] = power.Residency{
+			Active:   c.activeTime,
+			Shallow:  c.shallowTime,
+			Idle:     c.idleTime,
+			Wakeups:  c.wakeups,
+			Derating: c.derating,
+		}
+	}
+	return out
+}
+
+// TotalWakeups sums wakeups across cores (the Eq. 4 objective).
+func (m *Machine) TotalWakeups() uint64 {
+	var total uint64
+	for _, c := range m.cores {
+		total += c.wakeups
+	}
+	return total
+}
+
+// neverRan marks a core that has not executed anything yet; any first
+// work is then a wakeup.
+const neverRan = simtime.Time(-1)
+
+// Core models one CPU core as a busy horizon with lazy residency
+// integration.
+type Core struct {
+	machine *Machine
+	id      int
+
+	busyUntil   simtime.Time // end of the current/last active segment
+	accounted   simtime.Time // residency integrated up to here
+	pinnedAwake bool         // busy-wait consumers never idle the core
+
+	activeTime  simtime.Duration
+	shallowTime simtime.Duration
+	idleTime    simtime.Duration
+	wakeups     uint64
+	derating    float64 // active-power scale; 0 = 1.0
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Wakeups returns the number of idle→active transitions so far.
+func (c *Core) Wakeups() uint64 { return c.wakeups }
+
+// SetDerating scales the core's active power (used by the Yield
+// spinner model). Must be in (0, 1].
+func (c *Core) SetDerating(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("sim: invalid derating %v", f))
+	}
+	c.derating = f
+}
+
+// PinAwake marks the core permanently active (busy-wait and yield
+// spinners). Residency becomes all-active; no wakeups accrue.
+func (c *Core) PinAwake() { c.pinnedAwake = true }
+
+// Active reports whether the core is active at the current time. An
+// invocation scheduled now on an active core latches for free (w=0);
+// on an idle core it will pay a wakeup.
+func (c *Core) Active() bool {
+	return c.pinnedAwake || c.busyUntil > c.machine.Loop.Now()
+}
+
+// ActiveAt reports whether the core's busy horizon covers t ≥ now.
+// Consumers use it to evaluate w(s) for future slots: a future slot is
+// only known-awake if already-queued work stretches past it, which the
+// core manager models through reservations instead — so this is mainly
+// for introspection and tests.
+func (c *Core) ActiveAt(t simtime.Time) bool {
+	return c.pinnedAwake || c.busyUntil > t
+}
+
+// BusyUntil returns the end of the current busy horizon.
+func (c *Core) BusyUntil() simtime.Time { return c.busyUntil }
+
+// account integrates residency up to t.
+func (c *Core) account(t simtime.Time) {
+	if t <= c.accounted {
+		return
+	}
+	if c.pinnedAwake {
+		c.activeTime += t.Sub(c.accounted)
+		c.accounted = t
+		return
+	}
+	activeEnd := c.busyUntil
+	if activeEnd > t {
+		activeEnd = t
+	}
+	if activeEnd > c.accounted {
+		c.activeTime += activeEnd.Sub(c.accounted)
+		c.accounted = activeEnd
+	}
+	if t > c.accounted {
+		c.idleTime += t.Sub(c.accounted)
+		c.accounted = t
+	}
+}
+
+// RunFor enqueues d of work on the core at the current virtual time and
+// returns the completion timestamp.
+//
+// Gap classification follows the cpuidle governor (§II): if the gap
+// since the busy horizon drained is shorter than the model's
+// IdleThreshold the core only reached the shallow C1 state — re-running
+// is free (no wakeup, no wake latency) but the gap burned shallow
+// power. A gap at or beyond the threshold means the core entered deep
+// idle: resuming is a wakeup, with the model's wake latency added to
+// the busy horizon ahead of the work (the transition window burns
+// active power but does no useful work).
+func (c *Core) RunFor(d simtime.Duration) simtime.Time {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative work %v", d))
+	}
+	now := c.machine.Loop.Now()
+	if c.pinnedAwake {
+		c.account(now)
+		// A pinned core is always hot; work just takes time.
+		if c.busyUntil < now {
+			c.busyUntil = now
+		}
+		c.busyUntil = c.busyUntil.Add(d)
+		return c.busyUntil
+	}
+	gap := now.Sub(c.busyUntil)
+	switch {
+	case c.busyUntil == neverRan || (gap > 0 && gap >= c.machine.Model.IdleThreshold):
+		// Deep idle → active edge: a wakeup.
+		c.account(now)
+		c.wakeups++
+		c.busyUntil = now.Add(c.machine.Model.WakeLatency).Add(d)
+	case gap > 0:
+		// Short gap: the core lingered in C1. Close the active segment,
+		// book the gap as shallow residency, resume without wake cost.
+		c.account(c.busyUntil)
+		c.shallowTime += gap
+		c.accounted = now
+		c.busyUntil = now.Add(d)
+	default:
+		// Continuation: the horizon extends.
+		c.account(now)
+		c.busyUntil = c.busyUntil.Add(d)
+	}
+	return c.busyUntil
+}
+
+// UsageMsPerS returns the PowerTop-style usage metric for the residency
+// accumulated so far relative to the elapsed run time: milliseconds of
+// active execution per second of wall-clock.
+func (c *Core) UsageMsPerS(runtime simtime.Duration) float64 {
+	if runtime <= 0 {
+		return 0
+	}
+	return float64(c.activeTime) / float64(simtime.Millisecond) / runtime.Seconds()
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+const clfSample = `host1 - - [30/Apr/1998:21:30:17 +0000] "GET /images/logo.gif HTTP/1.0" 200 1204
+host2 - - [30/Apr/1998:21:30:17 +0000] "GET /english/index.html HTTP/1.0" 200 881
+host1 - - [30/Apr/1998:21:30:18 +0000] "GET /english/nav.html HTTP/1.0" 200 374
+garbage line without a timestamp
+host3 - - [30/Apr/1998:21:30:20 +0000] "GET / HTTP/1.0" 304 0
+`
+
+func TestParseCLF(t *testing.T) {
+	tr, skipped, err := ParseCLF(strings.NewReader(clfSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if tr.Count() != 4 {
+		t.Fatalf("count = %d, want 4", tr.Count())
+	}
+	// Two requests share the first second: spread at 0 and 500ms.
+	if tr.Arrivals[0] != 0 {
+		t.Fatalf("first arrival = %v", tr.Arrivals[0])
+	}
+	if tr.Arrivals[1] != simtime.Time(500*simtime.Millisecond) {
+		t.Fatalf("second arrival = %v, want 500ms", tr.Arrivals[1])
+	}
+	// Third at +1s, fourth at +3s.
+	if tr.Arrivals[2] != simtime.Time(simtime.Second) {
+		t.Fatalf("third arrival = %v", tr.Arrivals[2])
+	}
+	if tr.Arrivals[3] != simtime.Time(3*simtime.Second) {
+		t.Fatalf("fourth arrival = %v", tr.Arrivals[3])
+	}
+	// Duration covers the last second fully.
+	if tr.Duration != simtime.Duration(4*simtime.Second) {
+		t.Fatalf("duration = %v, want 4s", tr.Duration)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCLFUnsorted(t *testing.T) {
+	in := `a - - [30/Apr/1998:21:30:20 +0000] "GET / HTTP/1.0" 200 1
+b - - [30/Apr/1998:21:30:17 +0000] "GET / HTTP/1.0" 200 1
+`
+	tr, _, err := ParseCLF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 2 || tr.Arrivals[0] != 0 {
+		t.Fatalf("unsorted log not rebased: %+v", tr.Arrivals)
+	}
+}
+
+func TestParseCLFTimezones(t *testing.T) {
+	// Same instant written in two zones must coincide after UTC
+	// normalization.
+	in := `a - - [30/Apr/1998:21:30:17 +0000] "GET / HTTP/1.0" 200 1
+b - - [30/Apr/1998:23:30:17 +0200] "GET / HTTP/1.0" 200 1
+`
+	tr, _, err := ParseCLF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration != simtime.Duration(simtime.Second) {
+		t.Fatalf("duration = %v, want 1s (same instant)", tr.Duration)
+	}
+}
+
+func TestParseCLFAllGarbage(t *testing.T) {
+	if _, _, err := ParseCLF(strings.NewReader("junk\nmore junk\n")); err == nil {
+		t.Fatal("all-garbage log should error")
+	}
+	if _, _, err := ParseCLF(strings.NewReader("")); err == nil {
+		t.Fatal("empty log should error")
+	}
+}
+
+func TestParseCLFBadBrackets(t *testing.T) {
+	in := "a - - [not a date] \"GET /\" 200 1\na - - [30/Apr/1998:21:30:17 +0000] \"GET /\" 200 1\n"
+	tr, skipped, err := ParseCLF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || tr.Count() != 1 {
+		t.Fatalf("skipped=%d count=%d", skipped, tr.Count())
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// Fuzz targets guard the three parsers against panics on arbitrary
+// input; when a payload parses, its invariants and round-trip must
+// hold. Run with `go test -fuzz=FuzzReadBinary ./internal/trace` to
+// explore beyond the seed corpus.
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, Trace{
+		Arrivals: []simtime.Time{1, 5, 42},
+		Duration: 100,
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte("PCTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("parsed trace invalid: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := WriteBinary(&out, tr); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		back, rerr := ReadBinary(&out)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.Count() != tr.Count() || back.Duration != tr.Duration {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# duration_ns=100 count=2\n10\n20\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("parsed trace invalid: %v", verr)
+		}
+	})
+}
+
+func FuzzParseCLF(f *testing.F) {
+	f.Add(`h - - [30/Apr/1998:21:30:17 +0000] "GET / HTTP/1.0" 200 1`)
+	f.Add("[not a date]")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, _, err := ParseCLF(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("parsed trace invalid: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Trace is a realized arrival sequence: the timestamps at which a
+// producer emits items, sorted nondecreasing, over [0, Duration).
+type Trace struct {
+	Arrivals []simtime.Time
+	Duration simtime.Duration
+}
+
+// Generate realizes arrivals from rate function r over [0, dur) as a
+// non-homogeneous Poisson process using Lewis-Shedler thinning. The
+// majorant is estimated by dense sampling with a 10% safety margin; any
+// residual excursions above the majorant are clamped by the acceptance
+// test (slightly truncating extreme peaks, which is acceptable for this
+// workload model). The result is deterministic in (r, dur, seed).
+func Generate(r Rate, dur simtime.Duration, seed int64) Trace {
+	if dur <= 0 {
+		return Trace{Duration: dur}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lambdaMax := MaxRate(r, 0, simtime.Time(dur), 4096) * 1.1
+	if lambdaMax <= 0 {
+		return Trace{Duration: dur}
+	}
+	var arrivals []simtime.Time
+	t := 0.0 // seconds
+	horizon := dur.Seconds()
+	for {
+		t += rng.ExpFloat64() / lambdaMax
+		if t >= horizon {
+			break
+		}
+		at := simtime.DurationOfSeconds(t)
+		if rng.Float64()*lambdaMax <= r.At(simtime.Time(at)) {
+			arrivals = append(arrivals, simtime.Time(at))
+		}
+	}
+	return Trace{Arrivals: arrivals, Duration: dur}
+}
+
+// Count returns the number of arrivals.
+func (tr Trace) Count() int { return len(tr.Arrivals) }
+
+// MeanRate returns the average arrival rate in items/s.
+func (tr Trace) MeanRate() float64 {
+	if tr.Duration <= 0 {
+		return 0
+	}
+	return float64(len(tr.Arrivals)) / tr.Duration.Seconds()
+}
+
+// PeakRate returns the maximum arrival rate over any aligned window of
+// the given width, in items/s.
+func (tr Trace) PeakRate(window simtime.Duration) float64 {
+	if window <= 0 || tr.Duration <= 0 || len(tr.Arrivals) == 0 {
+		return 0
+	}
+	counts := map[int64]int{}
+	for _, at := range tr.Arrivals {
+		counts[int64(at)/int64(window)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / window.Seconds()
+}
+
+// RateSeries bins arrivals into windows of the given width and returns
+// per-window rates in items/s, covering [0, Duration).
+func (tr Trace) RateSeries(window simtime.Duration) []float64 {
+	if window <= 0 || tr.Duration <= 0 {
+		return nil
+	}
+	n := int((int64(tr.Duration) + int64(window) - 1) / int64(window))
+	out := make([]float64, n)
+	for _, at := range tr.Arrivals {
+		i := int(int64(at) / int64(window))
+		if i >= 0 && i < n {
+			out[i]++
+		}
+	}
+	for i := range out {
+		out[i] /= window.Seconds()
+	}
+	return out
+}
+
+// Shift rotates the trace by offset modulo its duration, re-sorting, so
+// the same dataset can drive M decorrelated producers exactly as the
+// paper does ("each consumer is shifted one Mth further into the
+// dataset", §VI-A).
+func (tr Trace) Shift(offset simtime.Duration) Trace {
+	if tr.Duration <= 0 || len(tr.Arrivals) == 0 {
+		return tr
+	}
+	mod := int64(tr.Duration)
+	off := int64(offset) % mod
+	if off < 0 {
+		off += mod
+	}
+	shifted := make([]simtime.Time, len(tr.Arrivals))
+	for i, at := range tr.Arrivals {
+		shifted[i] = simtime.Time((int64(at) + off) % mod)
+	}
+	sort.Slice(shifted, func(i, j int) bool { return shifted[i] < shifted[j] })
+	return Trace{Arrivals: shifted, Duration: tr.Duration}
+}
+
+// Window returns the sub-trace with arrivals in [from, to), rebased to
+// start at zero.
+func (tr Trace) Window(from, to simtime.Time) Trace {
+	lo := sort.Search(len(tr.Arrivals), func(i int) bool { return tr.Arrivals[i] >= from })
+	hi := sort.Search(len(tr.Arrivals), func(i int) bool { return tr.Arrivals[i] >= to })
+	out := make([]simtime.Time, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = tr.Arrivals[i] - from
+	}
+	return Trace{Arrivals: out, Duration: to.Sub(from)}
+}
+
+// Validate checks the structural invariants of a trace: sorted arrivals
+// within [0, Duration).
+func (tr Trace) Validate() error {
+	prev := simtime.Time(math.MinInt64)
+	for i, at := range tr.Arrivals {
+		if at < 0 || simtime.Duration(at) >= tr.Duration {
+			return fmt.Errorf("trace: arrival %d at %v outside [0, %v)", i, at, tr.Duration)
+		}
+		if at < prev {
+			return fmt.Errorf("trace: arrival %d at %v before predecessor %v", i, at, prev)
+		}
+		prev = at
+	}
+	return nil
+}
+
+// PhaseShifts builds m traces from tr, the i-th shifted by i/m of the
+// duration — the paper's multi-producer workload construction.
+func (tr Trace) PhaseShifts(m int) []Trace {
+	out := make([]Trace, m)
+	for i := 0; i < m; i++ {
+		out[i] = tr.Shift(simtime.Duration(int64(tr.Duration) * int64(i) / int64(m)))
+	}
+	return out
+}

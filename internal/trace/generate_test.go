@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestGenerateConstantRate(t *testing.T) {
+	dur := simtime.Duration(10 * simtime.Second)
+	tr := Generate(Constant(1000), dur, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(10000): expect within ±5σ = ±500.
+	if n := tr.Count(); math.Abs(float64(n)-10000) > 500 {
+		t.Fatalf("count = %d, want ≈10000", n)
+	}
+	if mr := tr.MeanRate(); math.Abs(mr-1000) > 50 {
+		t.Fatalf("mean rate = %v", mr)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dur := simtime.Duration(simtime.Second)
+	a := Generate(Constant(500), dur, 7)
+	b := Generate(Constant(500), dur, 7)
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+	c := Generate(Constant(500), dur, 8)
+	if a.Count() == c.Count() {
+		same := true
+		for i := range a.Arrivals {
+			if a.Arrivals[i] != c.Arrivals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateZeroCases(t *testing.T) {
+	if tr := Generate(Constant(100), 0, 1); tr.Count() != 0 {
+		t.Fatal("zero duration should be empty")
+	}
+	if tr := Generate(Constant(0), simtime.Duration(simtime.Second), 1); tr.Count() != 0 {
+		t.Fatal("zero rate should be empty")
+	}
+}
+
+func TestGenerateTracksRateShape(t *testing.T) {
+	// A sinusoid's realized arrivals should be denser at the crest.
+	dur := simtime.Duration(10 * simtime.Second)
+	s := Sinusoid{Base: 2000, Depth: 0.9, Period: dur}
+	tr := Generate(s, dur, 3)
+	series := tr.RateSeries(simtime.Duration(simtime.Second))
+	// Crest at T/4 (bin 2), trough at 3T/4 (bin 7).
+	if series[2] < series[7]*2 {
+		t.Fatalf("crest %v should dominate trough %v", series[2], series[7])
+	}
+}
+
+func TestPeakRateAndRateSeries(t *testing.T) {
+	tr := Trace{
+		Arrivals: []simtime.Time{0, 1, 2, simtime.Time(simtime.Second)},
+		Duration: simtime.Duration(2 * simtime.Second),
+	}
+	if pk := tr.PeakRate(simtime.Duration(simtime.Second)); pk != 3 {
+		t.Fatalf("PeakRate = %v, want 3", pk)
+	}
+	series := tr.RateSeries(simtime.Duration(simtime.Second))
+	if len(series) != 2 || series[0] != 3 || series[1] != 1 {
+		t.Fatalf("RateSeries = %v", series)
+	}
+	if tr.PeakRate(0) != 0 {
+		t.Fatal("zero window peak should be 0")
+	}
+	if (Trace{}).MeanRate() != 0 {
+		t.Fatal("empty trace mean rate should be 0")
+	}
+}
+
+func TestShift(t *testing.T) {
+	tr := Trace{
+		Arrivals: []simtime.Time{100, 200, 900},
+		Duration: 1000,
+	}
+	sh := tr.Shift(200)
+	want := []simtime.Time{100, 300, 400} // 900+200 wraps to 100
+	if sh.Count() != 3 {
+		t.Fatalf("count = %d", sh.Count())
+	}
+	for i, w := range want {
+		if sh.Arrivals[i] != w {
+			t.Fatalf("Shift = %v, want %v", sh.Arrivals, want)
+		}
+	}
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Negative offsets wrap too.
+	neg := tr.Shift(-100)
+	if err := neg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if neg.Arrivals[0] != 0 {
+		t.Fatalf("neg shift = %v", neg.Arrivals)
+	}
+}
+
+func TestPhaseShifts(t *testing.T) {
+	dur := simtime.Duration(2 * simtime.Second)
+	tr := Generate(Sinusoid{Base: 1000, Depth: 0.9, Period: dur}, dur, 5)
+	parts := tr.PhaseShifts(4)
+	if len(parts) != 4 {
+		t.Fatalf("len = %d", len(parts))
+	}
+	for i, p := range parts {
+		if p.Count() != tr.Count() {
+			t.Fatalf("shift %d lost arrivals: %d vs %d", i, p.Count(), tr.Count())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("shift %d: %v", i, err)
+		}
+	}
+	// Shift 0 is the original.
+	for i := range tr.Arrivals {
+		if parts[0].Arrivals[i] != tr.Arrivals[i] {
+			t.Fatal("zero shift should be identity")
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := Trace{Arrivals: []simtime.Time{10, 20, 30, 40}, Duration: 100}
+	w := tr.Window(15, 35)
+	if w.Count() != 2 || w.Arrivals[0] != 5 || w.Arrivals[1] != 15 {
+		t.Fatalf("Window = %+v", w)
+	}
+	if w.Duration != 20 {
+		t.Fatalf("Duration = %v", w.Duration)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := Trace{Arrivals: []simtime.Time{5, 3}, Duration: 10}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-order should fail")
+	}
+	bad2 := Trace{Arrivals: []simtime.Time{50}, Duration: 10}
+	if bad2.Validate() == nil {
+		t.Fatal("arrival past duration should fail")
+	}
+	bad3 := Trace{Arrivals: []simtime.Time{-1}, Duration: 10}
+	if bad3.Validate() == nil {
+		t.Fatal("negative arrival should fail")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	dur := simtime.Duration(simtime.Second)
+	tr := Generate(Constant(2000), dur, 11)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration || got.Count() != tr.Count() {
+		t.Fatalf("round trip mismatch: %v/%d vs %v/%d", got.Duration, got.Count(), tr.Duration, tr.Count())
+	}
+	for i := range tr.Arrivals {
+		if got.Arrivals[i] != tr.Arrivals[i] {
+			t.Fatalf("arrival %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+	// Valid magic, truncated body.
+	if _, err := ReadBinary(strings.NewReader("PCTR")); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+}
+
+func TestBinaryRejectsUnsortedWrite(t *testing.T) {
+	bad := Trace{Arrivals: []simtime.Time{10, 5}, Duration: 100}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, bad); err == nil {
+		t.Fatal("writing unsorted trace should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Trace{Arrivals: []simtime.Time{1, 500, 999}, Duration: 1000}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration || got.Count() != tr.Count() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCSVHeaderless(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("10\n20\n30\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 3 || got.Duration != 31 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCSVRejectsJunk(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("junk line should fail")
+	}
+}
+
+func TestCSVIgnoresComments(t *testing.T) {
+	in := "# duration_ns=100 count=2\n# a comment\n10\n\n20\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 2 || got.Duration != 100 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Property: binary IO round-trips arbitrary valid traces.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		tr := Trace{}
+		at := simtime.Time(0)
+		for _, d := range deltas {
+			at = at.Add(simtime.Duration(d))
+			tr.Arrivals = append(tr.Arrivals, at)
+		}
+		tr.Duration = simtime.Duration(at) + 1
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Count() != tr.Count() || got.Duration != tr.Duration {
+			return false
+		}
+		for i := range tr.Arrivals {
+			if got.Arrivals[i] != tr.Arrivals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shift preserves count and validity for any offset.
+func TestPropertyShiftPreserves(t *testing.T) {
+	base := Generate(Constant(300), simtime.Duration(simtime.Second), 13)
+	f := func(off int32) bool {
+		sh := base.Shift(simtime.Duration(off))
+		return sh.Count() == base.Count() && sh.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Binary trace format:
+//
+//	magic "PCTR" | version uvarint | duration uvarint (ns) |
+//	count uvarint | count × delta uvarint (ns since previous arrival)
+//
+// Delta encoding keeps converted real-world logs compact (a few bytes
+// per request at web-server rates).
+
+const (
+	binaryMagic   = "PCTR"
+	binaryVersion = 1
+)
+
+// ErrBadFormat indicates a malformed trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// WriteBinary serializes the trace in the delta-encoded binary format.
+func WriteBinary(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(binaryVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(tr.Duration)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(tr.Arrivals))); err != nil {
+		return err
+	}
+	prev := simtime.Time(0)
+	for i, at := range tr.Arrivals {
+		if at < prev {
+			return fmt.Errorf("trace: arrival %d out of order", i)
+		}
+		if err := writeUvarint(uint64(at - prev)); err != nil {
+			return err
+		}
+		prev = at
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace in the binary format and validates it.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Trace{}, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return Trace{}, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Trace{}, fmt.Errorf("%w: version: %v", ErrBadFormat, err)
+	}
+	if version != binaryVersion {
+		return Trace{}, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	dur, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Trace{}, fmt.Errorf("%w: duration: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Trace{}, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	const maxCount = 1 << 31
+	if count > maxCount {
+		return Trace{}, fmt.Errorf("%w: count %d too large", ErrBadFormat, count)
+	}
+	tr := Trace{Duration: simtime.Duration(dur), Arrivals: make([]simtime.Time, count)}
+	at := simtime.Time(0)
+	for i := range tr.Arrivals {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Trace{}, fmt.Errorf("%w: delta %d: %v", ErrBadFormat, i, err)
+		}
+		at = at.Add(simtime.Duration(delta))
+		tr.Arrivals[i] = at
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return tr, nil
+}
+
+// WriteCSV emits one arrival timestamp (in nanoseconds) per line with a
+// header carrying the duration. The format round-trips via ReadCSV and
+// is the interchange point for converted real access logs.
+func WriteCSV(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# duration_ns=%d count=%d\n", int64(tr.Duration), len(tr.Arrivals)); err != nil {
+		return err
+	}
+	for _, at := range tr.Arrivals {
+		if _, err := fmt.Fprintf(bw, "%d\n", int64(at)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format. Lines beginning with '#' other
+// than the header are ignored, so hand-annotated files load fine.
+func ReadCSV(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var tr Trace
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !sawHeader {
+				if d := parseHeaderField(text, "duration_ns"); d >= 0 {
+					tr.Duration = simtime.Duration(d)
+					sawHeader = true
+				}
+			}
+			continue
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("%w: line %d: %v", ErrBadFormat, line, err)
+		}
+		tr.Arrivals = append(tr.Arrivals, simtime.Time(v))
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if !sawHeader {
+		// Infer duration: last arrival + 1ns.
+		if n := len(tr.Arrivals); n > 0 {
+			tr.Duration = simtime.Duration(tr.Arrivals[n-1]) + 1
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return tr, nil
+}
+
+func parseHeaderField(line, key string) int64 {
+	for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		if v, ok := strings.CutPrefix(field, key+"="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}

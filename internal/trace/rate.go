@@ -1,0 +1,256 @@
+// Package trace models the workload that drives every experiment in the
+// paper: a stream of produced data items whose rate varies non-linearly
+// over time.
+//
+// The paper uses the 1998 World Cup web-server access logs [Arlitt &
+// Jin] purely as "a non-linear dataset that exhibits sporadic changes in
+// the rate of production", phase-shifting it per consumer to decorrelate
+// producers (§VI-A). That log is not redistributable here, so this
+// package provides:
+//
+//   - composable rate functions (constant, diurnal sinusoid, flash-crowd
+//     bursts, sums, scaling, phase shift),
+//   - a seeded non-homogeneous Poisson arrival generator (thinning),
+//   - a WorldCup preset that reproduces the log's qualitative shape
+//     (diurnal swell with sporadic match-time flash crowds),
+//   - trace containers with summary statistics and binary/CSV IO so a
+//     real log can be converted and replayed instead.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Rate is an instantaneous production-rate function λ(t), in items per
+// second of virtual time. Implementations must be pure: the generator
+// and the predictors both sample them.
+type Rate interface {
+	At(t simtime.Time) float64
+}
+
+// Constant is a fixed production rate in items/s.
+type Constant float64
+
+// At implements Rate.
+func (c Constant) At(simtime.Time) float64 { return float64(c) }
+
+// Sinusoid is a diurnal-style oscillation:
+// λ(t) = Base · (1 + Depth·sin(2πt/Period + Phase)), floored at zero.
+// With Depth < 1 the rate never reaches zero; Depth ≥ 1 produces idle
+// troughs like a quiet server at night.
+type Sinusoid struct {
+	Base   float64          // mean rate, items/s
+	Depth  float64          // relative modulation depth
+	Period simtime.Duration // full cycle length
+	Phase  float64          // radians
+}
+
+// At implements Rate.
+func (s Sinusoid) At(t simtime.Time) float64 {
+	if s.Period <= 0 {
+		return math.Max(0, s.Base)
+	}
+	x := 2*math.Pi*float64(t)/float64(s.Period) + s.Phase
+	v := s.Base * (1 + s.Depth*math.Sin(x))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Burst is a flash crowd: the rate rises linearly over Rise to Peak at
+// Start+Rise, then decays exponentially with time constant Decay. It
+// models the sporadic match-time spikes of the World Cup log.
+type Burst struct {
+	Start simtime.Time
+	Peak  float64 // added items/s at the summit
+	Rise  simtime.Duration
+	Decay simtime.Duration // exponential time constant
+}
+
+// At implements Rate.
+func (b Burst) At(t simtime.Time) float64 {
+	if t < b.Start || b.Peak <= 0 {
+		return 0
+	}
+	dt := t.Sub(b.Start)
+	if b.Rise > 0 && dt < b.Rise {
+		return b.Peak * float64(dt) / float64(b.Rise)
+	}
+	if b.Decay <= 0 {
+		return 0
+	}
+	since := dt
+	if b.Rise > 0 {
+		since -= b.Rise
+	}
+	return b.Peak * math.Exp(-float64(since)/float64(b.Decay))
+}
+
+// Sum is the superposition of several rate functions.
+type Sum []Rate
+
+// At implements Rate.
+func (s Sum) At(t simtime.Time) float64 {
+	total := 0.0
+	for _, r := range s {
+		total += r.At(t)
+	}
+	return total
+}
+
+// Scaled multiplies an underlying rate by Factor.
+type Scaled struct {
+	R      Rate
+	Factor float64
+}
+
+// At implements Rate.
+func (s Scaled) At(t simtime.Time) float64 { return s.R.At(t) * s.Factor }
+
+// Shifted advances an underlying rate by Offset, wrapping modulo Period
+// (when Period > 0). This reproduces the paper's per-consumer phase
+// shifting: "each consumer is shifted one Mth further into the dataset"
+// (§VI-A).
+type Shifted struct {
+	R      Rate
+	Offset simtime.Duration
+	Period simtime.Duration
+}
+
+// At implements Rate.
+func (s Shifted) At(t simtime.Time) float64 {
+	shifted := int64(t) + int64(s.Offset)
+	if s.Period > 0 {
+		shifted %= int64(s.Period)
+		if shifted < 0 {
+			shifted += int64(s.Period)
+		}
+	}
+	return s.R.At(simtime.Time(shifted))
+}
+
+// Clamped limits an underlying rate to [0, Max].
+type Clamped struct {
+	R   Rate
+	Max float64
+}
+
+// At implements Rate.
+func (c Clamped) At(t simtime.Time) float64 {
+	v := c.R.At(t)
+	if v < 0 {
+		return 0
+	}
+	if c.Max > 0 && v > c.Max {
+		return c.Max
+	}
+	return v
+}
+
+// MaxRate estimates the supremum of r over [from, to] by dense sampling.
+// The generator uses it (with a safety margin) as the thinning majorant;
+// samples must be large enough relative to the fastest feature of r.
+func MaxRate(r Rate, from, to simtime.Time, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	span := to.Sub(from)
+	max := 0.0
+	for i := 0; i <= samples; i++ {
+		t := from.Add(simtime.Duration(int64(span) * int64(i) / int64(samples)))
+		if v := r.At(t); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanRate estimates the time-average of r over [from, to] by sampling.
+func MeanRate(r Rate, from, to simtime.Time, samples int) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	span := to.Sub(from)
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		t := from.Add(simtime.Duration(int64(span) * (2*int64(i) + 1) / (2 * int64(samples))))
+		sum += r.At(t)
+	}
+	return sum / float64(samples)
+}
+
+// WorldCupConfig parameterizes the synthetic stand-in for the 1998 World
+// Cup access-log workload.
+type WorldCupConfig struct {
+	BaseRate     float64          // items/s carried by the diurnal component
+	DiurnalDepth float64          // modulation depth of the sinusoid
+	Period       simtime.Duration // diurnal cycle, compressed to run length
+	Bursts       int              // number of flash crowds
+	BurstPeak    float64          // peak added rate per flash crowd, items/s
+	BurstRise    simtime.Duration
+	BurstDecay   simtime.Duration
+	Horizon      simtime.Duration // time span bursts are scattered over
+	Seed         int64            // burst placement seed
+}
+
+// DefaultWorldCup matches the paper's experimental envelope: a 50 s run
+// whose mean rate keeps a buffer of 25–100 items busy, with sporadic
+// spikes several times the base rate.
+func DefaultWorldCup(horizon simtime.Duration) WorldCupConfig {
+	return WorldCupConfig{
+		BaseRate:     2000,
+		DiurnalDepth: 0.6,
+		Period:       horizon, // one full "day" compressed into the run
+		Bursts:       6,
+		BurstPeak:    6000,
+		BurstRise:    200 * simtime.Millisecond,
+		BurstDecay:   900 * simtime.Millisecond,
+		Horizon:      horizon,
+		Seed:         1998,
+	}
+}
+
+// WorldCup builds the composite rate function for cfg. Burst placement
+// uses a dedicated splitmix-style hash of (Seed, index) so the rate
+// function itself stays pure and reproducible.
+func WorldCup(cfg WorldCupConfig) Rate {
+	rates := Sum{Sinusoid{
+		Base:   cfg.BaseRate,
+		Depth:  cfg.DiurnalDepth,
+		Period: cfg.Period,
+		Phase:  -math.Pi / 2, // start the "day" at the trough
+	}}
+	for i := 0; i < cfg.Bursts; i++ {
+		u := splitmix(uint64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15)
+		frac := float64(u>>11) / float64(1<<53)
+		start := simtime.Time(float64(cfg.Horizon) * frac)
+		u2 := splitmix(u)
+		scale := 0.5 + float64(u2>>11)/float64(1<<53) // peak in [0.5,1.5)×BurstPeak
+		rates = append(rates, Burst{
+			Start: start,
+			Peak:  cfg.BurstPeak * scale,
+			Rise:  cfg.BurstRise,
+			Decay: cfg.BurstDecay,
+		})
+	}
+	return rates
+}
+
+// splitmix is the SplitMix64 finalizer, used for reproducible burst
+// placement independent of math/rand stream state.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// String renders a WorldCupConfig compactly for reports.
+func (c WorldCupConfig) String() string {
+	return fmt.Sprintf("worldcup(base=%.0f/s depth=%.2f bursts=%d peak=%.0f/s seed=%d)",
+		c.BaseRate, c.DiurnalDepth, c.Bursts, c.BurstPeak, c.Seed)
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestConstant(t *testing.T) {
+	r := Constant(500)
+	if r.At(0) != 500 || r.At(simtime.Time(simtime.Second)) != 500 {
+		t.Fatal("constant rate should be time-invariant")
+	}
+}
+
+func TestSinusoid(t *testing.T) {
+	s := Sinusoid{Base: 1000, Depth: 0.5, Period: simtime.Second}
+	// sin(0)=0 → base
+	if got := s.At(0); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	// quarter period → peak
+	if got := s.At(simtime.Time(simtime.Second / 4)); math.Abs(got-1500) > 1e-6 {
+		t.Fatalf("At(T/4) = %v", got)
+	}
+	// three-quarter period → trough
+	if got := s.At(simtime.Time(3 * simtime.Second / 4)); math.Abs(got-500) > 1e-6 {
+		t.Fatalf("At(3T/4) = %v", got)
+	}
+}
+
+func TestSinusoidFloorsAtZero(t *testing.T) {
+	s := Sinusoid{Base: 100, Depth: 2, Period: simtime.Second}
+	if got := s.At(simtime.Time(3 * simtime.Second / 4)); got != 0 {
+		t.Fatalf("deep trough should clamp to 0, got %v", got)
+	}
+}
+
+func TestSinusoidZeroPeriod(t *testing.T) {
+	s := Sinusoid{Base: 100, Depth: 0.5, Period: 0}
+	if got := s.At(123); got != 100 {
+		t.Fatalf("zero period should degrade to base, got %v", got)
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	b := Burst{
+		Start: simtime.Time(simtime.Second),
+		Peak:  1000,
+		Rise:  simtime.Duration(100 * simtime.Millisecond),
+		Decay: simtime.Duration(200 * simtime.Millisecond),
+	}
+	if b.At(0) != 0 {
+		t.Fatal("before start should be 0")
+	}
+	half := b.At(simtime.Time(simtime.Second + 50*simtime.Millisecond))
+	if math.Abs(half-500) > 1e-6 {
+		t.Fatalf("mid-rise = %v, want 500", half)
+	}
+	peak := b.At(simtime.Time(simtime.Second + 100*simtime.Millisecond))
+	if math.Abs(peak-1000) > 1e-6 {
+		t.Fatalf("peak = %v", peak)
+	}
+	// One decay constant later: peak/e.
+	decayed := b.At(simtime.Time(simtime.Second + 300*simtime.Millisecond))
+	if math.Abs(decayed-1000/math.E) > 1e-6 {
+		t.Fatalf("decayed = %v, want %v", decayed, 1000/math.E)
+	}
+}
+
+func TestBurstNoRise(t *testing.T) {
+	b := Burst{Start: 0, Peak: 100, Decay: simtime.Duration(simtime.Second)}
+	if got := b.At(0); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("instant burst at start = %v", got)
+	}
+}
+
+func TestBurstZeroDecay(t *testing.T) {
+	b := Burst{Start: 0, Peak: 100, Rise: 10}
+	if got := b.At(100); got != 0 {
+		t.Fatalf("zero decay after rise should be 0, got %v", got)
+	}
+}
+
+func TestSumScaledClamped(t *testing.T) {
+	r := Sum{Constant(100), Constant(50)}
+	if r.At(0) != 150 {
+		t.Fatalf("Sum = %v", r.At(0))
+	}
+	s := Scaled{R: r, Factor: 2}
+	if s.At(0) != 300 {
+		t.Fatalf("Scaled = %v", s.At(0))
+	}
+	c := Clamped{R: s, Max: 250}
+	if c.At(0) != 250 {
+		t.Fatalf("Clamped = %v", c.At(0))
+	}
+	neg := Clamped{R: Scaled{R: Constant(100), Factor: -1}}
+	if neg.At(0) != 0 {
+		t.Fatalf("negative clamp = %v", neg.At(0))
+	}
+}
+
+func TestShiftedWraps(t *testing.T) {
+	// Rate that is 100 for the first half-second, 0 after.
+	step := Sinusoid{Base: 50, Depth: 1, Period: simtime.Second}
+	sh := Shifted{R: step, Offset: simtime.Duration(simtime.Second / 2), Period: simtime.Second}
+	for _, at := range []simtime.Time{0, simtime.Time(simtime.Second / 4), simtime.Time(simtime.Second - 1)} {
+		want := step.At(simtime.Time((int64(at) + int64(simtime.Second/2)) % int64(simtime.Second)))
+		if got := sh.At(at); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Shifted.At(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestMaxRateAndMeanRate(t *testing.T) {
+	s := Sinusoid{Base: 1000, Depth: 0.5, Period: simtime.Second}
+	max := MaxRate(s, 0, simtime.Time(simtime.Second), 1000)
+	if math.Abs(max-1500) > 10 {
+		t.Fatalf("MaxRate = %v, want ≈1500", max)
+	}
+	mean := MeanRate(s, 0, simtime.Time(simtime.Second), 1000)
+	if math.Abs(mean-1000) > 10 {
+		t.Fatalf("MeanRate = %v, want ≈1000", mean)
+	}
+}
+
+func TestWorldCupPreset(t *testing.T) {
+	horizon := simtime.Duration(10 * simtime.Second)
+	cfg := DefaultWorldCup(horizon)
+	r := WorldCup(cfg)
+	max := MaxRate(r, 0, simtime.Time(horizon), 4096)
+	mean := MeanRate(r, 0, simtime.Time(horizon), 4096)
+	if mean <= cfg.BaseRate*0.5 || mean >= cfg.BaseRate*3 {
+		t.Fatalf("mean rate %v out of plausible band around base %v", mean, cfg.BaseRate)
+	}
+	if max <= cfg.BaseRate {
+		t.Fatalf("peak %v should exceed base %v (bursts)", max, cfg.BaseRate)
+	}
+	// Deterministic: same config gives identical rate samples.
+	r2 := WorldCup(cfg)
+	for i := 0; i < 100; i++ {
+		at := simtime.Time(int64(horizon) * int64(i) / 100)
+		if r.At(at) != r2.At(at) {
+			t.Fatalf("WorldCup not deterministic at %v", at)
+		}
+	}
+	// Different seed moves the bursts.
+	cfg2 := cfg
+	cfg2.Seed++
+	r3 := WorldCup(cfg2)
+	same := true
+	for i := 0; i < 1000 && same; i++ {
+		at := simtime.Time(int64(horizon) * int64(i) / 1000)
+		if math.Abs(r.At(at)-r3.At(at)) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should displace bursts")
+	}
+}
+
+func TestWorldCupString(t *testing.T) {
+	s := DefaultWorldCup(simtime.Duration(simtime.Second)).String()
+	if s == "" {
+		t.Fatal("String should not be empty")
+	}
+}

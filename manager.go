@@ -1,0 +1,323 @@
+package repro
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/simtime"
+)
+
+// pairState is the manager-side, type-erased view of a pair. Except for
+// the atomic flags, all fields are owned by the manager goroutine.
+type pairState struct {
+	id  int
+	mgr *manager
+
+	// drainInto drains the pair's queue through its handler and returns
+	// the item count (type erasure over Pair[T]).
+	drainInto func() int
+	// pending returns the current queue length.
+	pending func() int
+	// setQuota adjusts the pair's elastic queue quota.
+	setQuota func(int)
+
+	pred         predict.Predictor
+	planner      *core.Planner
+	lastDrain    simtime.Time
+	reservedSlot int64 // -1 when none; manager-owned
+
+	// Per-pair counters (atomics: read by PairStats from any goroutine,
+	// written on the producer and manager paths).
+	itemsIn     atomic.Uint64
+	itemsOut    atomic.Uint64
+	invocations atomic.Uint64
+	overflows   atomic.Uint64
+
+	// armed is true while the manager holds (or is about to compute) a
+	// reservation for this pair. Producers set it on the first item
+	// into an empty, unarmed pair and kick the manager.
+	armed atomic.Bool
+	// forcePending coalesces overflow force requests.
+	forcePending atomic.Bool
+	closed       atomic.Bool
+}
+
+// manager is a live core manager (§V-B): one goroutine owning a slot
+// track, its reservations, and a single timer armed at the earliest
+// reserved slot. Consumer handlers run serially on this goroutine —
+// a core executes one consumer at a time, which is precisely what
+// makes latching free.
+type manager struct {
+	rt  *Runtime
+	id  int
+	res map[int64][]*pairState
+
+	cmds  chan func()
+	kick  chan *pairState
+	force chan *pairState
+	done  chan struct{}
+
+	timer *time.Timer
+}
+
+func newManager(rt *Runtime, id int) *manager {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &manager{
+		rt:    rt,
+		id:    id,
+		res:   make(map[int64][]*pairState),
+		cmds:  make(chan func(), 16),
+		kick:  make(chan *pairState, 128),
+		force: make(chan *pairState, 128),
+		done:  make(chan struct{}),
+		timer: t,
+	}
+}
+
+// Has implements core.Reservations.
+func (m *manager) Has(slot int64) bool { return len(m.res[slot]) > 0 }
+
+// PrevReserved implements core.Reservations.
+func (m *manager) PrevReserved(before, after int64) (int64, bool) {
+	best := int64(0)
+	found := false
+	for slot, ps := range m.res {
+		if len(ps) == 0 {
+			continue
+		}
+		if slot > after && slot < before && (!found || slot > best) {
+			best = slot
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (m *manager) earliest() (int64, bool) {
+	best := int64(0)
+	found := false
+	for slot, ps := range m.res {
+		if len(ps) == 0 {
+			continue
+		}
+		if !found || slot < best {
+			best = slot
+			found = true
+		}
+	}
+	return best, found
+}
+
+// loop is the manager goroutine: arm the timer at the earliest reserved
+// slot, then react to timer expirations, overflow forces, producer
+// kicks and control commands. On shutdown it drains every registered
+// pair one final time.
+func (m *manager) loop() {
+	defer m.finalDrain()
+	for {
+		var timerC <-chan time.Time
+		if slot, ok := m.earliest(); ok {
+			d := time.Until(m.rt.wallAt(m.rt.planner.Track.Start(slot)))
+			if d < 0 {
+				d = 0
+			}
+			if !m.timer.Stop() {
+				select {
+				case <-m.timer.C:
+				default:
+				}
+			}
+			m.timer.Reset(d)
+			timerC = m.timer.C
+		}
+
+		select {
+		case <-m.done:
+			return
+		case f := <-m.cmds:
+			f()
+		case p := <-m.kick:
+			m.onKick(p)
+		case p := <-m.force:
+			p.forcePending.Store(false)
+			if !p.closed.Load() {
+				m.rt.stats.forcedWakes.Add(1)
+				m.drainAndPlan(p, m.rt.now(), false)
+			}
+		case <-timerC:
+			m.onTimer()
+		}
+	}
+}
+
+// onTimer fires every reserved slot whose start has passed. One timer
+// expiration serving several pairs is the latching payoff.
+func (m *manager) onTimer() {
+	now := m.rt.now()
+	nowSlot := m.rt.planner.Track.Index(now)
+	fired := false
+	for slot, ps := range m.res {
+		if slot > nowSlot || len(ps) == 0 {
+			continue
+		}
+		fired = true
+		delete(m.res, slot)
+		for _, p := range ps {
+			p.reservedSlot = -1
+			m.drainAndPlan(p, now, true)
+		}
+	}
+	if fired {
+		m.rt.stats.timerWakes.Add(1)
+	}
+}
+
+// onKick handles a producer's arm request: a pair that had no
+// reservation received its first item.
+func (m *manager) onKick(p *pairState) {
+	if p.closed.Load() || p.reservedSlot >= 0 {
+		return
+	}
+	m.plan(p, m.rt.now())
+}
+
+// drainAndPlan runs one consumer invocation: drain through the handler,
+// observe the rate, and reserve the next slot. scheduled distinguishes
+// slot-timer drains from overflow-forced ones.
+func (m *manager) drainAndPlan(p *pairState, now simtime.Time, scheduled bool) {
+	m.deregister(p)
+	n := p.drainInto()
+	if obs := m.rt.opts.observer; obs != nil {
+		obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: n, Scheduled: scheduled})
+	}
+	m.rt.stats.invocations.Add(1)
+	m.rt.stats.itemsOut.Add(uint64(n))
+	p.invocations.Add(1)
+	p.itemsOut.Add(uint64(n))
+	if dt := now.Sub(p.lastDrain); dt > 0 {
+		p.pred.Observe(float64(n) / dt.Seconds())
+	}
+	p.lastDrain = now
+	m.plan(p, now)
+}
+
+// plan consults the shared PBPL planner and applies its decision.
+func (m *manager) plan(p *pairState, now simtime.Time) {
+	if p.closed.Load() {
+		return
+	}
+	plan := p.planner.Next(now, p.pred.Predict(), p.pending(), m, func(want int) int {
+		return m.rt.requestQuota(p.id, want)
+	})
+	if plan.Quota >= 0 {
+		p.setQuota(plan.Quota)
+	}
+	if !plan.Reserve {
+		// Going idle: allow producers to re-arm us, then re-check for
+		// an item that raced in between the pending() read and the
+		// flag flip.
+		if obs := m.rt.opts.observer; obs != nil {
+			obs(Event{Kind: EventIdle, Pair: p.id, At: time.Duration(now)})
+		}
+		p.armed.Store(false)
+		if p.pending() > 0 && !p.armed.Swap(true) {
+			m.plan(p, now)
+		}
+		return
+	}
+	p.armed.Store(true)
+	if obs := m.rt.opts.observer; obs != nil {
+		obs(Event{Kind: EventReserve, Pair: p.id, At: time.Duration(now), Slot: plan.Slot})
+	}
+	m.reserve(p, plan.Slot)
+}
+
+func (m *manager) reserve(p *pairState, slot int64) {
+	if p.reservedSlot == slot {
+		return
+	}
+	m.deregister(p)
+	m.res[slot] = append(m.res[slot], p)
+	p.reservedSlot = slot
+}
+
+func (m *manager) deregister(p *pairState) {
+	if p.reservedSlot < 0 {
+		return
+	}
+	list := m.res[p.reservedSlot]
+	for i, other := range list {
+		if other == p {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.res, p.reservedSlot)
+	} else {
+		m.res[p.reservedSlot] = list
+	}
+	p.reservedSlot = -1
+}
+
+// finalDrain empties every pair still holding items at shutdown.
+func (m *manager) finalDrain() {
+	seen := map[*pairState]bool{}
+	for _, ps := range m.res {
+		for _, p := range ps {
+			seen[p] = true
+		}
+	}
+	// Also catch pairs with pending items but no reservation (queued
+	// kicks/forces that will never be served).
+	for {
+		select {
+		case p := <-m.kick:
+			seen[p] = true
+			continue
+		case p := <-m.force:
+			seen[p] = true
+			continue
+		default:
+		}
+		break
+	}
+	for p := range seen {
+		p.reservedSlot = -1
+	}
+	m.res = map[int64][]*pairState{}
+	for p := range seen {
+		if n := p.drainInto(); n > 0 {
+			m.rt.stats.invocations.Add(1)
+			m.rt.stats.itemsOut.Add(uint64(n))
+			p.invocations.Add(1)
+			p.itemsOut.Add(uint64(n))
+			if obs := m.rt.opts.observer; obs != nil {
+				obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: n})
+			}
+		}
+	}
+}
+
+// run executes f on the manager goroutine and waits for it; used for
+// registration and close sequencing. Returns false if the manager has
+// shut down.
+func (m *manager) run(f func()) bool {
+	ack := make(chan struct{})
+	select {
+	case m.cmds <- func() { f(); close(ack) }:
+	case <-m.done:
+		return false
+	}
+	select {
+	case <-ack:
+		return true
+	case <-m.done:
+		return false
+	}
+}

@@ -1,0 +1,56 @@
+package repro
+
+import "time"
+
+// EventKind classifies runtime observer events.
+type EventKind int
+
+// Observer event kinds.
+const (
+	// EventDrain: a pair's buffer was drained through its handler.
+	EventDrain EventKind = iota
+	// EventReserve: a pair reserved a track slot.
+	EventReserve
+	// EventIdle: a pair went idle (no reservation; the next Put re-arms
+	// it).
+	EventIdle
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDrain:
+		return "drain"
+	case EventReserve:
+		return "reserve"
+	case EventIdle:
+		return "idle"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable runtime action, for debugging and
+// instrumentation (the live analogue of the simulator's
+// InvocationTrace).
+type Event struct {
+	Kind EventKind
+	// Pair is the pair's runtime-assigned id.
+	Pair int
+	// At is the event time relative to Runtime start.
+	At time.Duration
+	// Items drained (EventDrain only).
+	Items int
+	// Scheduled is true for slot-timer drains, false for forced ones
+	// (EventDrain only).
+	Scheduled bool
+	// Slot is the reserved slot index (EventReserve only).
+	Slot int64
+}
+
+// WithObserver installs a callback invoked for every drain, reservation
+// and idle transition. It runs on the core-manager goroutine: keep it
+// fast and non-blocking, or it will delay every consumer latched onto
+// the same wakeups.
+func WithObserver(fn func(Event)) Option {
+	return func(o *options) { o.observer = fn }
+}

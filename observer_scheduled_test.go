@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Scheduled vs forced drains must be labeled correctly in observer
+// events: a tiny buffer flooded fast produces forced drains; a calm
+// stream drains on slot timers.
+func TestObserverScheduledFlag(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[bool]int{}
+	rt, err := New(
+		WithSlotSize(20*time.Millisecond),
+		WithMaxLatency(200*time.Millisecond),
+		WithBuffer(4), WithMinQuota(2),
+		WithObserver(func(e Event) {
+			if e.Kind == EventDrain && e.Items > 0 {
+				mu.Lock()
+				counts[e.Scheduled]++
+				mu.Unlock()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+
+	// Flood: forced drains.
+	for i := 0; i < 100; i++ {
+		pair.Put(i)
+	}
+	if !waitFor(t, 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[false] > 0
+	}) {
+		t.Fatal("no forced drains observed under flood")
+	}
+	// Calm trickle: scheduled drains.
+	for i := 0; i < 6; i++ {
+		pair.PutWait(i, time.Second)
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !waitFor(t, 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[true] > 0
+	}) {
+		t.Fatal("no scheduled drains observed on a trickle")
+	}
+}

@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserverSequence(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	rt, err := New(
+		WithSlotSize(5*time.Millisecond),
+		WithMaxLatency(25*time.Millisecond),
+		WithObserver(func(e Event) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := pair.PutWait(i, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		return pair.Stats().ItemsOut == 20 && pair.Len() == 0
+	}) {
+		t.Fatal("items not drained")
+	}
+	// Let the pair go idle (MA decays after zero drains).
+	ok := waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range events {
+			if e.Kind == EventIdle {
+				return true
+			}
+		}
+		return false
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	var drains, reserves, idles, items int
+	for _, e := range events {
+		switch e.Kind {
+		case EventDrain:
+			drains++
+			items += e.Items
+		case EventReserve:
+			reserves++
+			if e.Slot <= 0 {
+				t.Errorf("reserve with non-positive slot: %+v", e)
+			}
+		case EventIdle:
+			idles++
+		}
+		if e.At < 0 {
+			t.Errorf("negative event time: %+v", e)
+		}
+	}
+	if drains == 0 || reserves == 0 {
+		t.Fatalf("missing events: drains=%d reserves=%d", drains, reserves)
+	}
+	if items != 20 {
+		t.Fatalf("observer saw %d items, want 20", items)
+	}
+	if !ok {
+		t.Log("no idle transition observed (predictor still decaying); acceptable")
+	}
+	// Kind strings render.
+	if EventDrain.String() != "drain" || EventReserve.String() != "reserve" ||
+		EventIdle.String() != "idle" || EventKind(99).String() != "unknown" {
+		t.Fatal("EventKind strings wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/predict"
+)
+
+// Errors returned by the runtime.
+var (
+	// ErrClosed reports an operation on a closed pair or runtime.
+	ErrClosed = errors.New("repro: closed")
+	// ErrOverflow reports that Put found the pair's buffer at quota.
+	// The runtime has already forced a drain; the caller may retry
+	// immediately or shed the item.
+	ErrOverflow = errors.New("repro: buffer overflow")
+	// ErrTooManyPairs reports that the runtime's preallocated global
+	// buffer arena cannot host another pair (see WithMaxPairs).
+	ErrTooManyPairs = errors.New("repro: too many pairs")
+)
+
+// options collects runtime configuration.
+type options struct {
+	managers   int
+	slotSize   time.Duration
+	maxLatency time.Duration
+	buffer     int
+	minQuota   int
+	headroom   float64
+	maxPairs   int
+	segSize    int
+	predictor  predict.Factory
+	observer   func(Event)
+
+	disableLatching   bool
+	disableResizing   bool
+	disablePrediction bool
+
+	// Eq. 8 energy constants; defaults approximate a mobile-class core
+	// (they only steer the latch-vs-new-slot trade, not correctness).
+	omegaMicro    float64
+	perItemMicro  float64
+	overheadMicro float64
+}
+
+func defaultOptions() options {
+	return options{
+		managers:      1,
+		slotSize:      10 * time.Millisecond,
+		maxLatency:    200 * time.Millisecond,
+		buffer:        64,
+		minQuota:      2,
+		headroom:      0.7,
+		maxPairs:      64,
+		segSize:       16,
+		predictor:     predict.DefaultFactory,
+		omegaMicro:    38.5,
+		perItemMicro:  1.7,
+		overheadMicro: 6.8,
+	}
+}
+
+func (o options) validate() error {
+	if o.managers < 1 {
+		return fmt.Errorf("repro: managers %d < 1", o.managers)
+	}
+	if o.slotSize <= 0 {
+		return fmt.Errorf("repro: slot size %v <= 0", o.slotSize)
+	}
+	if o.maxLatency < o.slotSize {
+		return fmt.Errorf("repro: max latency %v below slot size %v", o.maxLatency, o.slotSize)
+	}
+	if o.buffer < 1 {
+		return fmt.Errorf("repro: buffer %d < 1", o.buffer)
+	}
+	if o.minQuota < 1 || o.minQuota > o.buffer {
+		return fmt.Errorf("repro: min quota %d outside [1, %d]", o.minQuota, o.buffer)
+	}
+	if o.headroom <= 0 || o.headroom > 1 {
+		return fmt.Errorf("repro: headroom %v outside (0, 1]", o.headroom)
+	}
+	if o.maxPairs < 1 {
+		return fmt.Errorf("repro: max pairs %d < 1", o.maxPairs)
+	}
+	if o.segSize < 1 {
+		return fmt.Errorf("repro: segment size %d < 1", o.segSize)
+	}
+	if o.predictor == nil {
+		return fmt.Errorf("repro: nil predictor factory")
+	}
+	if o.omegaMicro <= 0 || o.perItemMicro <= 0 || o.overheadMicro < 0 {
+		return fmt.Errorf("repro: non-positive energy constants")
+	}
+	return nil
+}
+
+// Option configures a Runtime.
+type Option func(*options)
+
+// WithManagers sets the number of core managers (one goroutine and one
+// slot track each); pairs are assigned round-robin. Default 1 — the
+// paper's consumer-isolation setup.
+func WithManagers(n int) Option { return func(o *options) { o.managers = n } }
+
+// WithSlotSize sets the track slot Δ. Default 10ms.
+func WithSlotSize(d time.Duration) Option { return func(o *options) { o.slotSize = d } }
+
+// WithMaxLatency bounds how long an item may sit buffered before its
+// batch is drained. Default 200ms.
+func WithMaxLatency(d time.Duration) Option { return func(o *options) { o.maxLatency = d } }
+
+// WithBuffer sets B0, each pair's preferred buffer capacity in items;
+// the global pool is B0 × MaxPairs. Default 64.
+func WithBuffer(b int) Option { return func(o *options) { o.buffer = b } }
+
+// WithMinQuota sets the floor a pair's elastic quota can shrink to.
+// Default 2.
+func WithMinQuota(n int) Option { return func(o *options) { o.minQuota = n } }
+
+// WithHeadroom sets the target buffer utilization η in (0,1]; quotas
+// are sized to predicted-need/η. Default 0.7.
+func WithHeadroom(h float64) Option { return func(o *options) { o.headroom = h } }
+
+// WithMaxPairs caps concurrently open pairs; the shared segment arena
+// is preallocated for this many. Default 64.
+func WithMaxPairs(n int) Option { return func(o *options) { o.maxPairs = n } }
+
+// WithPredictor sets the rate predictor factory (each pair gets its own
+// instance). Default: the paper's moving average with window 8; see
+// internal/predict for EWMA and Kalman variants via
+// predict.FactoryByName.
+func WithPredictor(f predict.Factory) Option { return func(o *options) { o.predictor = f } }
+
+// WithoutLatching disables reservation latching (ablation/debugging).
+func WithoutLatching() Option { return func(o *options) { o.disableLatching = true } }
+
+// WithoutResizing pins every pair's quota at B0 (ablation/debugging).
+func WithoutResizing() Option { return func(o *options) { o.disableResizing = true } }
+
+// WithoutPrediction degrades to fixed every-slot periodic batching
+// (ablation/debugging).
+func WithoutPrediction() Option { return func(o *options) { o.disablePrediction = true } }

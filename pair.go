@@ -1,0 +1,198 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/simtime"
+)
+
+// PairOption configures one pair at creation.
+type PairOption func(*pairConfig)
+
+type pairConfig struct {
+	maxLatency time.Duration
+}
+
+// PairWithMaxLatency overrides the runtime-wide response-latency bound
+// for this pair (the §IV model gives every consumer its own bound; the
+// slot track stays shared). Must be at least the runtime's slot size.
+func PairWithMaxLatency(d time.Duration) PairOption {
+	return func(c *pairConfig) { c.maxLatency = d }
+}
+
+// Pair is one producer-consumer pair: a bounded elastic buffer feeding
+// a batch handler. Exactly one logical producer should call Put (the
+// paper pairs each consumer with one producer); the handler runs on the
+// pair's core-manager goroutine.
+type Pair[T any] struct {
+	rt      *Runtime
+	st      *pairState
+	q       *ring.Segmented[T]
+	handler func([]T)
+
+	// drainMu serializes drains. They normally all happen on the
+	// manager goroutine, but Pair.Close racing Runtime.Close can fall
+	// back to draining on the caller while the manager's final drain
+	// is still running.
+	drainMu sync.Mutex
+	scratch []T
+}
+
+// NewPair registers a consumer with the runtime. The handler receives
+// each drained batch; it must not block for long (it runs on the core
+// manager goroutine, serializing with the other consumers latched onto
+// the same wakeups). A panicking handler is recovered and counted in
+// Stats.HandlerPanics; its batch is dropped.
+func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*Pair[T], error) {
+	if handler == nil {
+		panic("repro: nil handler")
+	}
+	o := rt.opts
+	pc := pairConfig{maxLatency: o.maxLatency}
+	for _, f := range opts {
+		f(&pc)
+	}
+	if pc.maxLatency < o.slotSize {
+		return nil, fmt.Errorf("repro: pair max latency %v below slot size %v", pc.maxLatency, o.slotSize)
+	}
+	id, err := rt.addPair()
+	if err != nil {
+		return nil, err
+	}
+	segs := (o.buffer + o.segSize - 1) / o.segSize * 2 // headroom for lent capacity
+	if segs < 2 {
+		segs = 2
+	}
+	p := &Pair[T]{
+		rt:      rt,
+		handler: handler,
+		q:       ring.NewSegmented(ring.NewSegmentPool[T](segs, o.segSize), o.buffer),
+		scratch: make([]T, 0, o.buffer),
+	}
+	planner := rt.planner
+	if pc.maxLatency != o.maxLatency {
+		own := *rt.planner
+		own.MaxLatency = simtime.Duration(pc.maxLatency)
+		planner = &own
+	}
+	st := &pairState{
+		id:        id,
+		mgr:       rt.managerFor(id),
+		pred:      o.predictor(),
+		planner:   planner,
+		lastDrain: rt.now(),
+		pending:   p.q.Len,
+		setQuota:  p.q.SetQuota,
+	}
+	st.reservedSlot = -1
+	st.drainInto = p.drain
+	p.st = st
+	return p, nil
+}
+
+// drain empties the queue through the handler, recovering panics.
+func (p *Pair[T]) drain() int {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	batch := p.q.DrainTo(p.scratch[:0])
+	if len(batch) == 0 {
+		return 0
+	}
+	func() {
+		defer func() {
+			if recover() != nil {
+				p.rt.stats.handlerPanics.Add(1)
+			}
+		}()
+		p.handler(batch)
+	}()
+	return len(batch)
+}
+
+// Put buffers one item. It never blocks: when the pair's elastic quota
+// is exhausted it forces an immediate drain (the paper's overflow
+// wakeup) and returns ErrOverflow without enqueueing — retry or shed.
+func (p *Pair[T]) Put(v T) error {
+	if p.st.closed.Load() || p.rt.closed.Load() {
+		return ErrClosed
+	}
+	if p.q.Push(v) {
+		p.rt.stats.itemsIn.Add(1)
+		p.st.itemsIn.Add(1)
+		if !p.st.armed.Swap(true) {
+			select {
+			case p.st.mgr.kick <- p.st:
+			case <-p.st.mgr.done:
+				p.st.armed.Store(false)
+			}
+		}
+		return nil
+	}
+	p.rt.stats.overflows.Add(1)
+	p.st.overflows.Add(1)
+	if !p.st.forcePending.Swap(true) {
+		select {
+		case p.st.mgr.force <- p.st:
+		case <-p.st.mgr.done:
+			p.st.forcePending.Store(false)
+		}
+	}
+	return ErrOverflow
+}
+
+// PairStats is a snapshot of one pair's counters.
+type PairStats struct {
+	ItemsIn     uint64
+	ItemsOut    uint64
+	Invocations uint64
+	Overflows   uint64
+}
+
+// Stats returns a snapshot of the pair's counters.
+func (p *Pair[T]) Stats() PairStats {
+	return PairStats{
+		ItemsIn:     p.st.itemsIn.Load(),
+		ItemsOut:    p.st.itemsOut.Load(),
+		Invocations: p.st.invocations.Load(),
+		Overflows:   p.st.overflows.Load(),
+	}
+}
+
+// Len returns the number of buffered items.
+func (p *Pair[T]) Len() int { return p.q.Len() }
+
+// Quota returns the pair's current elastic buffer capacity.
+func (p *Pair[T]) Quota() int { return p.q.Quota() }
+
+// Close drains any remaining items through the handler, releases the
+// pair's pool capacity and detaches it from its manager. Further Puts
+// return ErrClosed. Close is idempotent.
+func (p *Pair[T]) Close() error {
+	if p.st.closed.Swap(true) {
+		return nil
+	}
+	ran := p.st.mgr.run(func() {
+		p.st.mgr.deregister(p.st)
+		if n := p.drain(); n > 0 {
+			p.rt.stats.invocations.Add(1)
+			p.rt.stats.itemsOut.Add(uint64(n))
+			p.st.invocations.Add(1)
+			p.st.itemsOut.Add(uint64(n))
+			if obs := p.rt.opts.observer; obs != nil {
+				obs(Event{Kind: EventDrain, Pair: p.st.id, At: time.Duration(p.rt.now()), Items: n})
+			}
+		}
+	})
+	if !ran {
+		// Manager already stopped: it drained (or will drain) every
+		// pair it knew in finalDrain; catch only what is left here.
+		if n := p.drain(); n > 0 {
+			p.rt.stats.itemsOut.Add(uint64(n))
+		}
+	}
+	p.rt.removePair(p.st.id)
+	return nil
+}

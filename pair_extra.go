@@ -1,0 +1,45 @@
+package repro
+
+import "time"
+
+// PutWait buffers one item, blocking (with backoff) while the pair's
+// quota is exhausted, until the item is accepted, the timeout elapses,
+// or the pair closes. A zero or negative timeout makes a single
+// attempt, like Put. Every rejected attempt has already forced a
+// drain, so waiting is usually one slot long at most.
+func (p *Pair[T]) PutWait(v T, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Microsecond
+	for {
+		err := p.Put(v)
+		if err == nil || err == ErrClosed {
+			return err
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Flush asks the pair's core manager to drain buffered items now
+// instead of waiting for the reserved slot. It returns immediately;
+// the drain happens on the manager goroutine and is counted as a
+// forced wakeup. Useful before latency-sensitive checkpoints.
+func (p *Pair[T]) Flush() error {
+	if p.st.closed.Load() || p.rt.closed.Load() {
+		return ErrClosed
+	}
+	if !p.st.forcePending.Swap(true) {
+		select {
+		case p.st.mgr.force <- p.st:
+		case <-p.st.mgr.done:
+			p.st.forcePending.Store(false)
+			return ErrClosed
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutWaitBlocksThroughOverflow(t *testing.T) {
+	rt, err := New(
+		WithSlotSize(10*time.Millisecond),
+		WithMaxLatency(100*time.Millisecond),
+		WithBuffer(4), WithMinQuota(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var mu sync.Mutex
+	got := 0
+	pair, err := NewPair(rt, func(batch []int) {
+		mu.Lock()
+		got += len(batch)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := pair.PutWait(i, 5*time.Second); err != nil {
+			t.Fatalf("PutWait(%d): %v", i, err)
+		}
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == n
+	}) {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+}
+
+func TestPutWaitZeroTimeoutIsSingleAttempt(t *testing.T) {
+	rt, err := New(WithSlotSize(50*time.Millisecond), WithMaxLatency(500*time.Millisecond), WithBuffer(2), WithMinQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	pair.Put(1)
+	pair.Put(2)
+	if err := pair.PutWait(3, 0); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("zero-timeout PutWait = %v, want ErrOverflow", err)
+	}
+}
+
+func TestPutWaitAfterClose(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair.Close()
+	if err := pair.PutWait(1, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PutWait after close = %v", err)
+	}
+}
+
+func TestFlushDrainsEarly(t *testing.T) {
+	// A very long slot: without Flush the item would sit for seconds.
+	rt, err := New(WithSlotSize(2*time.Second), WithMaxLatency(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	done := make(chan int, 1)
+	pair, err := NewPair(rt, func(batch []string) {
+		select {
+		case done <- len(batch):
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	if err := pair.Put("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("flushed %d items", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Flush did not drain (slot is 2s away)")
+	}
+	if rt.Stats().ForcedWakes == 0 {
+		t.Error("Flush should count as a forced wake")
+	}
+}
+
+func TestFlushOnClosed(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair.Close()
+	if err := pair.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush on closed pair = %v", err)
+	}
+	rt.Close()
+}

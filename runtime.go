@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/track"
+)
+
+// Stats is a snapshot of runtime counters. TimerWakes + ForcedWakes is
+// the live analogue of the paper's wakeup objective (Eq. 4): how many
+// times consumer work pulled a core manager out of its sleep.
+type Stats struct {
+	// TimerWakes counts slot-timer expirations that drained at least
+	// one pair (the scheduled wakeups of §V-B).
+	TimerWakes uint64
+	// ForcedWakes counts overflow-forced drains (the unscheduled
+	// wakeups of §VI-C).
+	ForcedWakes uint64
+	// Invocations counts pair drains, scheduled or forced.
+	Invocations uint64
+	// ItemsIn / ItemsOut count produced and consumed items.
+	ItemsIn  uint64
+	ItemsOut uint64
+	// Overflows counts Put calls that found the buffer at quota.
+	Overflows uint64
+	// HandlerPanics counts recovered consumer-handler panics.
+	HandlerPanics uint64
+}
+
+type counters struct {
+	timerWakes    atomic.Uint64
+	forcedWakes   atomic.Uint64
+	invocations   atomic.Uint64
+	itemsIn       atomic.Uint64
+	itemsOut      atomic.Uint64
+	overflows     atomic.Uint64
+	handlerPanics atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		TimerWakes:    c.timerWakes.Load(),
+		ForcedWakes:   c.forcedWakes.Load(),
+		Invocations:   c.invocations.Load(),
+		ItemsIn:       c.itemsIn.Load(),
+		ItemsOut:      c.itemsOut.Load(),
+		Overflows:     c.overflows.Load(),
+		HandlerPanics: c.handlerPanics.Load(),
+	}
+}
+
+// Runtime hosts core managers and the shared elastic buffer pool. All
+// methods are safe for concurrent use.
+type Runtime struct {
+	opts     options
+	start    time.Time
+	planner  *core.Planner
+	managers []*manager
+	stats    counters
+
+	poolMu sync.Mutex
+	pool   *buffer.Pool
+
+	pairMu    sync.Mutex
+	nextPair  int
+	openPairs int
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New builds and starts a runtime.
+func New(opts ...Option) (*Runtime, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:  o,
+		start: time.Now(),
+		pool:  buffer.NewEmptyPool(o.buffer, o.minQuota),
+		planner: &core.Planner{
+			Track:             track.New(simtime.Duration(o.slotSize), 0),
+			B0:                o.buffer,
+			MaxLatency:        simtime.Duration(o.maxLatency),
+			Headroom:          o.headroom,
+			OmegaMicro:        o.omegaMicro,
+			PerItemMicro:      o.perItemMicro,
+			OverheadMicro:     o.overheadMicro,
+			DisableLatching:   o.disableLatching,
+			DisableResizing:   o.disableResizing,
+			DisablePrediction: o.disablePrediction,
+		},
+	}
+	for i := 0; i < o.managers; i++ {
+		m := newManager(rt, i)
+		rt.managers = append(rt.managers, m)
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			m.loop()
+		}()
+	}
+	return rt, nil
+}
+
+// now returns the runtime's virtual timestamp (nanoseconds since New).
+func (rt *Runtime) now() simtime.Time {
+	return simtime.Time(time.Since(rt.start))
+}
+
+// wallAt converts a virtual timestamp back to wall-clock time.
+func (rt *Runtime) wallAt(t simtime.Time) time.Time {
+	return rt.start.Add(time.Duration(t))
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
+
+// Close stops every core manager, draining all remaining buffered
+// items through their handlers first. Close is idempotent.
+func (rt *Runtime) Close() error {
+	if rt.closed.Swap(true) {
+		return nil
+	}
+	for _, m := range rt.managers {
+		close(m.done)
+	}
+	rt.wg.Wait()
+	return nil
+}
+
+// requestQuota serializes pool negotiation across manager goroutines.
+func (rt *Runtime) requestQuota(id, want int) int {
+	rt.poolMu.Lock()
+	defer rt.poolMu.Unlock()
+	return rt.pool.Request(id, want)
+}
+
+// addPair registers a pair with the pool, returning its id.
+func (rt *Runtime) addPair() (int, error) {
+	if rt.closed.Load() {
+		return 0, ErrClosed
+	}
+	rt.pairMu.Lock()
+	defer rt.pairMu.Unlock()
+	if rt.openPairs >= rt.opts.maxPairs {
+		return 0, ErrTooManyPairs
+	}
+	id := rt.nextPair
+	rt.nextPair++
+	rt.openPairs++
+	rt.poolMu.Lock()
+	err := rt.pool.Add(id)
+	rt.poolMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// removePair releases a pair's pool membership.
+func (rt *Runtime) removePair(id int) {
+	rt.pairMu.Lock()
+	rt.openPairs--
+	rt.pairMu.Unlock()
+	rt.poolMu.Lock()
+	_ = rt.pool.Remove(id)
+	rt.poolMu.Unlock()
+}
+
+// managerFor assigns pairs to managers round-robin by id.
+func (rt *Runtime) managerFor(id int) *manager {
+	return rt.managers[id%len(rt.managers)]
+}

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMultipleManagers(t *testing.T) {
+	rt, err := New(
+		WithManagers(2),
+		WithSlotSize(5*time.Millisecond),
+		WithMaxLatency(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[int]int{}
+	var pairs []*Pair[int]
+	for i := 0; i < 4; i++ {
+		i := i
+		p, err := NewPair(rt, func(batch []int) {
+			mu.Lock()
+			got[i] += len(batch)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, p)
+	}
+	// Pairs 0,2 land on manager 0; pairs 1,3 on manager 1.
+	if pairs[0].st.mgr == pairs[1].st.mgr {
+		t.Fatal("round-robin assignment broken")
+	}
+	if pairs[0].st.mgr != pairs[2].st.mgr {
+		t.Fatal("round-robin assignment broken")
+	}
+	for round := 0; round < 30; round++ {
+		for _, p := range pairs {
+			if err := p.PutWait(round, time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < 4; i++ {
+			if got[i] != 30 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("delivery incomplete: %v", got)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairStats(t *testing.T) {
+	rt, err := New(WithSlotSize(5*time.Millisecond), WithMaxLatency(25*time.Millisecond), WithBuffer(8), WithMinQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	accepted := uint64(0)
+	sawOverflow := false
+	for i := 0; i < 300; i++ {
+		if err := pair.Put(i); err == nil {
+			accepted++
+		} else {
+			sawOverflow = true
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return pair.Stats().ItemsOut == accepted }) {
+		t.Fatalf("stats: %+v, accepted %d", pair.Stats(), accepted)
+	}
+	st := pair.Stats()
+	if st.ItemsIn != accepted {
+		t.Fatalf("ItemsIn = %d, want %d", st.ItemsIn, accepted)
+	}
+	if st.Invocations == 0 {
+		t.Fatal("no invocations counted")
+	}
+	if sawOverflow && st.Overflows == 0 {
+		t.Fatal("overflow not counted per pair")
+	}
+}
