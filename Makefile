@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments figures examples clean
+.PHONY: all build test race verify bench experiments figures examples clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race .
+
+# CI entry point: vet, build, full race-enabled test suite. Includes
+# the pcd daemon smoke test (start, ingest over HTTP, scrape /metrics,
+# SIGTERM, clean exit) via ./cmd/pcd's tests.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 # One benchmark per paper figure/table, reduced scale.
 bench:

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon in-process and returns its base URL, the
+// injected signal channel, and the exit-code channel.
+func startDaemon(t *testing.T, extraArgs ...string) (string, chan os.Signal, chan int) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-http", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-slot", "2ms",
+		"-latency", "10ms",
+		"-buffer", "512",
+		"-drain", "10s",
+	}, extraArgs...)
+	sig := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	var logs bytes.Buffer
+	go func() {
+		exit <- run(args, sig, io.Discard, &logs)
+	}()
+	t.Cleanup(func() {
+		select {
+		case sig <- syscall.SIGTERM:
+		default:
+		}
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil {
+			for _, line := range strings.Split(string(raw), "\n") {
+				if addr, ok := strings.CutPrefix(line, "http="); ok && addr != "" {
+					return "http://" + addr, sig, exit
+				}
+			}
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d; logs:\n%s", code, logs.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never published its address; logs:\n%s", logs.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err == nil {
+			out[line[:sp]] = v
+		}
+	}
+	return out
+}
+
+// TestSmoke is the acceptance end-to-end: start the daemon, ingest
+// ≥ 10k items over HTTP across ≥ 4 streams, verify /metrics reports
+// ItemsOut == ItemsIn once drained, then SIGTERM and a clean exit
+// within the drain deadline.
+func TestSmoke(t *testing.T) {
+	base, sig, exit := startDaemon(t)
+
+	streams := []string{"api", "static", "audit", "analytics"}
+	const perStream = 2500
+	lines := make([]string, 125)
+	total := 0
+	for _, key := range streams {
+		acc := 0
+		for acc < perStream {
+			for i := range lines {
+				lines[i] = fmt.Sprintf("%s-%d", key, acc+i)
+			}
+			resp, err := http.Post(base+"/ingest/"+key, "text/plain",
+				strings.NewReader(strings.Join(lines, "\n")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var r struct {
+				Accepted int `json:"accepted"`
+				Shed     int `json:"shed"`
+			}
+			if err := jsonDecode(resp.Body, &r); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("ingest status %d", resp.StatusCode)
+			}
+			acc += r.Accepted
+			if r.Shed > 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		total += acc
+	}
+	if total < 10000 {
+		t.Fatalf("ingested %d items, want >= 10000", total)
+	}
+
+	// Wait for the natural drain, observed through /metrics.
+	deadline := time.Now().Add(10 * time.Second)
+	var m map[string]float64
+	for {
+		m = scrape(t, base)
+		if m["pcd_items_in_total"] == m["pcd_items_out_total"] &&
+			m["pcd_items_in_total"] >= float64(total) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never drained: in=%v out=%v", m["pcd_items_in_total"], m["pcd_items_out_total"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m["pcd_streams"] != float64(len(streams)) {
+		t.Errorf("pcd_streams = %v, want %d", m["pcd_streams"], len(streams))
+	}
+
+	// SIGTERM: clean exit within the drain deadline.
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func TestSmokeTCPAndWork(t *testing.T) {
+	base, sig, exit := startDaemon(t, "-tcp", "127.0.0.1:0", "-work", "1us", "-managers", "2")
+
+	resp, err := http.Post(base+"/ingest/w", "text/plain", strings.NewReader("a\nb\nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := scrape(t, base)
+		if m["pcd_items_out_total"] >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("work items never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

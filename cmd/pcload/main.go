@@ -1,0 +1,210 @@
+// Command pcload replays a workload trace against a running pcd daemon
+// over real sockets — the client half of the paper's §III experiment
+// (a web server driven by a recorded, bursty request stream). The
+// trace is split into phase-shifted per-stream producers exactly like
+// the in-process drivers (§VI-A), then paced in wall clock and sent as
+// HTTP ingest batches or raw-TCP lines.
+//
+//	pcload -target http://localhost:8080                  # synthetic World-Cup trace
+//	pcload -target http://localhost:8080 -trace real.pctr -speed 5
+//	pcload -tcp localhost:8081 -streams 8 -rate 5000
+//
+// Exit status is 0 when every arrival was sent (shed items are the
+// daemon's choice, reported but not an error) and 1 on transport
+// errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+type loadConfig struct {
+	target    string // pcd base URL for HTTP ingest ("" disables)
+	tcpTarget string // pcd raw-TCP address ("" disables)
+	tracePath string
+	streams   int
+	duration  time.Duration
+	rate      float64
+	speed     float64
+	batch     int
+	prefix    string
+}
+
+type summary struct {
+	Streams  int
+	Sent     int64
+	Accepted int64
+	Shed     int64
+	Errors   int64
+	Elapsed  time.Duration
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.target, "target", "http://127.0.0.1:8080", "pcd base URL for HTTP ingest (empty: use -tcp)")
+	flag.StringVar(&cfg.tcpTarget, "tcp", "", "pcd raw-TCP address (overrides -target when set)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "binary trace to replay (default: synthetic World-Cup shape)")
+	flag.IntVar(&cfg.streams, "streams", 4, "phase-shifted producer streams")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "synthetic trace duration")
+	flag.Float64Var(&cfg.rate, "rate", 2000, "synthetic base rate, items/s")
+	flag.Float64Var(&cfg.speed, "speed", 1, "replay speed multiplier")
+	flag.IntVar(&cfg.batch, "batch", 16, "max items coalesced into one HTTP request")
+	flag.StringVar(&cfg.prefix, "stream-prefix", "load-", "stream key prefix")
+	flag.Parse()
+
+	sum, err := runLoad(context.Background(), cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pcload: %d streams sent %d items in %.2fs (%.0f items/s): %d accepted, %d shed, %d errors\n",
+		sum.Streams, sum.Sent, sum.Elapsed.Seconds(),
+		float64(sum.Sent)/sum.Elapsed.Seconds(), sum.Accepted, sum.Shed, sum.Errors)
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runLoad replays the trace against the configured target and returns
+// client-side accounting.
+func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, error) {
+	if cfg.streams < 1 {
+		return summary{}, fmt.Errorf("streams %d < 1", cfg.streams)
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	base, err := loadTrace(cfg)
+	if err != nil {
+		return summary{}, err
+	}
+	shards := base.PhaseShifts(cfg.streams)
+	total := 0
+	for _, sh := range shards {
+		total += sh.Count()
+	}
+	fmt.Fprintf(stdout, "pcload: replaying %d arrivals over ≈%.1fs wall clock (%d streams, speed %gx)\n",
+		total, base.Duration.Seconds()/cfg.speed, cfg.streams, cfg.speed)
+
+	var sum summary
+	sum.Streams = cfg.streams
+	var sent, accepted, shed, errs atomic.Int64
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		key := fmt.Sprintf("%s%d", cfg.prefix, i)
+		wg.Add(1)
+		go func(key string, sh trace.Trace) {
+			defer wg.Done()
+			var send func(items []string)
+			if cfg.tcpTarget != "" {
+				conn, err := net.Dial("tcp", cfg.tcpTarget)
+				if err != nil {
+					errs.Add(int64(sh.Count()))
+					return
+				}
+				defer conn.Close()
+				send = func(items []string) {
+					var b strings.Builder
+					for _, it := range items {
+						fmt.Fprintf(&b, "%s %s\n", key, it)
+					}
+					sent.Add(int64(len(items)))
+					if _, err := io.WriteString(conn, b.String()); err != nil {
+						errs.Add(int64(len(items)))
+					}
+					// Fire-and-forget: the daemon counts sheds.
+				}
+			} else {
+				url := strings.TrimRight(cfg.target, "/") + "/ingest/" + key
+				send = func(items []string) {
+					sent.Add(int64(len(items)))
+					a, s, err := postBatch(client, url, items)
+					if err != nil {
+						errs.Add(int64(len(items)))
+						return
+					}
+					accepted.Add(int64(a))
+					shed.Add(int64(s))
+				}
+			}
+			pending := make([]string, 0, cfg.batch)
+			_, err := trace.Replay(ctx, sh, cfg.speed, func(i int, at simtime.Time) error {
+				pending = append(pending, fmt.Sprintf("%s-%d", key, i))
+				if len(pending) >= cfg.batch {
+					send(pending)
+					pending = pending[:0]
+				}
+				return nil
+			})
+			if len(pending) > 0 {
+				send(pending)
+			}
+			if err != nil && ctx.Err() == nil {
+				errs.Add(1)
+			}
+		}(key, sh)
+	}
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	sum.Sent = sent.Load()
+	sum.Accepted = accepted.Load()
+	sum.Shed = shed.Load()
+	sum.Errors = errs.Load()
+	return sum, nil
+}
+
+// loadTrace reads the trace file, or synthesizes the World-Cup shape.
+func loadTrace(cfg loadConfig) (trace.Trace, error) {
+	if cfg.tracePath != "" {
+		f, err := os.Open(cfg.tracePath)
+		if err != nil {
+			return trace.Trace{}, err
+		}
+		defer f.Close()
+		return trace.ReadBinary(f)
+	}
+	dur := simtime.Duration(cfg.duration.Nanoseconds())
+	wc := trace.DefaultWorldCup(dur)
+	wc.BaseRate = cfg.rate
+	wc.Bursts = int(dur.Seconds()) + 1
+	wc.BurstPeak = 2 * cfg.rate
+	return trace.Generate(trace.WorldCup(wc), dur, 1998), nil
+}
+
+// postBatch sends one ingest request and parses the daemon's verdict.
+func postBatch(client *http.Client, url string, items []string) (accepted, shed int, err error) {
+	resp, err := client.Post(url, "text/plain", strings.NewReader(strings.Join(items, "\n")))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0, fmt.Errorf("ingest status %d", resp.StatusCode)
+	}
+	var r struct {
+		Accepted int `json:"accepted"`
+		Shed     int `json:"shed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return 0, 0, err
+	}
+	return r.Accepted, r.Shed, nil
+}

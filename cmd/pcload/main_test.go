@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) (*server.Server, *repro.Runtime) {
+	t.Helper()
+	rt, err := repro.New(
+		repro.WithSlotSize(2*time.Millisecond),
+		repro.WithMaxLatency(10*time.Millisecond),
+		repro.WithBuffer(512),
+		repro.WithMaxPairs(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Runtime: rt, TCPAddr: "127.0.0.1:0"})
+	if err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		rt.Close()
+	})
+	return s, rt
+}
+
+func TestRunLoadHTTP(t *testing.T) {
+	s, rt := startServer(t)
+	sum, err := runLoad(context.Background(), loadConfig{
+		target:   "http://" + s.Addr(),
+		streams:  3,
+		duration: 200 * time.Millisecond,
+		rate:     2000,
+		speed:    4,
+		batch:    16,
+		prefix:   "t-",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sent == 0 {
+		t.Fatal("sent no items")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("transport errors: %+v", sum)
+	}
+	if sum.Accepted+sum.Shed != sum.Sent {
+		t.Fatalf("accounting mismatch: %+v", sum)
+	}
+	// Everything the daemon accepted reached the runtime.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := rt.Stats()
+		if st.ItemsIn == uint64(sum.Accepted) && st.ItemsOut == st.ItemsIn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime in/out = %d/%d, client accepted %d", st.ItemsIn, st.ItemsOut, sum.Accepted)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunLoadTCP(t *testing.T) {
+	s, rt := startServer(t)
+	sum, err := runLoad(context.Background(), loadConfig{
+		tcpTarget: s.TCPAddr(),
+		streams:   2,
+		duration:  100 * time.Millisecond,
+		rate:      1000,
+		speed:     4,
+		batch:     8,
+		prefix:    "t-",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sent == 0 || sum.Errors != 0 {
+		t.Fatalf("tcp load: %+v", sum)
+	}
+	// Fire-and-forget: wait until the runtime has seen every line that
+	// was not shed (accepted is unknown client-side over TCP).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := rt.Stats()
+		if st.ItemsIn > 0 && st.ItemsIn == st.ItemsOut && st.ItemsIn+st.Overflows >= uint64(sum.Sent) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime in/out/overflow = %d/%d/%d, client sent %d",
+				st.ItemsIn, st.ItemsOut, st.Overflows, sum.Sent)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := runLoad(context.Background(), loadConfig{streams: 0}, io.Discard); err == nil {
+		t.Fatal("streams=0 should error")
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prom accumulates samples and renders them in the Prometheus text
+// exposition format (version 0.0.4), the wire format `pcd`'s /metrics
+// endpoint speaks. It is a tiny, dependency-free subset: counters and
+// gauges with optional labels, HELP/TYPE headers emitted once per
+// metric family, families sorted by name and samples by label set so
+// scrapes are deterministic and diffable.
+//
+// Prom is not safe for concurrent use; build one per scrape.
+type Prom struct {
+	families map[string]*promFamily
+	order    []string
+}
+
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	labels string // rendered {k="v",...} or ""
+	value  float64
+}
+
+// NewProm returns an empty sample set.
+func NewProm() *Prom {
+	return &Prom{families: make(map[string]*promFamily)}
+}
+
+func (p *Prom) family(name, help, typ string) *promFamily {
+	f, ok := p.families[name]
+	if !ok {
+		f = &promFamily{name: name, help: help, typ: typ}
+		p.families[name] = f
+		p.order = append(p.order, name)
+	}
+	return f
+}
+
+// Counter records one sample of a cumulative counter. labels are
+// alternating key, value pairs; an odd trailing key is ignored.
+func (p *Prom) Counter(name, help string, value float64, labels ...string) {
+	f := p.family(name, help, "counter")
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+// Gauge records one sample of an instantaneous gauge.
+func (p *Prom) Gauge(name, help string, value float64, labels ...string) {
+	f := p.family(name, help, "gauge")
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+// renderLabels formats alternating key, value pairs as {k="v",...},
+// escaping label values per the exposition format.
+func renderLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WriteTo renders the accumulated samples.
+func (p *Prom) WriteTo(w io.Writer) (int64, error) {
+	names := append([]string(nil), p.order...)
+	sort.Strings(names)
+	var total int64
+	for _, name := range names {
+		f := p.families[name]
+		samples := append([]promSample(nil), f.samples...)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		var b strings.Builder
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range samples {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.value))
+		}
+		n, err := io.WriteString(w, b.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromExposition(t *testing.T) {
+	p := NewProm()
+	p.Counter("pcd_items_in_total", "Items accepted.", 42)
+	p.Counter("pcd_shed_total", "Items shed.", 3, "proto", "http")
+	p.Counter("pcd_shed_total", "Items shed.", 1, "proto", "tcp")
+	p.Gauge("pcd_streams", "Open streams.", 2)
+
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP pcd_items_in_total Items accepted.\n",
+		"# TYPE pcd_items_in_total counter\n",
+		"pcd_items_in_total 42\n",
+		`pcd_shed_total{proto="http"} 3` + "\n",
+		`pcd_shed_total{proto="tcp"} 1` + "\n",
+		"# TYPE pcd_streams gauge\n",
+		"pcd_streams 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE once per family even with several samples.
+	if got := strings.Count(out, "# TYPE pcd_shed_total"); got != 1 {
+		t.Errorf("pcd_shed_total TYPE emitted %d times", got)
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "pcd_items_in_total") > strings.Index(out, "pcd_streams") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	p := NewProm()
+	p.Gauge("g", "", 1, "k", "a\"b\\c\nd")
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{k="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label: got %q, want substring %q", b.String(), want)
+	}
+}
+
+func TestPromSpecialValues(t *testing.T) {
+	p := NewProm()
+	p.Gauge("nan", "", math.NaN())
+	p.Gauge("inf", "", math.Inf(1))
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "nan NaN\n") || !strings.Contains(b.String(), "inf +Inf\n") {
+		t.Errorf("special values rendered wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,89 @@
+package power
+
+import "repro/internal/simtime"
+
+// Estimator converts live runtime counters — wakeups, consumer
+// invocations, items processed — into the model's power estimate, so a
+// running daemon can report an estimated draw without a measurement
+// rig. It is the §IV model applied forward: active time is rebuilt from
+// the Eq. 8 cost terms (per-invocation overhead plus per-item work),
+// everything else is idle, and each wakeup is charged its transition
+// cost. Absolute milliwatts inherit the model's calibration caveats
+// (DESIGN.md §2); the value is for trend-watching on /metrics, not for
+// billing.
+type Estimator struct {
+	// Model supplies the board constants; zero value is unusable, use
+	// power.Default() unless calibrated otherwise.
+	Model Model
+	// Cores is the number of consumer cores (runtime managers) the
+	// activity is spread across. Values < 1 are treated as 1.
+	Cores int
+	// OverheadMicro is the per-invocation consumer overhead in µs
+	// (Eq. 8's per-wakeup work term).
+	OverheadMicro float64
+	// PerItemMicro is the per-item handler cost in µs.
+	PerItemMicro float64
+}
+
+// Counters is the slice of runtime counters the estimator consumes,
+// typically deltas since daemon start.
+type Counters struct {
+	Wakeups     uint64 // timer + forced wakeups
+	Invocations uint64 // batch drains
+	Items       uint64 // items consumed
+}
+
+// Residencies reconstructs per-core state occupancy from the counters
+// over an elapsed span: estimated busy time (clamped to capacity) is
+// split evenly across cores, the remainder is idle, and wakeups are
+// spread likewise.
+func (e Estimator) Residencies(c Counters, elapsed simtime.Duration) []Residency {
+	cores := e.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	busyMicros := float64(c.Invocations)*e.OverheadMicro + float64(c.Items)*e.PerItemMicro
+	busy := simtime.Duration(busyMicros * float64(simtime.Microsecond))
+	if max := elapsed * simtime.Duration(cores); busy > max {
+		busy = max
+	}
+	perCoreBusy := busy / simtime.Duration(cores)
+	if perCoreBusy > elapsed {
+		perCoreBusy = elapsed
+	}
+	rs := make([]Residency, cores)
+	wakes := c.Wakeups / uint64(cores)
+	extra := c.Wakeups % uint64(cores)
+	for i := range rs {
+		rs[i] = Residency{
+			Active:  perCoreBusy,
+			Idle:    elapsed - perCoreBusy,
+			Wakeups: wakes,
+		}
+		if uint64(i) < extra {
+			rs[i].Wakeups++
+		}
+	}
+	return rs
+}
+
+// AvgPowerMilliwatts estimates the mean machine power over the elapsed
+// span, background included.
+func (e Estimator) AvgPowerMilliwatts(c Counters, elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return e.Model.AvgPowerMilliwatts(e.Residencies(c, elapsed), elapsed)
+}
+
+// ExtraPowerMilliwatts estimates the paper's reported metric — mean
+// power above the all-idle floor — from live counters.
+func (e Estimator) ExtraPowerMilliwatts(c Counters, elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return e.Model.ExtraPowerMilliwatts(e.Residencies(c, elapsed), elapsed)
+}

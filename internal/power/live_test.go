@@ -1,0 +1,60 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestEstimatorIdleFloor(t *testing.T) {
+	e := Estimator{Model: Default(), Cores: 2, OverheadMicro: 6.8, PerItemMicro: 1.7}
+	// No activity at all: average power is idle cores + background.
+	got := e.AvgPowerMilliwatts(Counters{}, simtime.Second)
+	want := 2*e.Model.IdleMilliwatts + e.Model.BackgroundMilliwatts
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("idle power = %v, want %v", got, want)
+	}
+	if extra := e.ExtraPowerMilliwatts(Counters{}, simtime.Second); extra != e.Model.BackgroundMilliwatts {
+		t.Fatalf("idle extra power = %v, want background %v", extra, e.Model.BackgroundMilliwatts)
+	}
+}
+
+func TestEstimatorMonotoneInActivity(t *testing.T) {
+	e := Estimator{Model: Default(), Cores: 1, OverheadMicro: 6.8, PerItemMicro: 1.7}
+	quiet := e.AvgPowerMilliwatts(Counters{Wakeups: 10, Invocations: 10, Items: 100}, simtime.Second)
+	busy := e.AvgPowerMilliwatts(Counters{Wakeups: 1000, Invocations: 1000, Items: 100000}, simtime.Second)
+	if busy <= quiet {
+		t.Fatalf("busier counters should estimate more power: quiet %v, busy %v", quiet, busy)
+	}
+}
+
+func TestEstimatorClampsBusyTime(t *testing.T) {
+	e := Estimator{Model: Default(), Cores: 1, OverheadMicro: 6.8, PerItemMicro: 1.7}
+	// Absurd counters for a 1ms span: active time must clamp at the
+	// span, so power cannot exceed active + background.
+	got := e.AvgPowerMilliwatts(Counters{Invocations: 1 << 20, Items: 1 << 30}, simtime.Millisecond)
+	limit := e.Model.ActiveMilliwatts + e.Model.BackgroundMilliwatts + 1e-6
+	if got > limit {
+		t.Fatalf("power %v exceeds active+background %v", got, limit)
+	}
+	for _, r := range e.Residencies(Counters{Invocations: 1 << 20}, simtime.Millisecond) {
+		if r.Idle < 0 || r.Active > simtime.Millisecond {
+			t.Fatalf("invalid residency %+v", r)
+		}
+	}
+}
+
+func TestEstimatorSpreadsWakeups(t *testing.T) {
+	e := Estimator{Model: Default(), Cores: 3}
+	rs := e.Residencies(Counters{Wakeups: 7}, simtime.Second)
+	var total uint64
+	for _, r := range rs {
+		total += r.Wakeups
+	}
+	if total != 7 {
+		t.Fatalf("wakeups split to %d, want 7", total)
+	}
+	if e.AvgPowerMilliwatts(Counters{}, 0) != 0 {
+		t.Fatal("zero elapsed should estimate zero power")
+	}
+}

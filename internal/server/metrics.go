@@ -1,0 +1,84 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/simtime"
+)
+
+func wakeupsPerSecond(st repro.Stats, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(st.TimerWakes+st.ForcedWakes) / elapsed.Seconds()
+}
+
+// estimatePower prices the runtime counters under the configured board
+// model (see internal/power.Estimator).
+func (s *Server) estimatePower(st repro.Stats, elapsed time.Duration) float64 {
+	return s.cfg.Estimator.AvgPowerMilliwatts(power.Counters{
+		Wakeups:     st.TimerWakes + st.ForcedWakes,
+		Invocations: st.Invocations,
+		Items:       st.ItemsOut,
+	}, simtime.Duration(elapsed))
+}
+
+// handleMetrics serves the Prometheus text exposition: the runtime's
+// Stats counters, per-stream pair counters and buffer state, the
+// server's shed/ingest accounting, and the model-priced live power
+// estimate — the §III-B measurement set (power, wakeups/s) as a scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.rt.Stats()
+	elapsed := time.Since(s.start)
+	p := metrics.NewProm()
+
+	p.Gauge("pcd_uptime_seconds", "Seconds since the daemon started.", elapsed.Seconds())
+	p.Gauge("pcd_draining", "1 while shutdown drain is in progress.", boolGauge(s.draining.Load()))
+
+	p.Counter("pcd_items_in_total", "Items accepted into pair buffers.", float64(stats.ItemsIn))
+	p.Counter("pcd_items_out_total", "Items drained through consumer handlers.", float64(stats.ItemsOut))
+	p.Counter("pcd_timer_wakes_total", "Scheduled slot-timer wakeups (the paper's planned wakeups).", float64(stats.TimerWakes))
+	p.Counter("pcd_forced_wakes_total", "Overflow-forced wakeups (the paper's unscheduled wakeups).", float64(stats.ForcedWakes))
+	p.Counter("pcd_invocations_total", "Consumer batch drains.", float64(stats.Invocations))
+	p.Counter("pcd_overflows_total", "Put calls that found a pair at quota.", float64(stats.Overflows))
+	p.Counter("pcd_handler_panics_total", "Recovered consumer-handler panics.", float64(stats.HandlerPanics))
+
+	p.Gauge("pcd_wakeups_per_second", "Timer + forced wakeups per second of uptime (Eq. 4 objective, live).", wakeupsPerSecond(stats, elapsed))
+	p.Gauge("pcd_estimated_power_milliwatts", "Model-priced average power draw (internal/power, not a measurement).", s.estimatePower(stats, elapsed))
+
+	p.Counter("pcd_http_requests_total", "HTTP ingest requests handled.", float64(s.httpRequests.Load()))
+	p.Counter("pcd_ingested_total", "Items accepted, by protocol.", float64(s.ingestedHTTP.Load()), "proto", "http")
+	p.Counter("pcd_ingested_total", "Items accepted, by protocol.", float64(s.ingestedTCP.Load()), "proto", "tcp")
+	p.Counter("pcd_shed_total", "Items shed by admission control (pair at quota), by protocol.", float64(s.shedHTTP.Load()), "proto", "http")
+	p.Counter("pcd_shed_total", "Items shed by admission control (pair at quota), by protocol.", float64(s.shedTCP.Load()), "proto", "tcp")
+	p.Counter("pcd_tcp_malformed_total", "Raw-TCP lines that did not parse.", float64(s.tcpMalformed.Load()))
+	p.Counter("pcd_stream_rejects_total", "Stream creations rejected (pair table full).", float64(s.streamRejects.Load()))
+
+	streams := s.snapshotStreams()
+	p.Gauge("pcd_streams", "Open ingest streams (producer-consumer pairs).", float64(len(streams)))
+	for _, st := range streams {
+		id := strconv.Itoa(st.ID)
+		p.Counter("pcd_stream_items_in_total", "Items accepted into this stream.", float64(st.ItemsIn), "stream", st.Key, "pair", id)
+		p.Counter("pcd_stream_items_out_total", "Items drained from this stream.", float64(st.ItemsOut), "stream", st.Key, "pair", id)
+		p.Counter("pcd_stream_invocations_total", "Batch drains of this stream.", float64(st.Invocations), "stream", st.Key, "pair", id)
+		p.Counter("pcd_stream_overflows_total", "Overflowed Puts on this stream.", float64(st.Overflows), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_buffer_items", "Items currently buffered.", float64(st.Len), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_quota_items", "Current elastic buffer quota.", float64(st.Quota), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_armed", "1 while the stream holds a slot reservation.", boolGauge(st.Armed), "stream", st.Key, "pair", id)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

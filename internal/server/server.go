@@ -1,0 +1,420 @@
+// Package server turns the PBPL runtime into a network daemon: it
+// accepts work over HTTP (and an optional raw-TCP line protocol),
+// routes each stream key into a producer-consumer pair created on
+// demand, and exposes the runtime's wakeup economics over /metrics and
+// /statusz. It is the layer that upgrades the library reproduction
+// into the system the paper motivates (§I, §III): a server that is
+// "rarely completely idle and seldom near maximum utilization",
+// batching deferrable work so consumer cores wake as seldom as the
+// latency bound allows.
+//
+// Design rules, in order:
+//
+//   - The accept loops never block on the runtime. Admission control is
+//     the pair's elastic quota: a Put that overflows is shed (HTTP 429 /
+//     TCP silent drop) and counted, never retried server-side. The
+//     overflow itself already forced a drain, so shedding is also the
+//     fastest way to make room.
+//   - Every stream key maps to one pair (the paper's one-producer-
+//     one-consumer pairing); pairs are created on first use and capped
+//     by the runtime's MaxPairs (exhaustion is 503, not 429 — the
+//     client cannot help by retrying a different item).
+//   - Shutdown is drain-first: stop accepting, wait for in-flight
+//     requests, then flush every pair through its core manager so
+//     ItemsOut == ItemsIn before the process exits.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/power"
+)
+
+// Config configures a Server. Runtime is required; the zero value of
+// everything else is usable.
+type Config struct {
+	// Runtime hosts the pairs. The server does not close it; callers
+	// own its lifecycle (close it after Shutdown returns).
+	Runtime *repro.Runtime
+	// HTTPAddr is the ingest+ops listen address. Default "127.0.0.1:0"
+	// (an ephemeral port, readable from Addr after Start).
+	HTTPAddr string
+	// TCPAddr enables the raw line-protocol listener when non-empty.
+	TCPAddr string
+	// HandlerFor builds the consumer handler for a stream key. Default:
+	// a handler that discards the batch (the runtime still counts it).
+	// The handler runs on a core-manager goroutine — keep it fast.
+	HandlerFor func(key string) func(batch [][]byte)
+	// PairOptions builds per-stream pair options (e.g. a tighter
+	// latency bound for an interactive stream). Default: none.
+	PairOptions func(key string) []repro.PairOption
+	// MaxBodyBytes bounds one ingest request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxKeyLen bounds stream-key length. Default 128.
+	MaxKeyLen int
+	// Estimator prices the runtime's counters into the /metrics power
+	// gauge. Zero value: power.Default() on one core with the
+	// runtime's default Eq. 8 cost constants.
+	Estimator power.Estimator
+	// Logf receives operational log lines. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Runtime == nil {
+		return errors.New("server: nil Runtime")
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.HandlerFor == nil {
+		c.HandlerFor = func(string) func([][]byte) { return func([][]byte) {} }
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxKeyLen <= 0 {
+		c.MaxKeyLen = 128
+	}
+	if c.Estimator.Model == (power.Model{}) {
+		c.Estimator = power.Estimator{
+			Model:         power.Default(),
+			Cores:         1,
+			OverheadMicro: 6.8,
+			PerItemMicro:  1.7,
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// stream is one key's producer-consumer pair plus server-side counters.
+type stream struct {
+	key  string
+	pair *repro.Pair[[]byte]
+}
+
+// Server is the pcd network front-end. Create with New, then Start.
+type Server struct {
+	cfg   Config
+	rt    *repro.Runtime
+	start time.Time
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+	tcpLn   net.Listener
+
+	tcpWG  sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	mu      sync.Mutex
+	streams map[string]*stream
+
+	draining atomic.Bool
+
+	httpRequests  atomic.Uint64
+	ingestedHTTP  atomic.Uint64
+	ingestedTCP   atomic.Uint64
+	shedHTTP      atomic.Uint64
+	shedTCP       atomic.Uint64
+	tcpMalformed  atomic.Uint64
+	streamRejects atomic.Uint64
+}
+
+// New validates the config and builds a stopped server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		rt:      cfg.Runtime,
+		start:   time.Now(),
+		streams: make(map[string]*stream),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest/", s.handleIngest)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s, nil
+}
+
+// Start binds the listeners and begins serving in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("server: http listen: %w", err)
+	}
+	s.httpLn = ln
+	if s.cfg.TCPAddr != "" {
+		tln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: tcp listen: %w", err)
+		}
+		s.tcpLn = tln
+		s.tcpWG.Add(1)
+		go func() {
+			defer s.tcpWG.Done()
+			s.acceptTCP(tln)
+		}()
+		s.cfg.Logf("pcd: tcp ingest on %s", tln.Addr())
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logf("pcd: http serve: %v", err)
+		}
+	}()
+	s.cfg.Logf("pcd: http on %s", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound HTTP address ("" before Start).
+func (s *Server) Addr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// TCPAddr returns the bound raw-TCP address ("" when disabled).
+func (s *Server) TCPAddr() string {
+	if s.tcpLn == nil {
+		return ""
+	}
+	return s.tcpLn.Addr().String()
+}
+
+// Shutdown drains the server: stop accepting, wait for in-flight
+// requests and connections, then flush every stream's pair through the
+// core managers. The runtime itself stays open (Close it afterwards).
+// Shutdown is idempotent; ctx bounds the whole drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	// Raw TCP: stop accepting, unblock readers, wait for handlers.
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.tcpWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+		}
+	}
+	// HTTP: stop accepting, wait for in-flight requests.
+	if err := s.httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	// Flush: close every pair; Pair.Close drains the remaining buffer
+	// through its manager before releasing pool capacity.
+	s.mu.Lock()
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		if err := st.pair.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.cfg.Logf("pcd: drained %d streams", len(streams))
+	return firstErr
+}
+
+// streamFor returns the key's stream, creating its pair on first use.
+func (s *Server) streamFor(key string) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[key]; ok {
+		return st, nil
+	}
+	var opts []repro.PairOption
+	if s.cfg.PairOptions != nil {
+		opts = s.cfg.PairOptions(key)
+	}
+	p, err := repro.NewPair(s.rt, s.cfg.HandlerFor(key), opts...)
+	if err != nil {
+		s.streamRejects.Add(1)
+		return nil, err
+	}
+	st := &stream{key: key, pair: p}
+	s.streams[key] = st
+	s.cfg.Logf("pcd: opened stream %q (pair %d)", key, p.ID())
+	return st, nil
+}
+
+// validKey bounds key length and charset (printable, no '/').
+func (s *Server) validKey(key string) bool {
+	if key == "" || len(key) > s.cfg.MaxKeyLen {
+		return false
+	}
+	return !strings.ContainsAny(key, "/ \t\r\n")
+}
+
+// handleIngest serves POST /ingest/<key>: each newline-delimited body
+// record is one item. Items that find the pair at quota are shed and
+// reported with 429 — the producer-facing face of the paper's overflow
+// wakeup. The handler never blocks on buffer space.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.httpRequests.Add(1)
+	if r.Method != http.MethodPost && r.Method != http.MethodPut {
+		http.Error(w, "POST items to /ingest/<stream>", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/ingest/")
+	if !s.validKey(key) {
+		http.Error(w, "bad stream key", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "body read: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	st, err := s.streamFor(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	accepted, shed := 0, 0
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		line = bytes.TrimRight(line, "\r")
+		if len(line) == 0 {
+			continue
+		}
+		item := make([]byte, len(line))
+		copy(item, line)
+		switch err := st.pair.Put(item); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, repro.ErrOverflow):
+			shed++
+		case errors.Is(err, repro.ErrClosed):
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if accepted == 0 && shed == 0 {
+		http.Error(w, "empty body: newline-delimited items expected", http.StatusBadRequest)
+		return
+	}
+	s.ingestedHTTP.Add(uint64(accepted))
+	s.shedHTTP.Add(uint64(shed))
+	w.Header().Set("Content-Type", "application/json")
+	if shed > 0 {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}
+	fmt.Fprintf(w, `{"stream":%q,"accepted":%d,"shed":%d}`+"\n", key, accepted, shed)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// snapshotStreams returns streams joined with their pair snapshots,
+// ordered by pair id.
+type streamSnapshot struct {
+	Key string `json:"key"`
+	repro.PairSnapshot
+}
+
+func (s *Server) snapshotStreams() []streamSnapshot {
+	s.mu.Lock()
+	byID := make(map[int]string, len(s.streams))
+	for _, st := range s.streams {
+		byID[st.pair.ID()] = st.key
+	}
+	s.mu.Unlock()
+	snaps := s.rt.PairSnapshots()
+	out := make([]streamSnapshot, 0, len(snaps))
+	for _, ps := range snaps {
+		key, ok := byID[ps.ID]
+		if !ok {
+			// A pair owned by the embedding program, not this server.
+			continue
+		}
+		out = append(out, streamSnapshot{Key: key, PairSnapshot: ps})
+	}
+	return out
+}
+
+// statusz is the JSON shape served by /statusz.
+type statusz struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	Draining         bool             `json:"draining"`
+	Runtime          repro.Stats      `json:"runtime"`
+	WakeupsPerSecond float64          `json:"wakeups_per_second"`
+	EstPowerMW       float64          `json:"estimated_power_milliwatts"`
+	IngestedHTTP     uint64           `json:"ingested_http"`
+	IngestedTCP      uint64           `json:"ingested_tcp"`
+	ShedHTTP         uint64           `json:"shed_http"`
+	ShedTCP          uint64           `json:"shed_tcp"`
+	StreamRejects    uint64           `json:"stream_rejects"`
+	Streams          []streamSnapshot `json:"streams"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	stats := s.rt.Stats()
+	elapsed := time.Since(s.start)
+	st := statusz{
+		UptimeSeconds:    elapsed.Seconds(),
+		Draining:         s.draining.Load(),
+		Runtime:          stats,
+		WakeupsPerSecond: wakeupsPerSecond(stats, elapsed),
+		EstPowerMW:       s.estimatePower(stats, elapsed),
+		IngestedHTTP:     s.ingestedHTTP.Load(),
+		IngestedTCP:      s.ingestedTCP.Load(),
+		ShedHTTP:         s.shedHTTP.Load(),
+		ShedTCP:          s.shedTCP.Load(),
+		StreamRejects:    s.streamRejects.Load(),
+		Streams:          s.snapshotStreams(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

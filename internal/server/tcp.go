@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+
+	"repro"
+)
+
+// The raw-TCP line protocol: one item per line, `<key> <payload>\n`.
+// It exists for producers that cannot afford HTTP framing (the paper's
+// device-driver motivation, §I). The contract is deliberately lossy:
+// items that find their pair at quota are dropped and counted
+// (pcd_shed_total{proto="tcp"}) — never acknowledged, never blocking
+// the reader. Malformed lines are counted and skipped.
+
+// acceptTCP runs the raw-TCP accept loop until the listener closes.
+func (s *Server) acceptTCP(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.tcpWG.Add(1)
+		go func() {
+			defer s.tcpWG.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
+			s.serveTCP(conn)
+		}()
+	}
+}
+
+// serveTCP consumes one connection's lines until EOF, error, or drain.
+func (s *Server) serveTCP(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), int(s.cfg.MaxBodyBytes))
+	for sc.Scan() {
+		if s.draining.Load() {
+			return
+		}
+		line := sc.Bytes()
+		sp := bytes.IndexByte(line, ' ')
+		if sp <= 0 || !s.validKey(string(line[:sp])) {
+			s.tcpMalformed.Add(1)
+			continue
+		}
+		key := string(line[:sp])
+		st, err := s.streamFor(key)
+		if err != nil {
+			// Pair table full: drop, already counted in streamRejects.
+			continue
+		}
+		item := make([]byte, len(line)-sp-1)
+		copy(item, line[sp+1:])
+		switch err := st.pair.Put(item); {
+		case err == nil:
+			s.ingestedTCP.Add(1)
+		case errors.Is(err, repro.ErrOverflow):
+			s.shedTCP.Add(1)
+		case errors.Is(err, repro.ErrClosed):
+			return
+		}
+	}
+}

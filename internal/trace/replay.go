@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Replay paces the trace's arrivals in wall clock, calling emit once
+// per arrival at its scheduled instant (scaled by speed: 2 replays a
+// trace twice as fast). It is the client side of the §III experiment —
+// the loop every live driver (cmd/livebench in-process, cmd/pcload
+// over sockets) uses to turn a recorded arrival sequence back into a
+// real-time request stream.
+//
+// Replay returns the number of arrivals emitted. It stops early when
+// ctx is cancelled or emit returns an error; emit's error is returned
+// as-is so callers can distinguish shed items (which emit should
+// swallow, counting them itself) from transport failure.
+func Replay(ctx context.Context, tr Trace, speed float64, emit func(i int, at simtime.Time) error) (int, error) {
+	if speed <= 0 {
+		return 0, fmt.Errorf("trace: replay speed %v <= 0", speed)
+	}
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for i, at := range tr.Arrivals {
+		target := start.Add(time.Duration(float64(at) / speed))
+		if d := time.Until(target); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				return i, ctx.Err()
+			case <-timer.C:
+			}
+		} else if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		if err := emit(i, at); err != nil {
+			return i, err
+		}
+	}
+	return len(tr.Arrivals), nil
+}

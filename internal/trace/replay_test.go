@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestReplayEmitsAll(t *testing.T) {
+	tr := Trace{
+		Arrivals: []simtime.Time{0, simtime.Time(simtime.Millisecond), simtime.Time(2 * simtime.Millisecond)},
+		Duration: 3 * simtime.Millisecond,
+	}
+	var got []int
+	start := time.Now()
+	n, err := Replay(context.Background(), tr, 1, func(i int, at simtime.Time) error {
+		got = append(got, i)
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("emitted %v", got)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("replay finished in %v, before the last arrival's instant", elapsed)
+	}
+}
+
+func TestReplaySpeedScalesPacing(t *testing.T) {
+	tr := Trace{
+		Arrivals: []simtime.Time{simtime.Time(100 * simtime.Millisecond)},
+		Duration: 100 * simtime.Millisecond,
+	}
+	start := time.Now()
+	if _, err := Replay(context.Background(), tr, 50, func(int, simtime.Time) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// 100ms of virtual time at 50× is 2ms of wall clock.
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("50x replay of 100ms took %v", elapsed)
+	}
+}
+
+func TestReplayStopsOnEmitError(t *testing.T) {
+	tr := Trace{Arrivals: []simtime.Time{0, 0, 0}, Duration: simtime.Millisecond}
+	boom := errors.New("boom")
+	n, err := Replay(context.Background(), tr, 1, func(i int, at simtime.Time) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("Replay = %d, %v; want 1, boom", n, err)
+	}
+}
+
+func TestReplayHonoursContext(t *testing.T) {
+	tr := Trace{
+		Arrivals: []simtime.Time{0, simtime.Time(10 * simtime.Second)},
+		Duration: 10 * simtime.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() {
+		defer close(done)
+		n, err = Replay(ctx, tr, 1, func(int, simtime.Time) error { return nil })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Replay did not stop on context cancellation")
+	}
+	if !errors.Is(err, context.Canceled) || n != 1 {
+		t.Fatalf("Replay = %d, %v; want 1, context.Canceled", n, err)
+	}
+	if _, err := Replay(context.Background(), tr, 0, nil); err == nil {
+		t.Fatal("zero speed should error")
+	}
+}

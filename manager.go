@@ -20,6 +20,8 @@ type pairState struct {
 	drainInto func() int
 	// pending returns the current queue length.
 	pending func() int
+	// quota returns the pair's current elastic queue quota.
+	quota func() int
 	// setQuota adjusts the pair's elastic queue quota.
 	setQuota func(int)
 
@@ -42,6 +44,18 @@ type pairState struct {
 	// forcePending coalesces overflow force requests.
 	forcePending atomic.Bool
 	closed       atomic.Bool
+}
+
+// countDrain credits a drain of n items to the pair's and the runtime's
+// counters. It is a no-op for empty drains.
+func (st *pairState) countDrain(rt *Runtime, n int) {
+	if n <= 0 {
+		return
+	}
+	rt.stats.invocations.Add(1)
+	rt.stats.itemsOut.Add(uint64(n))
+	st.invocations.Add(1)
+	st.itemsOut.Add(uint64(n))
 }
 
 // manager is a live core manager (§V-B): one goroutine owning a slot
@@ -293,10 +307,7 @@ func (m *manager) finalDrain() {
 	m.res = map[int64][]*pairState{}
 	for p := range seen {
 		if n := p.drainInto(); n > 0 {
-			m.rt.stats.invocations.Add(1)
-			m.rt.stats.itemsOut.Add(uint64(n))
-			p.invocations.Add(1)
-			p.itemsOut.Add(uint64(n))
+			p.countDrain(m.rt, n)
 			if obs := m.rt.opts.observer; obs != nil {
 				obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: n})
 			}

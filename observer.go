@@ -14,6 +14,13 @@ const (
 	// EventIdle: a pair went idle (no reservation; the next Put re-arms
 	// it).
 	EventIdle
+	// EventPairOpen: a pair was registered with the runtime. Unlike the
+	// kinds above it fires on the caller's goroutine (NewPair), not the
+	// core manager's.
+	EventPairOpen
+	// EventPairClose: a pair was closed and its pool capacity released.
+	// Fires on the goroutine calling Pair.Close.
+	EventPairClose
 )
 
 func (k EventKind) String() string {
@@ -24,6 +31,10 @@ func (k EventKind) String() string {
 		return "reserve"
 	case EventIdle:
 		return "idle"
+	case EventPairOpen:
+		return "pair-open"
+	case EventPairClose:
+		return "pair-close"
 	default:
 		return "unknown"
 	}

@@ -85,13 +85,22 @@ func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*
 		planner:   planner,
 		lastDrain: rt.now(),
 		pending:   p.q.Len,
+		quota:     p.q.Quota,
 		setQuota:  p.q.SetQuota,
 	}
 	st.reservedSlot = -1
 	st.drainInto = p.drain
 	p.st = st
+	rt.trackPair(st)
+	if obs := rt.opts.observer; obs != nil {
+		obs(Event{Kind: EventPairOpen, Pair: id, At: time.Duration(rt.now())})
+	}
 	return p, nil
 }
+
+// ID returns the pair's runtime-assigned id, the key that joins this
+// pair to its Runtime.PairSnapshots entry and observer events.
+func (p *Pair[T]) ID() int { return p.st.id }
 
 // drain empties the queue through the handler, recovering panics.
 func (p *Pair[T]) drain() int {
@@ -122,6 +131,14 @@ func (p *Pair[T]) Put(v T) error {
 	if p.q.Push(v) {
 		p.rt.stats.itemsIn.Add(1)
 		p.st.itemsIn.Add(1)
+		if p.rt.closed.Load() {
+			// Runtime.Close raced in after the entry check, so its
+			// final sweep may already have run: drain on the caller
+			// rather than strand the item. The item was accepted and
+			// handled, so report success.
+			p.st.countDrain(p.rt, p.drain())
+			return nil
+		}
 		if !p.st.armed.Swap(true) {
 			select {
 			case p.st.mgr.kick <- p.st:
@@ -177,10 +194,7 @@ func (p *Pair[T]) Close() error {
 	ran := p.st.mgr.run(func() {
 		p.st.mgr.deregister(p.st)
 		if n := p.drain(); n > 0 {
-			p.rt.stats.invocations.Add(1)
-			p.rt.stats.itemsOut.Add(uint64(n))
-			p.st.invocations.Add(1)
-			p.st.itemsOut.Add(uint64(n))
+			p.st.countDrain(p.rt, n)
 			if obs := p.rt.opts.observer; obs != nil {
 				obs(Event{Kind: EventDrain, Pair: p.st.id, At: time.Duration(p.rt.now()), Items: n})
 			}
@@ -189,10 +203,11 @@ func (p *Pair[T]) Close() error {
 	if !ran {
 		// Manager already stopped: it drained (or will drain) every
 		// pair it knew in finalDrain; catch only what is left here.
-		if n := p.drain(); n > 0 {
-			p.rt.stats.itemsOut.Add(uint64(n))
-		}
+		p.st.countDrain(p.rt, p.drain())
 	}
 	p.rt.removePair(p.st.id)
+	if obs := p.rt.opts.observer; obs != nil {
+		obs(Event{Kind: EventPairClose, Pair: p.st.id, At: time.Duration(p.rt.now())})
+	}
 	return nil
 }

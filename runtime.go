@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,7 @@ type Runtime struct {
 	pairMu    sync.Mutex
 	nextPair  int
 	openPairs int
+	pairs     map[int]*pairState
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -86,6 +88,7 @@ func New(opts ...Option) (*Runtime, error) {
 	rt := &Runtime{
 		opts:  o,
 		start: time.Now(),
+		pairs: make(map[int]*pairState),
 		pool:  buffer.NewEmptyPool(o.buffer, o.minQuota),
 		planner: &core.Planner{
 			Track:             track.New(simtime.Duration(o.slotSize), 0),
@@ -125,8 +128,54 @@ func (rt *Runtime) wallAt(t simtime.Time) time.Time {
 // Stats returns a snapshot of the runtime counters.
 func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
 
+// PairSnapshot is one open pair's identity and counters as captured by
+// Runtime.PairSnapshots.
+type PairSnapshot struct {
+	// ID is the pair's runtime-assigned id (Pair.ID).
+	ID int
+	// Len is the number of items buffered at snapshot time.
+	Len int
+	// Quota is the pair's current elastic buffer capacity.
+	Quota int
+	// Armed reports whether the pair holds (or is about to compute) a
+	// slot reservation — the live analogue of "has a scheduled wakeup".
+	Armed bool
+	PairStats
+}
+
+// PairSnapshots captures every open pair's stats in one call, ordered
+// by pair id. The per-pair counters sum to the matching Stats fields up
+// to snapshot skew (pairs closed before the call no longer appear).
+func (rt *Runtime) PairSnapshots() []PairSnapshot {
+	rt.pairMu.Lock()
+	states := make([]*pairState, 0, len(rt.pairs))
+	for _, st := range rt.pairs {
+		states = append(states, st)
+	}
+	rt.pairMu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	snaps := make([]PairSnapshot, len(states))
+	for i, st := range states {
+		snaps[i] = PairSnapshot{
+			ID:    st.id,
+			Len:   st.pending(),
+			Quota: st.quota(),
+			Armed: st.armed.Load(),
+			PairStats: PairStats{
+				ItemsIn:     st.itemsIn.Load(),
+				ItemsOut:    st.itemsOut.Load(),
+				Invocations: st.invocations.Load(),
+				Overflows:   st.overflows.Load(),
+			},
+		}
+	}
+	return snaps
+}
+
 // Close stops every core manager, draining all remaining buffered
-// items through their handlers first. Close is idempotent.
+// items through their handlers first. Close is idempotent and safe to
+// race with concurrent Put: once every producer has returned, every
+// accepted item has been drained (ItemsOut == ItemsIn).
 func (rt *Runtime) Close() error {
 	if rt.closed.Swap(true) {
 		return nil
@@ -135,6 +184,20 @@ func (rt *Runtime) Close() error {
 		close(m.done)
 	}
 	rt.wg.Wait()
+	// Producers that passed Put's closed check before the flag flipped
+	// may have enqueued after their manager's final drain. Sweep every
+	// still-open pair so no accepted item is stranded; Put's own
+	// post-push closed re-check catches enqueues that land after this
+	// sweep (see Pair.Put).
+	rt.pairMu.Lock()
+	states := make([]*pairState, 0, len(rt.pairs))
+	for _, st := range rt.pairs {
+		states = append(states, st)
+	}
+	rt.pairMu.Unlock()
+	for _, st := range states {
+		st.countDrain(rt, st.drainInto())
+	}
 	return nil
 }
 
@@ -167,10 +230,19 @@ func (rt *Runtime) addPair() (int, error) {
 	return id, nil
 }
 
+// trackPair records a pair's manager-side state for PairSnapshots and
+// Close's final sweep.
+func (rt *Runtime) trackPair(st *pairState) {
+	rt.pairMu.Lock()
+	rt.pairs[st.id] = st
+	rt.pairMu.Unlock()
+}
+
 // removePair releases a pair's pool membership.
 func (rt *Runtime) removePair(id int) {
 	rt.pairMu.Lock()
 	rt.openPairs--
+	delete(rt.pairs, id)
 	rt.pairMu.Unlock()
 	rt.poolMu.Lock()
 	_ = rt.pool.Remove(id)

@@ -1,0 +1,232 @@
+package repro
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseRacesConcurrentPut is the regression test for the daemon's
+// signal-driven shutdown: Runtime.Close must be idempotent, callable
+// from several goroutines at once, and safe to race with producers
+// mid-Put — with no accepted item stranded in a buffer afterwards.
+func TestCloseRacesConcurrentPut(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		rt, err := New(
+			WithManagers(2),
+			WithSlotSize(time.Millisecond),
+			WithMaxLatency(5*time.Millisecond),
+			WithBuffer(64),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var consumed atomic.Uint64
+		pairs := make([]*Pair[int], 4)
+		for i := range pairs {
+			pairs[i], err = NewPair(rt, func(batch []int) {
+				consumed.Add(uint64(len(batch)))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		for _, p := range pairs {
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(p *Pair[int]) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						err := p.Put(i)
+						if errors.Is(err, ErrClosed) {
+							return
+						}
+					}
+				}(p)
+			}
+		}
+
+		time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+		var cwg sync.WaitGroup
+		for c := 0; c < 3; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				if err := rt.Close(); err != nil {
+					t.Error("Close:", err)
+				}
+			}()
+		}
+		cwg.Wait()
+		wg.Wait()
+
+		// Every producer has returned and the runtime is closed: item
+		// conservation must hold exactly.
+		st := rt.Stats()
+		if st.ItemsIn != st.ItemsOut {
+			t.Fatalf("round %d: ItemsIn %d != ItemsOut %d after Close", round, st.ItemsIn, st.ItemsOut)
+		}
+		if st.ItemsOut != consumed.Load() {
+			t.Fatalf("round %d: ItemsOut %d but handlers saw %d", round, st.ItemsOut, consumed.Load())
+		}
+		if err := pairs[0].Put(1); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Put after Close = %v, want ErrClosed", err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal("Close must stay idempotent:", err)
+		}
+	}
+}
+
+// TestManagersDrainOnClose covers WithManagers(n > 1): pairs spread
+// round-robin, per-pair and runtime stats agree, and Close drains the
+// buffered remainder of every manager, not just the first.
+func TestManagersDrainOnClose(t *testing.T) {
+	const managers, pairsN, perPair = 3, 6, 40
+	rt, err := New(
+		WithManagers(managers),
+		// Slot far in the future: everything is still buffered when
+		// Close runs, so the drain must come from every manager's
+		// shutdown path.
+		WithSlotSize(time.Minute),
+		WithMaxLatency(time.Hour),
+		WithBuffer(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make(map[int]int)
+	pairs := make([]*Pair[int], pairsN)
+	for i := range pairs {
+		i := i
+		pairs[i], err = NewPair(rt, func(batch []int) {
+			mu.Lock()
+			got[i] += len(batch)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[*manager]bool)
+	for _, p := range pairs {
+		seen[p.st.mgr] = true
+	}
+	if len(seen) != managers {
+		t.Fatalf("pairs landed on %d managers, want %d", len(seen), managers)
+	}
+	for i := 0; i < perPair; i++ {
+		for _, p := range pairs {
+			if err := p.Put(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < pairsN; i++ {
+		if got[i] != perPair {
+			t.Errorf("pair %d delivered %d items, want %d", i, got[i], perPair)
+		}
+	}
+	st := rt.Stats()
+	if st.ItemsIn != pairsN*perPair || st.ItemsOut != st.ItemsIn {
+		t.Errorf("runtime in/out = %d/%d, want %d", st.ItemsIn, st.ItemsOut, pairsN*perPair)
+	}
+	var perPairOut uint64
+	for _, p := range pairs {
+		perPairOut += p.Stats().ItemsOut
+	}
+	if perPairOut != st.ItemsOut {
+		t.Errorf("per-pair ItemsOut sums to %d, runtime says %d", perPairOut, st.ItemsOut)
+	}
+}
+
+// TestPairSnapshots covers the one-call snapshot behind /statusz.
+func TestPairSnapshots(t *testing.T) {
+	rt, err := New(
+		WithManagers(2),
+		WithSlotSize(time.Minute), // keep items buffered during the test
+		WithMaxLatency(time.Hour),
+		WithBuffer(32),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got := rt.PairSnapshots(); len(got) != 0 {
+		t.Fatalf("empty runtime snapshots = %v", got)
+	}
+	pairs := make([]*Pair[string], 3)
+	for i := range pairs {
+		pairs[i], err = NewPair(rt, func([]string) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	buffered := []int{5, 0, 3}
+	for i, n := range buffered {
+		for j := 0; j < n; j++ {
+			if err := pairs[i].Put("x"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	snaps := rt.PairSnapshots()
+	if len(snaps) != len(pairs) {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), len(pairs))
+	}
+	var sumIn, sumOut uint64
+	for i, s := range snaps {
+		if i > 0 && snaps[i-1].ID >= s.ID {
+			t.Errorf("snapshots not ordered by id: %d then %d", snaps[i-1].ID, s.ID)
+		}
+		if s.ID != pairs[i].ID() {
+			t.Errorf("snapshot %d id = %d, pair says %d", i, s.ID, pairs[i].ID())
+		}
+		if s.Len != buffered[i] {
+			t.Errorf("pair %d Len = %d, want %d", i, s.Len, buffered[i])
+		}
+		if s.Quota < 1 {
+			t.Errorf("pair %d quota = %d", i, s.Quota)
+		}
+		if s.ItemsIn < s.ItemsOut {
+			t.Errorf("pair %d ItemsIn %d < ItemsOut %d", i, s.ItemsIn, s.ItemsOut)
+		}
+		if wantArmed := buffered[i] > 0; s.Armed != wantArmed {
+			t.Errorf("pair %d Armed = %v with %d buffered", i, s.Armed, buffered[i])
+		}
+		sumIn += s.ItemsIn
+		sumOut += s.ItemsOut
+	}
+	st := rt.Stats()
+	if sumIn != st.ItemsIn || sumOut != st.ItemsOut {
+		t.Errorf("snapshot sums in/out = %d/%d, runtime %d/%d", sumIn, sumOut, st.ItemsIn, st.ItemsOut)
+	}
+	if st.Invocations < st.TimerWakes {
+		t.Errorf("Invocations %d < TimerWakes %d", st.Invocations, st.TimerWakes)
+	}
+
+	// Closed pairs leave the snapshot.
+	if err := pairs[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps = rt.PairSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("after close: %d snapshots, want 2", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.ID == pairs[1].ID() {
+			t.Error("closed pair still in snapshot")
+		}
+	}
+}
