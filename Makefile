@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench experiments figures examples clean
+.PHONY: all build test race verify lint bench experiments figures examples clean
 
 all: build test
 
@@ -24,9 +24,21 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-# One benchmark per paper figure/table, reduced scale.
+# Static analysis beyond vet. Skips (with a notice) when staticcheck is
+# not on PATH so offline checkouts still build; CI installs it.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
+# One benchmark per paper figure/table, reduced scale, plus the
+# machine-readable headline numbers (FIG9/FIG10 wakeups/s, power, p99)
+# written to BENCH_PBPL.json for run-over-run diffing.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/pcbench -json -duration 2s -reps 2
 
 # Paper-scale regeneration of every table (≈ minutes).
 experiments:

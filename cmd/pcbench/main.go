@@ -7,15 +7,19 @@
 //	pcbench -fig 3,4,corr            # the §III study
 //	pcbench -duration 50s -reps 3    # paper-scale runs
 //	pcbench -markdown                # emit GitHub markdown (EXPERIMENTS.md sections)
+//	pcbench -json                    # write BENCH_PBPL.json (FIG9/FIG10 headline numbers)
 //
-// Ids: 3, 4, corr, 9, 10, 11, wakeups, buffer, ablation, all.
+// Ids: 3, 4, corr, 9, 10, 11, wakeups, buffer, ablation, place, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,15 +29,27 @@ import (
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,all; 6 renders a timeline)")
+		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,place,all; 6 renders a timeline)")
 		duration = flag.Duration("duration", 10*time.Second, "virtual run duration per replicate")
 		reps     = flag.Int("reps", 3, "replicates per configuration")
 		seed     = flag.Int64("seed", 1998, "base workload seed")
 		markdown = flag.Bool("markdown", false, "render GitHub-flavoured markdown instead of text")
 		plot     = flag.Bool("plot", false, "render bar charts like the paper's figures")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable benchmark document (default figs 9,10; default output BENCH_PBPL.json)")
 		outPath  = flag.String("o", "", "write output to a file instead of stdout")
 	)
 	flag.Parse()
+
+	// JSON mode defaults to the headline evaluation configs and a
+	// well-known filename so CI can diff runs without flag soup.
+	if *jsonOut {
+		if *figs == "all" {
+			*figs = "9,10"
+		}
+		if *outPath == "" {
+			*outPath = "BENCH_PBPL.json"
+		}
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -78,6 +94,16 @@ func main() {
 		}
 	}
 
+	if *jsonOut {
+		if err := writeJSON(out, tables, *duration, *reps, *seed); err != nil {
+			fatal(err)
+		}
+		if *outPath != "" {
+			fmt.Fprintf(os.Stderr, "pcbench: wrote %s\n", *outPath)
+		}
+		return
+	}
+
 	for i, t := range tables {
 		if i > 0 && !*markdown {
 			fmt.Fprintln(out)
@@ -95,6 +121,65 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// benchDoc is the BENCH_PBPL.json schema: run parameters plus, per
+// table row, the headline measurements (wakeups/s, power, p99 latency)
+// and the full keyed value map for anything downstream wants to diff.
+type benchDoc struct {
+	Schema     string       `json:"schema"`
+	Duration   string       `json:"duration"`
+	Replicates int          `json:"replicates"`
+	Seed       int64        `json:"seed"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Figure       string             `json:"figure"`
+	Config       string             `json:"config"`
+	WakeupsPerS  float64            `json:"wakeups_per_s"`
+	PowerMW      float64            `json:"power_mw"`
+	LatencyP99Ms float64            `json:"latency_p99_ms"`
+	Values       map[string]float64 `json:"values"`
+}
+
+// writeJSON flattens the tables into one benchmark document. JSON has
+// no encoding for NaN/±Inf, so non-finite values (possible for CI
+// columns at reps=1) are dropped from the value map and zeroed in the
+// headline fields rather than aborting the whole emit.
+func writeJSON(w io.Writer, tables []exp.Table, duration time.Duration, reps int, seed int64) error {
+	doc := benchDoc{
+		Schema:     "pcbench/v1",
+		Duration:   duration.String(),
+		Replicates: reps,
+		Seed:       seed,
+	}
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			vals := make(map[string]float64, len(r.Values))
+			keys := make([]string, 0, len(r.Values))
+			for k := range r.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if v := r.Values[k]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+					vals[k] = v
+				}
+			}
+			doc.Benchmarks = append(doc.Benchmarks, benchEntry{
+				Figure:       t.ID,
+				Config:       r.Label,
+				WakeupsPerS:  vals[exp.KeyWakeups],
+				PowerMW:      vals[exp.KeyPower],
+				LatencyP99Ms: vals[exp.KeyLatencyP99],
+				Values:       vals,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func fatal(err error) {

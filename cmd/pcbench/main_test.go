@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// TestWriteJSON checks the BENCH_PBPL.json emitter: headline fields
+// come from the well-known keys, non-finite values are dropped instead
+// of breaking the encode, and the output round-trips as JSON.
+func TestWriteJSON(t *testing.T) {
+	tables := []exp.Table{{
+		ID: "fig9",
+		Rows: []exp.Row{{
+			Label: "pbpl",
+			Values: map[string]float64{
+				exp.KeyWakeups:    12.5,
+				exp.KeyPower:      340.25,
+				exp.KeyLatencyP99: 9.75,
+				exp.KeyWakeupsCI:  math.NaN(),
+				"spurious_inf":    math.Inf(1),
+			},
+		}},
+	}}
+
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, tables, 10*time.Second, 3, 1998); err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "pcbench/v1" || doc.Duration != "10s" || doc.Replicates != 3 || doc.Seed != 1998 {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Figure != "fig9" || b.Config != "pbpl" {
+		t.Fatalf("entry identity = %+v", b)
+	}
+	if b.WakeupsPerS != 12.5 || b.PowerMW != 340.25 || b.LatencyP99Ms != 9.75 {
+		t.Fatalf("headline values = %+v", b)
+	}
+	if _, ok := b.Values[exp.KeyWakeupsCI]; ok {
+		t.Error("NaN value survived into the document")
+	}
+	if _, ok := b.Values["spurious_inf"]; ok {
+		t.Error("Inf value survived into the document")
+	}
+}

@@ -9,6 +9,7 @@
 //	pcd -http :8080                          # HTTP ingest + ops
 //	pcd -http :8080 -tcp :8081               # plus the raw line protocol
 //	pcd -slot 10ms -latency 200ms -work 50us # tune the wakeup economics
+//	pcd -managers 4 -consolidate             # pack streams onto the fewest managers
 //
 //	curl -d $'a\nb\nc' localhost:8080/ingest/audit
 //	curl localhost:8080/metrics
@@ -52,18 +53,29 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		work     = fs.Duration("work", 0, "simulated per-item handler work (busy spin)")
 		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
 		addrFile = fs.String("addr-file", "", "write bound addresses here after listen (for supervisors/tests)")
+
+		consolidate = fs.Bool("consolidate", false, "enable the placement controller: pack streams onto the fewest managers, live-migrating pairs so idle managers never wake")
+		placeEvery  = fs.Duration("consolidate-interval", 250*time.Millisecond, "placement re-plan period (with -consolidate)")
+		placeBudget = fs.Float64("consolidate-budget", 0, "per-manager load budget, predicted items/s (0: default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	rt, err := repro.New(
+	opts := []repro.Option{
 		repro.WithSlotSize(*slot),
 		repro.WithMaxLatency(*latency),
 		repro.WithBuffer(*buffer),
 		repro.WithManagers(*managers),
 		repro.WithMaxPairs(*maxPairs),
-	)
+	}
+	if *consolidate {
+		opts = append(opts, repro.WithConsolidation(repro.ConsolidationConfig{
+			Interval:   *placeEvery,
+			BudgetRate: *placeBudget,
+		}))
+	}
+	rt, err := repro.New(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "pcd:", err)
 		return 1

@@ -202,3 +202,57 @@ func TestSmokeTCPAndWork(t *testing.T) {
 func jsonDecode(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
 }
+
+// TestConsolidateFlag boots the daemon with the placement controller
+// on, ingests into streams spread over four managers, and waits for
+// /statusz to report them packed onto one.
+func TestConsolidateFlag(t *testing.T) {
+	base, sig, exit := startDaemon(t,
+		"-managers", "4",
+		"-consolidate",
+		"-consolidate-interval", "10ms",
+	)
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(fmt.Sprintf("%s/ingest/s%d", base, i), "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest stream %d: status %d", i, resp.StatusCode)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Placement struct {
+				Enabled         bool   `json:"enabled"`
+				ActiveManagers  int    `json:"active_managers"`
+				MigrationsTotal uint64 `json:"migrations_total"`
+			} `json:"placement"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Placement.Enabled {
+			t.Fatal("placement disabled despite -consolidate")
+		}
+		if st.Placement.ActiveManagers == 1 && st.Placement.MigrationsTotal >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never consolidated: %+v", st.Placement)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sig <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}

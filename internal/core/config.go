@@ -58,6 +58,19 @@ type Config struct {
 	// (see DESIGN.md §2, deviations). Zero defaults to 0.7.
 	Headroom float64
 
+	// Consolidate enables the placement control plane (internal/place):
+	// a periodic plan event packs consumers onto the fewest core
+	// managers whose combined predicted load stays within
+	// PlaceBudgetRate, migrating consumers live so emptied managers
+	// never wake, and spreading back out when load approaches the
+	// budget. Mirrors the live runtime's WithConsolidation.
+	Consolidate bool
+	// PlaceInterval is the re-planning period. Zero defaults to 250ms.
+	PlaceInterval simtime.Duration
+	// PlaceBudgetRate is the hard per-manager load budget in predicted
+	// items/s. Zero takes the place package default.
+	PlaceBudgetRate float64
+
 	// Ablation switches (not in the paper; see DESIGN.md §4 "ABL").
 	DisableLatching   bool // cost function ignores existing reservations
 	DisableResizing   bool // quotas pinned at B0
@@ -110,6 +123,12 @@ func (c Config) Validate() error {
 	if c.Headroom < 0 || c.Headroom > 1 {
 		return fmt.Errorf("core: headroom %v outside [0, 1]", c.Headroom)
 	}
+	if c.PlaceInterval < 0 {
+		return fmt.Errorf("core: negative place interval %v", c.PlaceInterval)
+	}
+	if c.PlaceBudgetRate < 0 {
+		return fmt.Errorf("core: negative place budget rate %v", c.PlaceBudgetRate)
+	}
 	return nil
 }
 
@@ -144,6 +163,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Headroom == 0 {
 		c.Headroom = 0.7
+	}
+	if c.Consolidate && c.PlaceInterval == 0 {
+		c.PlaceInterval = 250 * simtime.Millisecond
 	}
 	return c
 }
@@ -182,6 +204,9 @@ func (c Config) ImplName() string {
 	}
 	if c.DisablePrediction {
 		name += "-nopredict"
+	}
+	if c.Consolidate {
+		name += "-place"
 	}
 	return name
 }

@@ -18,6 +18,7 @@ import (
 type consumer struct {
 	id      int
 	cm      *coreManager
+	cmIndex int // index of cm in the managers slice (placement identity)
 	core    *sim.Core
 	loop    *simtime.Loop
 	pool    *buffer.Pool
@@ -55,23 +56,44 @@ func (c *consumer) onArrival(at simtime.Time) {
 // invoke drains the buffer, updates the rate prediction, resizes, and
 // reserves the next slot — the consumer column of Fig. 7.
 func (c *consumer) invoke(scheduled bool) {
-	now := c.loop.Now()
 	if !scheduled {
 		// Overflow path: the pending reservation is stale.
 		c.cm.deregister(c)
 	}
+	c.drainNow(scheduled)
+	c.reserveNext()
+}
+
+// drainNow is the drain half of an invocation: consume the batch, run
+// the service cost on the hosting core, and observe the rate
+// r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1}).
+func (c *consumer) drainNow(scheduled bool) {
+	now := c.loop.Now()
 	batch := c.buf.Drain()
 	c.traceSink.Log(c.id, now, scheduled, len(batch))
 	c.m.Invocations++
 	c.m.Consume(now, batch)
 	c.core.RunFor(c.invokeOverhead + simtime.Duration(len(batch))*c.perItemWork)
-
-	// Rate observation: r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1}).
 	if dt := now.Sub(c.lastInvoke); dt > 0 {
 		c.pred.Observe(float64(len(batch)) / dt.Seconds())
 	}
 	c.lastInvoke = now
+}
 
+// migrate moves the consumer to another core manager, mirroring the
+// live runtime's protocol: drop the reservation, quiesce-drain any
+// buffered items on the source core (so no item's batch crosses the
+// move and its service cost lands where the items actually waited),
+// then re-plan on the target.
+func (c *consumer) migrate(to *coreManager, toIdx int) {
+	if c.cm == to {
+		return
+	}
+	c.cm.deregister(c)
+	if c.buf.Len() > 0 {
+		c.drainNow(false)
+	}
+	c.cm, c.core, c.cmIndex = to, to.core, toIdx
 	c.reserveNext()
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/impls"
 	"repro/internal/metrics"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/track"
@@ -53,6 +54,7 @@ func Run(cfg Config) (metrics.Report, error) {
 		consumers[i] = &consumer{
 			id:             i,
 			cm:             cm,
+			cmIndex:        i % base.ConsumerCores,
 			core:           cm.core,
 			loop:           machine.Loop,
 			pool:           pool,
@@ -79,6 +81,43 @@ func Run(cfg Config) (metrics.Report, error) {
 			pcore.RunFor(work)
 			c.onArrival(at)
 		})
+	}
+
+	// The consolidation control plane: a periodic event snapshots every
+	// consumer's predicted rate and host manager, plans, and applies the
+	// moves — the sim mirror of the live runtime's placement controller.
+	var migrations uint64
+	if cfg.Consolidate && base.ConsumerCores > 1 {
+		pl, err := place.NewPlanner(place.Config{
+			Managers:   base.ConsumerCores,
+			BudgetRate: cfg.PlaceBudgetRate,
+		})
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		interval := simtime.Time(cfg.PlaceInterval)
+		end := simtime.Time(base.Duration())
+		var replan func()
+		replan = func() {
+			snap := make([]place.Pair, len(consumers))
+			for i, c := range consumers {
+				snap[i] = place.Pair{
+					ID:       i,
+					Manager:  c.cmIndex,
+					Rate:     c.pred.Predict(),
+					Buffered: c.buf.Len(),
+				}
+			}
+			plan := pl.Plan(snap)
+			for _, mv := range plan.Moves {
+				consumers[mv.Pair].migrate(managers[mv.To], mv.To)
+				migrations++
+			}
+			if next := machine.Loop.Now() + interval; next < end {
+				machine.Loop.Schedule(next, replan)
+			}
+		}
+		machine.Loop.Schedule(interval, replan)
 	}
 
 	machine.Loop.RunUntil(simtime.Time(base.Duration()))
@@ -122,6 +161,7 @@ func Run(cfg Config) (metrics.Report, error) {
 		Invocations:       m.Invocations,
 		ScheduledWakeups:  scheduled,
 		Overflows:         m.Overflows,
+		Migrations:        migrations,
 		UsageMs:           usageMs,
 		ShallowMs:         shallowMs,
 		DeepIdleMs:        idleMs,

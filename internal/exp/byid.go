@@ -33,6 +33,8 @@ func ByID(id string, cfg Config) (Table, error) {
 		return RaceToIdle(cfg)
 	case "alignment":
 		return Alignment(cfg)
+	case "place":
+		return Place(cfg)
 	default:
 		return Table{}, fmt.Errorf("exp: unknown figure id %q", id)
 	}
@@ -43,6 +45,6 @@ func IDs() []string {
 	return []string{
 		"fig3", "fig4", "corr", "fig9", "fig10", "fig11",
 		"wakeups", "buffer", "ablation", "latency", "predictors",
-		"racetoidle", "alignment",
+		"racetoidle", "alignment", "place",
 	}
 }

@@ -29,6 +29,7 @@ const (
 	KeyLatencyP50  = "latency_p50_ms"
 	KeyLatencyP99  = "latency_p99_ms"
 	KeyMaxLatency  = "max_latency_ms"
+	KeyMigrations  = "migrations"
 )
 
 func aggRow(label string, a metrics.Aggregate) Row {
@@ -49,6 +50,7 @@ func aggRow(label string, a metrics.Aggregate) Row {
 			KeyLatencyP50:  a.LatencyP50.Mean,
 			KeyLatencyP99:  a.LatencyP99.Mean,
 			KeyMaxLatency:  float64(a.MaxLatency) / float64(simtime.Millisecond),
+			KeyMigrations:  a.Migrations.Mean,
 		},
 	}
 }
@@ -64,6 +66,7 @@ var (
 	colOverflows   = Column{KeyOverflows, "overflows", "%.0f"}
 	colAvgBuffer   = Column{KeyAvgBuffer, "avg-buf", "%.1f"}
 	colAvgBatch    = Column{KeyAvgBatch, "avg-batch", "%.1f"}
+	colMigrations  = Column{KeyMigrations, "migrations", "%.0f"}
 )
 
 // studyReports runs the §III single-pair study once: the seven
@@ -434,7 +437,7 @@ func All(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	tables = append(tables, corr)
-	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment} {
+	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment, Place} {
 		tb, err := f(cfg)
 		if err != nil {
 			return nil, err

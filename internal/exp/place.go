@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/impls"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// placeTraces is the consolidation workload: M phase-shifted copies of
+// a genuinely low-rate stream (~120 items/s base). At this rate a
+// consumer's buffer-fill time dwarfs its response-latency bound, so
+// every pair wakes at its latency deadline no matter what — the regime
+// where placement, not scheduling, decides the wakeup bill: pairs
+// stranded alone on a manager each pay their own timer, pairs packed
+// together share one.
+func placeTraces(pairs int, dur simtime.Duration, seed int64) []trace.Trace {
+	wc := trace.WorldCup(trace.WorldCupConfig{
+		BaseRate:     120,
+		DiurnalDepth: 0.6,
+		Period:       dur,
+		Bursts:       2,
+		BurstPeak:    400,
+		BurstRise:    100 * simtime.Millisecond,
+		BurstDecay:   400 * simtime.Millisecond,
+		Horizon:      dur,
+		Seed:         seed,
+	})
+	return trace.Generate(wc, dur, seed+307).PhaseShifts(pairs)
+}
+
+// placeWorkload spreads the pairs over four consumer cores — the
+// static round-robin baseline the consolidation controller competes
+// against.
+func placeWorkload(pairs, buffer int, cfg Config) func(seed int64) impls.Config {
+	return func(seed int64) impls.Config {
+		base := impls.DefaultConfig(placeTraces(pairs, cfg.Duration, seed), buffer)
+		base.Cores = 5
+		base.ConsumerCores = 4
+		return base
+	}
+}
+
+// Place A/Bs static round-robin placement against the consolidation
+// control plane (internal/place) at M=10 low-rate pairs over 4 core
+// managers, buffer 25 — the PLACE row of the experiment index. The
+// paper fixes placement up front; this measures what its Eq. 4
+// objective leaves on the table when low-rate consumers are stranded
+// on separate managers.
+func Place(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "place",
+		Title: "static round-robin vs consolidation, M = 10 low-rate pairs, 4 managers",
+		Columns: []Column{
+			colWakeups, colWakeupsCI, colPower, colPowerCI,
+			{KeyLatencyP99, "p99(ms)", "%.3f"}, colMigrations,
+		},
+	}
+	workload := placeWorkload(10, 25, cfg)
+	wakeups := map[string]float64{}
+	for _, r := range []runner{
+		pbplRunner(),
+		pbplRunner(func(c *core.Config) { c.Consolidate = true }),
+	} {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+		wakeups[r.label] = agg.Attributed.Mean
+	}
+	if w := wakeups[core.Name]; w > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"consolidation vs static: wakeups %+.1f%% (target: ≤ -10%%)",
+			100*stats.RelativeChange(w, wakeups[core.Name+"-place"])))
+	}
+	return t, nil
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+)
+
+// TestPlaceConsolidationWins is the PLACE acceptance criterion:
+// consolidation cuts total wakeups/s by at least 10% vs static
+// round-robin at M=10 low-rate pairs on 4 managers, while p99 latency
+// stays within every consumer's MaxLatency (100ms, core default), and
+// it actually migrated something to get there.
+func TestPlaceConsolidationWins(t *testing.T) {
+	tb, err := Place(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := tb.MustValue(core.Name, KeyWakeups)
+	cons := tb.MustValue(core.Name+"-place", KeyWakeups)
+	if static <= 0 {
+		t.Fatalf("static wakeups/s = %v, want > 0", static)
+	}
+	if cons > 0.9*static {
+		t.Errorf("consolidated wakeups/s = %.1f, want ≤ 90%% of static %.1f (%.1f%% reduction)",
+			cons, static, 100*(1-cons/static))
+	}
+	cfg := core.DefaultConfig(placeWorkload(10, 25, testCfg)(testCfg.BaseSeed))
+	maxLatMs := float64(cfg.MaxLatency) / float64(simtime.Millisecond)
+	if p99 := tb.MustValue(core.Name+"-place", KeyLatencyP99); p99 > maxLatMs {
+		t.Errorf("consolidated p99 latency = %.3fms, above MaxLatency %.0fms", p99, maxLatMs)
+	}
+	if mig := tb.MustValue(core.Name+"-place", KeyMigrations); mig < 1 {
+		t.Errorf("migrations = %.0f, want ≥ 1 (consolidation never acted)", mig)
+	}
+	if mig := tb.MustValue(core.Name, KeyMigrations); mig != 0 {
+		t.Errorf("static run reports %.0f migrations, want 0", mig)
+	}
+}

@@ -47,6 +47,9 @@ type Report struct {
 	// (§VI-B "number of buffer overflows"). For BP every invocation is
 	// an overflow by definition.
 	Overflows uint64
+	// Migrations counts consumers moved between core managers by the
+	// consolidation control plane (zero unless it is enabled).
+	Migrations uint64
 
 	// UsageMs is the total active core time in milliseconds; ShallowMs
 	// and DeepIdleMs complete the consumer cores' C-state residency
@@ -146,6 +149,7 @@ type Aggregate struct {
 	Usage      stats.Summary // ms/s
 	Scheduled  stats.Summary // scheduled wakeups (count)
 	Overflows  stats.Summary // overflow count
+	Migrations stats.Summary // placement migrations (count)
 	AvgBuffer  stats.Summary // mean buffer quota
 	AvgBatch   stats.Summary
 	AvgLatency stats.Summary // mean item latency, ms
@@ -161,7 +165,7 @@ func Aggregated(reports []Report) Aggregate {
 		panic("metrics: aggregating zero reports")
 	}
 	impl := reports[0].Impl
-	var wk, at, pw, us, sch, ov, ab, bt, al, l50, l99 []float64
+	var wk, at, pw, us, sch, ov, mg, ab, bt, al, l50, l99 []float64
 	agg := Aggregate{Impl: impl, Replicates: len(reports)}
 	for _, r := range reports {
 		if r.Impl != impl {
@@ -173,6 +177,7 @@ func Aggregated(reports []Report) Aggregate {
 		us = append(us, r.UsageMsPerS())
 		sch = append(sch, float64(r.ScheduledWakeups))
 		ov = append(ov, float64(r.Overflows))
+		mg = append(mg, float64(r.Migrations))
 		ab = append(ab, r.AvgBufferQuota)
 		bt = append(bt, r.AvgBatch())
 		al = append(al, float64(r.AvgLatency())/float64(simtime.Millisecond))
@@ -188,6 +193,7 @@ func Aggregated(reports []Report) Aggregate {
 	agg.Usage = stats.Summarize(us)
 	agg.Scheduled = stats.Summarize(sch)
 	agg.Overflows = stats.Summarize(ov)
+	agg.Migrations = stats.Summarize(mg)
 	agg.AvgBuffer = stats.Summarize(ab)
 	agg.AvgBatch = stats.Summarize(bt)
 	agg.AvgLatency = stats.Summarize(al)

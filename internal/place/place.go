@@ -1,0 +1,278 @@
+// Package place is the consolidation control plane: it decides which
+// core manager should host which producer-consumer pair.
+//
+// The paper's objective (Eq. 4) is the global count of idle→active
+// transitions across all cores, but both the simulator and the live
+// runtime fix pair→core placement up front (pair i on manager i mod
+// C). Two low-rate consumers stranded on different managers each pay
+// their own timer wakeups when they could latch onto one shared slot.
+// This package closes that loop: given every pair's predicted rate and
+// current manager, it packs consumers onto the fewest managers whose
+// combined predicted load stays under a per-manager budget, so emptied
+// managers park their timers entirely (zero wakeups), and spreads back
+// out when predicted load approaches the budget (hysteresis, so
+// consolidation never becomes a latency cliff).
+//
+// The planner is pure and deterministic: the live runtime's controller
+// goroutine and the simulator's periodic plan event both feed it
+// snapshots and apply its moves. Per-pair response latency stays the
+// PBPL planner's job — every pair keeps reserving within its own
+// MaxLatency wherever it is hosted; the budget here guards the other
+// half of the latency story, the serial drain capacity of one manager.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pair is one producer-consumer pair as the placement planner sees it.
+type Pair struct {
+	// ID identifies the pair across plans (the runtime pair id or the
+	// simulator consumer index).
+	ID int
+	// Manager is the index of the manager currently hosting the pair.
+	Manager int
+	// Rate is the pair's predicted production rate, items/s.
+	Rate float64
+	// Buffered is the number of items currently queued.
+	Buffered int
+}
+
+// Config parameterizes a Planner.
+type Config struct {
+	// Managers is the number of core managers available. Required ≥ 1.
+	Managers int
+	// BudgetRate is the hard per-manager load budget in predicted
+	// items/s: the planner never packs a manager past it while another
+	// manager has room, and pairs on a manager that exceeds it spread
+	// back out. Zero defaults to 50000.
+	BudgetRate float64
+	// TargetUtil is the fraction of BudgetRate the packer aims at when
+	// choosing how few managers to keep active; the gap between
+	// TargetUtil·BudgetRate (pack level) and BudgetRate (spread level)
+	// is the load hysteresis band. Zero defaults to 0.7, mirroring the
+	// buffer headroom η.
+	TargetUtil float64
+	// MinDwell pins a freshly migrated pair to its new manager for this
+	// many subsequent plans, damping oscillation when rates sit near a
+	// threshold. Zero defaults to 3.
+	MinDwell int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetRate <= 0 {
+		c.BudgetRate = 50000
+	}
+	if c.TargetUtil <= 0 || c.TargetUtil > 1 {
+		c.TargetUtil = 0.7
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = 3
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Managers < 1 {
+		return fmt.Errorf("place: managers %d < 1", c.Managers)
+	}
+	if c.BudgetRate < 0 {
+		return fmt.Errorf("place: negative budget rate %v", c.BudgetRate)
+	}
+	if c.TargetUtil < 0 || c.TargetUtil > 1 {
+		return fmt.Errorf("place: target utilization %v outside [0, 1]", c.TargetUtil)
+	}
+	if c.MinDwell < 0 {
+		return fmt.Errorf("place: negative dwell %d", c.MinDwell)
+	}
+	return nil
+}
+
+// Move relocates one pair.
+type Move struct {
+	Pair int
+	From int
+	To   int
+}
+
+// Plan is one placement decision over a snapshot of pairs.
+type Plan struct {
+	// Assign maps pair id → manager index for every pair in the
+	// snapshot (moved or not).
+	Assign map[int]int
+	// Moves lists the pairs whose assignment differs from their current
+	// manager, in deterministic order.
+	Moves []Move
+	// Active is the number of managers hosting at least one pair after
+	// the plan; the remaining managers hold no reservations and their
+	// timers park.
+	Active int
+}
+
+// Planner computes consolidation plans. It is stateful (dwell counters
+// damp repeated moves) and not goroutine-safe; each control loop owns
+// one Planner.
+type Planner struct {
+	cfg   Config
+	dwell map[int]int
+}
+
+// NewPlanner builds a planner; cfg.Managers must be ≥ 1.
+func NewPlanner(cfg Config) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{cfg: cfg.withDefaults(), dwell: make(map[int]int)}, nil
+}
+
+// Plan packs the snapshot onto the fewest managers that keep every
+// manager's predicted load within budget. Pairs hosted on a surviving
+// manager stay put (sticky); pairs on a manager being emptied or over
+// budget migrate, largest rate first, onto the fullest surviving
+// manager that still fits them (best-fit decreasing).
+func (pl *Planner) Plan(pairs []Pair) Plan {
+	cfg := pl.cfg
+	pack := cfg.TargetUtil * cfg.BudgetRate
+
+	// Age dwell counters and drop entries for departed pairs.
+	present := make(map[int]bool, len(pairs))
+	for _, p := range pairs {
+		present[p.ID] = true
+	}
+	for id, n := range pl.dwell {
+		if !present[id] || n <= 1 {
+			delete(pl.dwell, id)
+		} else {
+			pl.dwell[id] = n - 1
+		}
+	}
+
+	// How many managers the total predicted load wants at pack level.
+	total := 0.0
+	load := make([]float64, cfg.Managers)
+	count := make([]int, cfg.Managers)
+	for _, p := range pairs {
+		r := math.Max(p.Rate, 0)
+		total += r
+		if p.Manager >= 0 && p.Manager < cfg.Managers {
+			load[p.Manager] += r
+			count[p.Manager]++
+		}
+	}
+	want := 1
+	if pack > 0 {
+		want = int(math.Ceil(total / pack))
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > cfg.Managers {
+		want = cfg.Managers
+	}
+
+	// Keep the want fullest managers active (ties: more pairs, then
+	// lower index) so consolidation empties the lightest ones and moves
+	// as few pairs as possible.
+	order := make([]int, cfg.Managers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ma, mb := order[a], order[b]
+		if load[ma] != load[mb] {
+			return load[ma] > load[mb]
+		}
+		if count[ma] != count[mb] {
+			return count[ma] > count[mb]
+		}
+		return ma < mb
+	})
+	active := make([]int, 0, want)
+	inActive := make([]bool, cfg.Managers)
+	for _, m := range order[:want] {
+		active = append(active, m)
+		inActive[m] = true
+	}
+	spare := order[want:]
+
+	// Assign pairs in deterministic order: rate descending, id
+	// ascending, so the heavy pairs claim capacity first and the light
+	// ones latch in around them.
+	sorted := make([]Pair, len(pairs))
+	copy(sorted, pairs)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Rate != sorted[b].Rate {
+			return sorted[a].Rate > sorted[b].Rate
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+
+	newLoad := make([]float64, cfg.Managers)
+	plan := Plan{Assign: make(map[int]int, len(pairs))}
+	pick := func(p Pair) int {
+		r := math.Max(p.Rate, 0)
+		cur := p.Manager
+		if cur < 0 || cur >= cfg.Managers {
+			cur = -1
+		}
+		// Pinned: a recently migrated pair sits out this plan.
+		if cur >= 0 && pl.dwell[p.ID] > 0 {
+			return cur
+		}
+		// Sticky: stay wherever an active manager still has budget.
+		if cur >= 0 && inActive[cur] && newLoad[cur]+r <= cfg.BudgetRate {
+			return cur
+		}
+		// Best fit: the fullest active manager that stays at pack
+		// level, else the fullest that stays within the hard budget.
+		best := -1
+		for _, limit := range []float64{pack, cfg.BudgetRate} {
+			for _, m := range active {
+				if newLoad[m]+r > limit {
+					continue
+				}
+				if best < 0 || newLoad[m] > newLoad[best] || (newLoad[m] == newLoad[best] && m < best) {
+					best = m
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+		}
+		// Every active manager is at budget: spread onto a spare one.
+		if len(spare) > 0 {
+			m := spare[0]
+			spare = spare[1:]
+			active = append(active, m)
+			inActive[m] = true
+			return m
+		}
+		// All managers over budget — overload; least loaded wins.
+		least := active[0]
+		for _, m := range active {
+			if newLoad[m] < newLoad[least] || (newLoad[m] == newLoad[least] && m < least) {
+				least = m
+			}
+		}
+		return least
+	}
+	for _, p := range sorted {
+		m := pick(p)
+		plan.Assign[p.ID] = m
+		newLoad[m] += math.Max(p.Rate, 0)
+		if m != p.Manager {
+			plan.Moves = append(plan.Moves, Move{Pair: p.ID, From: p.Manager, To: m})
+			pl.dwell[p.ID] = cfg.MinDwell
+		}
+	}
+
+	used := make(map[int]bool, len(plan.Assign))
+	for _, m := range plan.Assign {
+		used[m] = true
+	}
+	plan.Active = len(used)
+	return plan
+}

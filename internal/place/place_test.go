@@ -1,0 +1,201 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustPlanner(t *testing.T, cfg Config) *Planner {
+	t.Helper()
+	pl, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := NewPlanner(Config{Managers: 0}); err == nil {
+		t.Fatal("zero managers should fail")
+	}
+	if _, err := NewPlanner(Config{Managers: 2, BudgetRate: -1}); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+	if _, err := NewPlanner(Config{Managers: 2, TargetUtil: 1.5}); err == nil {
+		t.Fatal("util > 1 should fail")
+	}
+	if _, err := NewPlanner(Config{Managers: 2, MinDwell: -1}); err == nil {
+		t.Fatal("negative dwell should fail")
+	}
+	if _, err := NewPlanner(Config{Managers: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Low aggregate load consolidates onto one manager; the others empty.
+func TestConsolidatesLowRatePairs(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 4, BudgetRate: 10000})
+	pairs := make([]Pair, 10)
+	for i := range pairs {
+		pairs[i] = Pair{ID: i, Manager: i % 4, Rate: 120}
+	}
+	plan := pl.Plan(pairs)
+	if plan.Active != 1 {
+		t.Fatalf("active managers = %d, want 1 (assign %v)", plan.Active, plan.Assign)
+	}
+	target := plan.Assign[0]
+	for id, m := range plan.Assign {
+		if m != target {
+			t.Fatalf("pair %d on manager %d, others on %d", id, m, target)
+		}
+	}
+	// Managers 0 and 1 start with 3 pairs; the tie breaks to manager 0.
+	if target != 0 {
+		t.Fatalf("consolidated onto manager %d, want the fullest (0)", target)
+	}
+	if len(plan.Moves) != 7 {
+		t.Fatalf("moves = %d, want 7 (the pairs not already on manager 0)", len(plan.Moves))
+	}
+}
+
+// Aggregate load above one manager's budget spreads across enough
+// managers to respect it.
+func TestSpreadsOverBudget(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 4, BudgetRate: 1000, TargetUtil: 0.7})
+	// 2800 items/s total at pack level 700 → 4 managers.
+	pairs := []Pair{
+		{ID: 0, Manager: 0, Rate: 700},
+		{ID: 1, Manager: 0, Rate: 700},
+		{ID: 2, Manager: 0, Rate: 700},
+		{ID: 3, Manager: 0, Rate: 700},
+	}
+	plan := pl.Plan(pairs)
+	if plan.Active != 4 {
+		t.Fatalf("active = %d, want 4 (assign %v)", plan.Active, plan.Assign)
+	}
+	seen := map[int]bool{}
+	for _, m := range plan.Assign {
+		if seen[m] {
+			t.Fatalf("two pairs share a manager under spread: %v", plan.Assign)
+		}
+		seen[m] = true
+	}
+}
+
+// A pair already on a surviving manager never moves (sticky), even when
+// a from-scratch packing would shuffle it.
+func TestStickyAssignment(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 4, BudgetRate: 10000})
+	pairs := []Pair{
+		{ID: 0, Manager: 2, Rate: 500},
+		{ID: 1, Manager: 2, Rate: 100},
+	}
+	plan := pl.Plan(pairs)
+	if len(plan.Moves) != 0 {
+		t.Fatalf("moves = %v, want none (already consolidated on manager 2)", plan.Moves)
+	}
+	if plan.Assign[0] != 2 || plan.Assign[1] != 2 {
+		t.Fatalf("assign = %v, want both on 2", plan.Assign)
+	}
+}
+
+// Dwell pins freshly moved pairs for MinDwell subsequent plans, damping
+// oscillation when the load hovers near a threshold.
+func TestDwellDampsOscillation(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 2, BudgetRate: 1000, TargetUtil: 0.7, MinDwell: 2})
+	pairs := []Pair{
+		{ID: 0, Manager: 0, Rate: 300},
+		{ID: 1, Manager: 1, Rate: 300},
+	}
+	plan := pl.Plan(pairs)
+	if len(plan.Moves) != 1 {
+		t.Fatalf("first plan moves = %v, want exactly one consolidation move", plan.Moves)
+	}
+	moved := plan.Moves[0].Pair
+	// While dwelling, a load spike that would spread the pairs again
+	// must not bounce the freshly moved pair.
+	pairs[moved].Manager = plan.Moves[0].To
+	pairs[0].Rate, pairs[1].Rate = 800, 800
+	plan = pl.Plan(pairs)
+	for _, mv := range plan.Moves {
+		if mv.Pair == moved {
+			t.Fatalf("pair %d moved again while dwelling: %v", moved, plan.Moves)
+		}
+	}
+	// After the dwell expires the spread is allowed.
+	apply := func(p Plan) {
+		for i := range pairs {
+			pairs[i].Manager = p.Assign[pairs[i].ID]
+		}
+	}
+	apply(plan)
+	plan = pl.Plan(pairs)
+	apply(plan)
+	plan = pl.Plan(pairs)
+	if plan.Active != 2 {
+		t.Fatalf("active = %d after dwell expiry under high load, want 2", plan.Active)
+	}
+}
+
+// Plans are deterministic: same snapshot, same plan.
+func TestDeterministic(t *testing.T) {
+	pairs := []Pair{
+		{ID: 3, Manager: 3, Rate: 50},
+		{ID: 0, Manager: 0, Rate: 50},
+		{ID: 2, Manager: 2, Rate: 50},
+		{ID: 1, Manager: 1, Rate: 50},
+	}
+	a := mustPlanner(t, Config{Managers: 4}).Plan(pairs)
+	b := mustPlanner(t, Config{Managers: 4}).Plan(pairs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plans differ:\n%v\n%v", a, b)
+	}
+}
+
+// Zero-rate (idle) pairs still consolidate onto one manager, so the
+// other managers can park their timers.
+func TestIdlePairsParkManagers(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 4})
+	pairs := []Pair{
+		{ID: 0, Manager: 1, Rate: 0},
+		{ID: 1, Manager: 2, Rate: 0},
+		{ID: 2, Manager: 3, Rate: 0},
+	}
+	plan := pl.Plan(pairs)
+	if plan.Active != 1 {
+		t.Fatalf("active = %d, want 1", plan.Active)
+	}
+}
+
+// Overload beyond every manager's budget still yields a valid plan
+// (least-loaded wins; nothing panics, nothing is dropped).
+func TestOverloadStillAssigns(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 2, BudgetRate: 100})
+	pairs := []Pair{
+		{ID: 0, Manager: 0, Rate: 500},
+		{ID: 1, Manager: 0, Rate: 500},
+		{ID: 2, Manager: 1, Rate: 500},
+		{ID: 3, Manager: 1, Rate: 500},
+	}
+	plan := pl.Plan(pairs)
+	if len(plan.Assign) != 4 {
+		t.Fatalf("assign = %v, want all four pairs placed", plan.Assign)
+	}
+	if plan.Active != 2 {
+		t.Fatalf("active = %d, want both managers under overload", plan.Active)
+	}
+}
+
+// A pair with an out-of-range manager (e.g. freshly opened, not yet
+// placed) is treated as unplaced and assigned somewhere valid.
+func TestUnplacedPair(t *testing.T) {
+	pl := mustPlanner(t, Config{Managers: 2})
+	plan := pl.Plan([]Pair{{ID: 7, Manager: -1, Rate: 10}})
+	m, ok := plan.Assign[7]
+	if !ok || m < 0 || m >= 2 {
+		t.Fatalf("assign = %v, want pair 7 on a valid manager", plan.Assign)
+	}
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %v, want one placement move", plan.Moves)
+	}
+}

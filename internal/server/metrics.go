@@ -47,6 +47,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("pcd_invocations_total", "Consumer batch drains.", float64(stats.Invocations))
 	p.Counter("pcd_overflows_total", "Put calls that found a pair at quota.", float64(stats.Overflows))
 	p.Counter("pcd_handler_panics_total", "Recovered consumer-handler panics.", float64(stats.HandlerPanics))
+	p.Counter("pcd_migrations_total", "Pairs moved between core managers by the placement controller.", float64(stats.Migrations))
 
 	p.Gauge("pcd_wakeups_per_second", "Timer + forced wakeups per second of uptime (Eq. 4 objective, live).", wakeupsPerSecond(stats, elapsed))
 	p.Gauge("pcd_estimated_power_milliwatts", "Model-priced average power draw (internal/power, not a measurement).", s.estimatePower(stats, elapsed))
@@ -59,6 +60,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("pcd_tcp_malformed_total", "Raw-TCP lines that did not parse.", float64(s.tcpMalformed.Load()))
 	p.Counter("pcd_stream_rejects_total", "Stream creations rejected (pair table full).", float64(s.streamRejects.Load()))
 
+	mgrs := s.rt.ManagerSnapshots()
+	active := 0
+	for _, m := range mgrs {
+		if m.Pairs > 0 {
+			active++
+		}
+	}
+	p.Gauge("pcd_active_managers", "Core managers hosting at least one pair; the rest park their timers.", float64(active))
+	for _, m := range mgrs {
+		id := strconv.Itoa(m.ID)
+		p.Gauge("pcd_manager_pairs", "Open pairs hosted by this core manager.", float64(m.Pairs), "manager", id)
+		p.Counter("pcd_manager_timer_wakes_total", "Slot-timer wakeups paid by this core manager.", float64(m.TimerWakes), "manager", id)
+		p.Counter("pcd_manager_forced_wakes_total", "Overflow-forced wakeups paid by this core manager.", float64(m.ForcedWakes), "manager", id)
+	}
+	if pl := s.rt.Placement(); pl.Enabled {
+		p.Counter("pcd_placement_plans_total", "Completed placement planning rounds.", float64(pl.Plans))
+	}
+
 	streams := s.snapshotStreams()
 	p.Gauge("pcd_streams", "Open ingest streams (producer-consumer pairs).", float64(len(streams)))
 	for _, st := range streams {
@@ -70,6 +89,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Gauge("pcd_stream_buffer_items", "Items currently buffered.", float64(st.Len), "stream", st.Key, "pair", id)
 		p.Gauge("pcd_stream_quota_items", "Current elastic buffer quota.", float64(st.Quota), "stream", st.Key, "pair", id)
 		p.Gauge("pcd_stream_armed", "1 while the stream holds a slot reservation.", boolGauge(st.Armed), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_manager", "Index of the core manager hosting this stream.", float64(st.Manager), "stream", st.Key, "pair", id)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

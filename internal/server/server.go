@@ -382,6 +382,58 @@ func (s *Server) snapshotStreams() []streamSnapshot {
 	return out
 }
 
+// managerz is one core manager's row in /statusz.
+type managerz struct {
+	ID          int    `json:"id"`
+	Pairs       int    `json:"pairs"`
+	TimerWakes  uint64 `json:"timer_wakes"`
+	ForcedWakes uint64 `json:"forced_wakes"`
+}
+
+// placementz is the placement/consolidation section of /statusz: where
+// every pair lives, and what the controller last decided.
+type placementz struct {
+	Enabled         bool       `json:"enabled"`
+	ActiveManagers  int        `json:"active_managers"`
+	Plans           uint64     `json:"plans"`
+	MigrationsTotal uint64     `json:"migrations_total"`
+	LastPlanAt      string     `json:"last_plan_at,omitempty"`
+	LastPlanPairs   int        `json:"last_plan_pairs"`
+	LastPlanActive  int        `json:"last_plan_active"`
+	LastPlanMoves   int        `json:"last_plan_moves"`
+	LastPlanApplied int        `json:"last_plan_applied"`
+	Managers        []managerz `json:"managers"`
+}
+
+// placementStatus assembles the placement section from the runtime.
+func (s *Server) placementStatus() placementz {
+	ps := s.rt.Placement()
+	out := placementz{
+		Enabled:         ps.Enabled,
+		Plans:           ps.Plans,
+		MigrationsTotal: ps.Migrations,
+		LastPlanPairs:   ps.LastPlan.Pairs,
+		LastPlanActive:  ps.LastPlan.Active,
+		LastPlanMoves:   ps.LastPlan.Moves,
+		LastPlanApplied: ps.LastPlan.Applied,
+	}
+	if !ps.LastPlan.At.IsZero() {
+		out.LastPlanAt = ps.LastPlan.At.UTC().Format(time.RFC3339Nano)
+	}
+	for _, m := range s.rt.ManagerSnapshots() {
+		if m.Pairs > 0 {
+			out.ActiveManagers++
+		}
+		out.Managers = append(out.Managers, managerz{
+			ID:          m.ID,
+			Pairs:       m.Pairs,
+			TimerWakes:  m.TimerWakes,
+			ForcedWakes: m.ForcedWakes,
+		})
+	}
+	return out
+}
+
 // statusz is the JSON shape served by /statusz.
 type statusz struct {
 	UptimeSeconds    float64          `json:"uptime_seconds"`
@@ -394,6 +446,7 @@ type statusz struct {
 	ShedHTTP         uint64           `json:"shed_http"`
 	ShedTCP          uint64           `json:"shed_tcp"`
 	StreamRejects    uint64           `json:"stream_rejects"`
+	Placement        placementz       `json:"placement"`
 	Streams          []streamSnapshot `json:"streams"`
 }
 
@@ -411,6 +464,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		ShedHTTP:         s.shedHTTP.Load(),
 		ShedTCP:          s.shedTCP.Load(),
 		StreamRejects:    s.streamRejects.Load(),
+		Placement:        s.placementStatus(),
 		Streams:          s.snapshotStreams(),
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -340,3 +340,84 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 		t.Errorf("second Shutdown: %v", err)
 	}
 }
+
+// TestPlacementSurfaces enables consolidation, opens several idle
+// streams spread over four managers, waits for the controller to pack
+// them, and checks both /metrics and /statusz expose the placement
+// story: migrations_total, active_managers, per-manager wakeup
+// counters, and the last plan.
+func TestPlacementSurfaces(t *testing.T) {
+	s, _ := newTestServer(t, Config{},
+		repro.WithManagers(4),
+		repro.WithConsolidation(repro.ConsolidationConfig{Interval: 10 * time.Millisecond}),
+	)
+	base := "http://" + s.Addr()
+	for i := 0; i < 6; i++ {
+		status, accepted, _ := postLines(t, base, fmt.Sprintf("s%d", i), []string{"x"})
+		if status != http.StatusOK || accepted != 1 {
+			t.Fatalf("ingest stream %d: status %d accepted %d", i, status, accepted)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var m map[string]float64
+	for {
+		m = scrapeMetrics(t, base)
+		if m["pcd_active_managers"] == 1 && m["pcd_migrations_total"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never consolidated: active=%v migrations=%v",
+				m["pcd_active_managers"], m["pcd_migrations_total"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m["pcd_placement_plans_total"] < 1 {
+		t.Fatalf("pcd_placement_plans_total = %v, want >= 1", m["pcd_placement_plans_total"])
+	}
+	var hosted float64
+	for i := 0; i < 4; i++ {
+		hosted += m[fmt.Sprintf("pcd_manager_pairs{manager=%q}", fmt.Sprint(i))]
+	}
+	if hosted != 6 {
+		t.Fatalf("per-manager pair gauges sum to %v, want 6", hosted)
+	}
+
+	resp, err := http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Placement struct {
+			Enabled         bool   `json:"enabled"`
+			ActiveManagers  int    `json:"active_managers"`
+			Plans           uint64 `json:"plans"`
+			MigrationsTotal uint64 `json:"migrations_total"`
+			LastPlanAt      string `json:"last_plan_at"`
+			LastPlanActive  int    `json:"last_plan_active"`
+			Managers        []struct {
+				Pairs int `json:"pairs"`
+			} `json:"managers"`
+		} `json:"placement"`
+		Streams []struct {
+			Manager int `json:"Manager"`
+		} `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	pl := st.Placement
+	if !pl.Enabled || pl.Plans < 1 || pl.MigrationsTotal < 1 {
+		t.Fatalf("placement section %+v, want enabled with plans and migrations", pl)
+	}
+	if pl.ActiveManagers != 1 || pl.LastPlanActive != 1 {
+		t.Fatalf("active managers %d, last plan active %d, want 1", pl.ActiveManagers, pl.LastPlanActive)
+	}
+	if pl.LastPlanAt == "" {
+		t.Fatal("last_plan_at empty after plans ran")
+	}
+	if len(pl.Managers) != 4 {
+		t.Fatalf("managers section has %d entries, want 4", len(pl.Managers))
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -12,8 +13,12 @@ import (
 // pairState is the manager-side, type-erased view of a pair. Except for
 // the atomic flags, all fields are owned by the manager goroutine.
 type pairState struct {
-	id  int
-	mgr *manager
+	id int
+	// mgr is the manager currently owning the pair. It only changes on
+	// the owning manager's goroutine (see Runtime.migrate), so a command
+	// running there that observes mgr == m can rely on ownership staying
+	// put for its whole duration.
+	mgr atomic.Pointer[manager]
 
 	// drainInto drains the pair's queue through its handler and returns
 	// the item count (type erasure over Pair[T]).
@@ -44,6 +49,42 @@ type pairState struct {
 	// forcePending coalesces overflow force requests.
 	forcePending atomic.Bool
 	closed       atomic.Bool
+
+	// lastRate holds the float bits of the pair's latest predicted rate
+	// (items/s), published on every plan so the placement controller can
+	// read it without touching the manager-owned predictor.
+	lastRate atomic.Uint64
+}
+
+// predictedRate returns the pair's last published predicted rate.
+func (st *pairState) predictedRate() float64 {
+	return math.Float64frombits(st.lastRate.Load())
+}
+
+// runOnOwner executes f on the goroutine of the manager that currently
+// owns the pair, retrying if a migration moves the pair between the
+// ownership read and the command running. Ownership changes only on the
+// owner's goroutine, so once the command observes st.mgr == m it stays
+// stable for f's whole duration. Returns false if the owning manager
+// has shut down.
+func (st *pairState) runOnOwner(f func(m *manager)) bool {
+	for {
+		m := st.mgr.Load()
+		moved := false
+		ok := m.run(func() {
+			if st.mgr.Load() != m {
+				moved = true
+				return
+			}
+			f(m)
+		})
+		if !ok {
+			return false
+		}
+		if !moved {
+			return true
+		}
+	}
 }
 
 // countDrain credits a drain of n items to the pair's and the runtime's
@@ -74,6 +115,13 @@ type manager struct {
 	done  chan struct{}
 
 	timer *time.Timer
+
+	// Per-manager wakeup counters (atomics: incremented alongside the
+	// runtime totals, read by ManagerSnapshots from any goroutine). They
+	// expose where the wakeups happen, which is what the placement
+	// controller is trying to shrink.
+	timerWakes  atomic.Uint64
+	forcedWakes atomic.Uint64
 }
 
 func newManager(rt *Runtime, id int) *manager {
@@ -156,11 +204,23 @@ func (m *manager) loop() {
 		case f := <-m.cmds:
 			f()
 		case p := <-m.kick:
+			if p.mgr.Load() != m {
+				// Stale: the pair migrated away while this kick was
+				// queued; the migration's hand-off kick covers it.
+				continue
+			}
 			m.onKick(p)
 		case p := <-m.force:
 			p.forcePending.Store(false)
+			if p.mgr.Load() != m {
+				// Stale after migration. The quiesce drain already
+				// emptied the pair at hand-off; the next overflow
+				// re-forces at the current owner.
+				continue
+			}
 			if !p.closed.Load() {
 				m.rt.stats.forcedWakes.Add(1)
+				m.forcedWakes.Add(1)
 				m.drainAndPlan(p, m.rt.now(), false)
 			}
 		case <-timerC:
@@ -188,6 +248,7 @@ func (m *manager) onTimer() {
 	}
 	if fired {
 		m.rt.stats.timerWakes.Add(1)
+		m.timerWakes.Add(1)
 	}
 }
 
@@ -225,7 +286,9 @@ func (m *manager) plan(p *pairState, now simtime.Time) {
 	if p.closed.Load() {
 		return
 	}
-	plan := p.planner.Next(now, p.pred.Predict(), p.pending(), m, func(want int) int {
+	rhat := p.pred.Predict()
+	p.lastRate.Store(math.Float64bits(rhat))
+	plan := p.planner.Next(now, rhat, p.pending(), m, func(want int) int {
 		return m.rt.requestQuota(p.id, want)
 	})
 	if plan.Quota >= 0 {

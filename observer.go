@@ -21,6 +21,10 @@ const (
 	// EventPairClose: a pair was closed and its pool capacity released.
 	// Fires on the goroutine calling Pair.Close.
 	EventPairClose
+	// EventMigrate: the placement controller moved a pair to another
+	// manager. Fires on the controller goroutine, after the source
+	// manager's quiesce drain and ownership hand-over.
+	EventMigrate
 )
 
 func (k EventKind) String() string {
@@ -35,6 +39,8 @@ func (k EventKind) String() string {
 		return "pair-open"
 	case EventPairClose:
 		return "pair-close"
+	case EventMigrate:
+		return "migrate"
 	default:
 		return "unknown"
 	}
@@ -56,6 +62,8 @@ type Event struct {
 	Scheduled bool
 	// Slot is the reserved slot index (EventReserve only).
 	Slot int64
+	// Manager is the destination manager index (EventMigrate only).
+	Manager int
 }
 
 // WithObserver installs a callback invoked for every drain, reservation

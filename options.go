@@ -34,6 +34,8 @@ type options struct {
 	predictor  predict.Factory
 	observer   func(Event)
 
+	consolidate *ConsolidationConfig
+
 	disableLatching   bool
 	disableResizing   bool
 	disablePrediction bool
@@ -132,6 +134,17 @@ func WithMaxPairs(n int) Option { return func(o *options) { o.maxPairs = n } }
 // internal/predict for EWMA and Kalman variants via
 // predict.FactoryByName.
 func WithPredictor(f predict.Factory) Option { return func(o *options) { o.predictor = f } }
+
+// WithConsolidation enables the placement controller: a background
+// goroutine that periodically packs pairs onto the fewest managers
+// whose combined predicted load stays within cfg.BudgetRate, migrating
+// pairs live (no item loss or reordering) so emptied managers park
+// their timers entirely, and spreading back out when load approaches
+// the budget. The zero ConsolidationConfig takes defaults; see
+// internal/place for the policy. Most useful with WithManagers(n>1).
+func WithConsolidation(cfg ConsolidationConfig) Option {
+	return func(o *options) { o.consolidate = &cfg }
+}
 
 // WithoutLatching disables reservation latching (ablation/debugging).
 func WithoutLatching() Option { return func(o *options) { o.disableLatching = true } }

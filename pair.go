@@ -80,7 +80,6 @@ func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*
 	}
 	st := &pairState{
 		id:        id,
-		mgr:       rt.managerFor(id),
 		pred:      o.predictor(),
 		planner:   planner,
 		lastDrain: rt.now(),
@@ -88,6 +87,7 @@ func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*
 		quota:     p.q.Quota,
 		setQuota:  p.q.SetQuota,
 	}
+	st.mgr.Store(rt.managerFor(id))
 	st.reservedSlot = -1
 	st.drainInto = p.drain
 	p.st = st
@@ -140,9 +140,10 @@ func (p *Pair[T]) Put(v T) error {
 			return nil
 		}
 		if !p.st.armed.Swap(true) {
+			mgr := p.st.mgr.Load()
 			select {
-			case p.st.mgr.kick <- p.st:
-			case <-p.st.mgr.done:
+			case mgr.kick <- p.st:
+			case <-mgr.done:
 				p.st.armed.Store(false)
 			}
 		}
@@ -151,9 +152,10 @@ func (p *Pair[T]) Put(v T) error {
 	p.rt.stats.overflows.Add(1)
 	p.st.overflows.Add(1)
 	if !p.st.forcePending.Swap(true) {
+		mgr := p.st.mgr.Load()
 		select {
-		case p.st.mgr.force <- p.st:
-		case <-p.st.mgr.done:
+		case mgr.force <- p.st:
+		case <-mgr.done:
 			p.st.forcePending.Store(false)
 		}
 	}
@@ -191,8 +193,8 @@ func (p *Pair[T]) Close() error {
 	if p.st.closed.Swap(true) {
 		return nil
 	}
-	ran := p.st.mgr.run(func() {
-		p.st.mgr.deregister(p.st)
+	ran := p.st.runOnOwner(func(m *manager) {
+		m.deregister(p.st)
 		if n := p.drain(); n > 0 {
 			p.st.countDrain(p.rt, n)
 			if obs := p.rt.opts.observer; obs != nil {

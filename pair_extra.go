@@ -34,9 +34,10 @@ func (p *Pair[T]) Flush() error {
 		return ErrClosed
 	}
 	if !p.st.forcePending.Swap(true) {
+		mgr := p.st.mgr.Load()
 		select {
-		case p.st.mgr.force <- p.st:
-		case <-p.st.mgr.done:
+		case mgr.force <- p.st:
+		case <-mgr.done:
 			p.st.forcePending.Store(false)
 			return ErrClosed
 		}

@@ -31,6 +31,9 @@ type Stats struct {
 	Overflows uint64
 	// HandlerPanics counts recovered consumer-handler panics.
 	HandlerPanics uint64
+	// Migrations counts pairs moved between managers by the placement
+	// controller (see WithConsolidation).
+	Migrations uint64
 }
 
 type counters struct {
@@ -41,6 +44,7 @@ type counters struct {
 	itemsOut      atomic.Uint64
 	overflows     atomic.Uint64
 	handlerPanics atomic.Uint64
+	migrations    atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -52,6 +56,7 @@ func (c *counters) snapshot() Stats {
 		ItemsOut:      c.itemsOut.Load(),
 		Overflows:     c.overflows.Load(),
 		HandlerPanics: c.handlerPanics.Load(),
+		Migrations:    c.migrations.Load(),
 	}
 }
 
@@ -62,6 +67,7 @@ type Runtime struct {
 	start    time.Time
 	planner  *core.Planner
 	managers []*manager
+	placer   *placementController // nil unless WithConsolidation
 	stats    counters
 
 	poolMu sync.Mutex
@@ -104,12 +110,28 @@ func New(opts ...Option) (*Runtime, error) {
 		},
 	}
 	for i := 0; i < o.managers; i++ {
-		m := newManager(rt, i)
-		rt.managers = append(rt.managers, m)
+		rt.managers = append(rt.managers, newManager(rt, i))
+	}
+	if o.consolidate != nil {
+		pc, err := newPlacementController(rt, *o.consolidate)
+		if err != nil {
+			return nil, err
+		}
+		rt.placer = pc
+	}
+	for _, m := range rt.managers {
+		m := m
 		rt.wg.Add(1)
 		go func() {
 			defer rt.wg.Done()
 			m.loop()
+		}()
+	}
+	if rt.placer != nil {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.placer.loop()
 		}()
 	}
 	return rt, nil
@@ -140,6 +162,10 @@ type PairSnapshot struct {
 	// Armed reports whether the pair holds (or is about to compute) a
 	// slot reservation — the live analogue of "has a scheduled wakeup".
 	Armed bool
+	// Manager is the index of the core manager currently hosting the
+	// pair (round-robin at creation; the placement controller may move
+	// it, see WithConsolidation).
+	Manager int
 	PairStats
 }
 
@@ -157,10 +183,11 @@ func (rt *Runtime) PairSnapshots() []PairSnapshot {
 	snaps := make([]PairSnapshot, len(states))
 	for i, st := range states {
 		snaps[i] = PairSnapshot{
-			ID:    st.id,
-			Len:   st.pending(),
-			Quota: st.quota(),
-			Armed: st.armed.Load(),
+			ID:      st.id,
+			Len:     st.pending(),
+			Quota:   st.quota(),
+			Armed:   st.armed.Load(),
+			Manager: st.mgr.Load().id,
 			PairStats: PairStats{
 				ItemsIn:     st.itemsIn.Load(),
 				ItemsOut:    st.itemsOut.Load(),
@@ -179,6 +206,9 @@ func (rt *Runtime) PairSnapshots() []PairSnapshot {
 func (rt *Runtime) Close() error {
 	if rt.closed.Swap(true) {
 		return nil
+	}
+	if rt.placer != nil {
+		close(rt.placer.done)
 	}
 	for _, m := range rt.managers {
 		close(m.done)

@@ -115,7 +115,7 @@ func TestManagersDrainOnClose(t *testing.T) {
 	}
 	seen := make(map[*manager]bool)
 	for _, p := range pairs {
-		seen[p.st.mgr] = true
+		seen[p.st.mgr.Load()] = true
 	}
 	if len(seen) != managers {
 		t.Fatalf("pairs landed on %d managers, want %d", len(seen), managers)
