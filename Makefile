@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify lint bench experiments figures examples clean
+.PHONY: all build test race verify chaos lint bench experiments figures examples clean
 
 all: build test
 
@@ -23,6 +23,13 @@ verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# Fault-tolerance suite under the race detector: chaos isolation
+# (panicking + stalling pairs must not delay healthy ones), breaker
+# open/probe/close lifecycle, quarantine fail-fast, and conservation
+# through final drains and mid-drain-panic migrations.
+chaos:
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Quarantine|Breaker' ./...
 
 # Static analysis beyond vet. Skips (with a notice) when staticcheck is
 # not on PATH so offline checkouts still build; CI installs it.

@@ -10,6 +10,13 @@
 //	pcd -http :8080 -tcp :8081               # plus the raw line protocol
 //	pcd -slot 10ms -latency 200ms -work 50us # tune the wakeup economics
 //	pcd -managers 4 -consolidate             # pack streams onto the fewest managers
+//	pcd -handler-timeout 50ms -breaker-failures 3 -redeliveries 3
+//	                                         # fault tolerance: watchdog + breaker
+//
+// A stream whose handler keeps failing (panic, error, or deadline
+// overrun) is quarantined: its items answer 503 (`pcd_shed_quarantined_total`)
+// until a half-open probe succeeds, so one broken consumer never takes
+// down the other streams on its core manager.
 //
 //	curl -d $'a\nb\nc' localhost:8080/ingest/audit
 //	curl localhost:8080/metrics
@@ -57,6 +64,10 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		consolidate = fs.Bool("consolidate", false, "enable the placement controller: pack streams onto the fewest managers, live-migrating pairs so idle managers never wake")
 		placeEvery  = fs.Duration("consolidate-interval", 250*time.Millisecond, "placement re-plan period (with -consolidate)")
 		placeBudget = fs.Float64("consolidate-budget", 0, "per-manager load budget, predicted items/s (0: default)")
+
+		handlerTimeout = fs.Duration("handler-timeout", 0, "per-stream handler watchdog deadline (0: disabled)")
+		breakerK       = fs.Int("breaker-failures", 3, "consecutive handler failures that quarantine a stream (0: breaker disabled)")
+		redeliveries   = fs.Int("redeliveries", 3, "redelivery attempts for a failed batch before its items drop")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,6 +110,13 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 				return func([][]byte) {}
 			}
 			return func(batch [][]byte) { spin(time.Duration(len(batch)) * *work) }
+		},
+		PairOptions: func(key string) []repro.PairOption {
+			return []repro.PairOption{
+				repro.PairWithHandlerTimeout(*handlerTimeout),
+				repro.PairWithBreaker(*breakerK),
+				repro.PairWithRedelivery(*redeliveries),
+			}
 		},
 		Logf: logf,
 	})
@@ -149,8 +167,8 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		perWake /= float64(wakes)
 	}
 	fmt.Fprintf(stdout,
-		"pcd: served %d items (%d shed as overflow) over %.1fs: %d wakeups (%d timer + %d forced), %.1f items/wakeup\n",
-		st.ItemsOut, st.Overflows, elapsed.Seconds(), wakes, st.TimerWakes, st.ForcedWakes, perWake)
+		"pcd: served %d items (%d shed as overflow, %d dropped) over %.1fs: %d wakeups (%d timer + %d forced), %.1f items/wakeup\n",
+		st.ItemsOut, st.Overflows, st.ItemsDropped, elapsed.Seconds(), wakes, st.TimerWakes, st.ForcedWakes, perWake)
 	return code
 }
 

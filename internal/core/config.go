@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/impls"
 	"repro/internal/predict"
 	"repro/internal/simtime"
@@ -70,6 +71,23 @@ type Config struct {
 	// PlaceBudgetRate is the hard per-manager load budget in predicted
 	// items/s. Zero takes the place package default.
 	PlaceBudgetRate float64
+
+	// FaultProfiles optionally injects consumer-handler faults, one
+	// profile per pair (internal/faults); a zero profile leaves that
+	// pair healthy. A failed invocation (injected panic, error, or
+	// stall) drops its batch — the sim mirrors the live runtime's
+	// at-most-once floor, not its redelivery queue — and a stall
+	// additionally charges Profile.Stall of active time on the hosting
+	// core, modelling a handler overrunning its deadline.
+	FaultProfiles []faults.Profile
+	// QuarantineAfter is the circuit breaker's K: a consumer whose
+	// handler fails this many consecutive invocations is quarantined —
+	// it stops reserving slots (its core stops waking for it) and drops
+	// subsequent arrivals on admission. Zero disables the breaker (the
+	// "-noquar" ablation: the faulty consumer keeps waking its core
+	// forever). Quarantine is terminal in the simulator; half-open
+	// probing and recovery are live-runtime concerns.
+	QuarantineAfter int
 
 	// Ablation switches (not in the paper; see DESIGN.md §4 "ABL").
 	DisableLatching   bool // cost function ignores existing reservations
@@ -129,7 +147,33 @@ func (c Config) Validate() error {
 	if c.PlaceBudgetRate < 0 {
 		return fmt.Errorf("core: negative place budget rate %v", c.PlaceBudgetRate)
 	}
+	if len(c.FaultProfiles) > 0 && len(c.FaultProfiles) != len(c.Base.Traces) {
+		return fmt.Errorf("core: %d fault profiles for %d pairs",
+			len(c.FaultProfiles), len(c.Base.Traces))
+	}
+	for i, p := range c.FaultProfiles {
+		if p.PanicRate < 0 || p.PanicRate > 1 || p.ErrorRate < 0 || p.ErrorRate > 1 ||
+			p.StallRate < 0 || p.StallRate > 1 {
+			return fmt.Errorf("core: fault profile %d has a rate outside [0, 1]", i)
+		}
+		if p.Stall < 0 {
+			return fmt.Errorf("core: fault profile %d has negative stall", i)
+		}
+	}
+	if c.QuarantineAfter < 0 {
+		return fmt.Errorf("core: negative quarantine threshold %d", c.QuarantineAfter)
+	}
 	return nil
+}
+
+// faulty reports whether any pair has a non-zero fault profile.
+func (c Config) faulty() bool {
+	for _, p := range c.FaultProfiles {
+		if !p.Zero() {
+			return true
+		}
+	}
+	return false
 }
 
 // normalized fills defaults into a validated config.
@@ -207,6 +251,12 @@ func (c Config) ImplName() string {
 	}
 	if c.Consolidate {
 		name += "-place"
+	}
+	if c.faulty() {
+		name += "-fault"
+		if c.QuarantineAfter == 0 {
+			name += "-noquar"
+		}
 	}
 	return name
 }

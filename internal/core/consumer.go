@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/buffer"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/predict"
 	"repro/internal/ring"
@@ -35,6 +36,12 @@ type consumer struct {
 
 	perItemWork    simtime.Duration
 	invokeOverhead simtime.Duration
+
+	// Fault injection (nil inj: healthy consumer, zero-cost path).
+	inj             *faults.Injector
+	quarantineAfter int // breaker K; 0 disables
+	consecFails     int
+	quarantined     bool
 }
 
 // onArrival is the producer side: buffer the item; a full buffer forces
@@ -42,6 +49,13 @@ type consumer struct {
 // itself.
 func (c *consumer) onArrival(at simtime.Time) {
 	c.m.Produced++
+	if c.quarantined {
+		// Breaker open: the item is refused on admission (the live
+		// runtime's ErrQuarantined fast-fail) — no buffering, no
+		// reservation, so the hosting core never wakes for this pair.
+		c.m.Dropped++
+		return
+	}
 	c.buf.Push(at)
 	if c.buf.Len() >= c.quota {
 		c.m.Overflows++
@@ -67,13 +81,44 @@ func (c *consumer) invoke(scheduled bool) {
 // drainNow is the drain half of an invocation: consume the batch, run
 // the service cost on the hosting core, and observe the rate
 // r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1}).
+//
+// With fault injection, the injector decides the invocation's fate
+// before delivery: a failed invocation (panic, error, or stall) still
+// pays its service cost — the handler ran — and a stall burns
+// Profile.Stall of extra active time, but its batch is dropped rather
+// than consumed. quarantineAfter consecutive failures open the
+// breaker: the consumer deregisters and refuses all further arrivals.
 func (c *consumer) drainNow(scheduled bool) {
 	now := c.loop.Now()
 	batch := c.buf.Drain()
 	c.traceSink.Log(c.id, now, scheduled, len(batch))
 	c.m.Invocations++
-	c.m.Consume(now, batch)
+	var d faults.Decision
+	if c.inj != nil && len(batch) > 0 {
+		d = c.inj.Next()
+	}
 	c.core.RunFor(c.invokeOverhead + simtime.Duration(len(batch))*c.perItemWork)
+	if d.Stall > 0 {
+		c.core.RunFor(simtime.Duration(d.Stall))
+	}
+	if d.Clean() {
+		c.m.Consume(now, batch)
+		if len(batch) > 0 {
+			c.consecFails = 0
+		}
+	} else {
+		c.m.Dropped += uint64(len(batch))
+		c.consecFails++
+		if c.quarantineAfter > 0 && c.consecFails >= c.quarantineAfter {
+			c.quarantined = true
+			c.m.Quarantines++
+			c.cm.deregister(c)
+			// Release the buffer quota down to the pool floor: a
+			// quarantined consumer buffers nothing, so its share of Bg
+			// goes back behind the elastic walls for healthy pairs.
+			c.quota = c.requestQuota(0)
+		}
+	}
 	if dt := now.Sub(c.lastInvoke); dt > 0 {
 		c.pred.Observe(float64(len(batch)) / dt.Seconds())
 	}
@@ -90,16 +135,24 @@ func (c *consumer) migrate(to *coreManager, toIdx int) {
 		return
 	}
 	c.cm.deregister(c)
-	if c.buf.Len() > 0 {
+	if !c.quarantined && c.buf.Len() > 0 {
 		c.drainNow(false)
 	}
 	c.cm, c.core, c.cmIndex = to, to.core, toIdx
 	c.reserveNext()
 }
 
-// flush consumes whatever remains at the end of the run.
+// flush consumes whatever remains at the end of the run. A quarantined
+// consumer's leftovers are dropped, not delivered — its handler is
+// known-broken (this arises only when the breaker opened with items
+// still buffered, which the drain-then-quarantine order precludes; the
+// guard keeps conservation honest regardless).
 func (c *consumer) flush() {
 	if c.buf.Len() == 0 {
+		return
+	}
+	if c.quarantined {
+		c.m.Dropped += uint64(len(c.buf.Drain()))
 		return
 	}
 	now := c.loop.Now()
@@ -111,6 +164,9 @@ func (c *consumer) flush() {
 
 // reserveNext delegates to the shared planner and applies its decision.
 func (c *consumer) reserveNext() {
+	if c.quarantined {
+		return
+	}
 	now := c.loop.Now()
 	plan := c.planner.Next(now, c.pred.Predict(), c.buf.Len(), c.cm, c.requestQuota)
 	if !plan.Reserve {

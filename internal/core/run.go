@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/buffer"
+	"repro/internal/faults"
 	"repro/internal/impls"
 	"repro/internal/metrics"
 	"repro/internal/place"
@@ -67,6 +68,12 @@ func Run(cfg Config) (metrics.Report, error) {
 			perItemWork:    base.PerItemWork,
 			invokeOverhead: base.InvokeOverhead,
 		}
+		if len(cfg.FaultProfiles) > 0 {
+			if pr := cfg.FaultProfiles[i]; !pr.Zero() {
+				consumers[i].inj = faults.NewInjector(pr)
+			}
+			consumers[i].quarantineAfter = cfg.QuarantineAfter
+		}
 	}
 
 	for i, t := range base.Traces {
@@ -101,10 +108,16 @@ func Run(cfg Config) (metrics.Report, error) {
 		replan = func() {
 			snap := make([]place.Pair, len(consumers))
 			for i, c := range consumers {
+				rate := c.pred.Predict()
+				if c.quarantined {
+					// A quarantined consumer never drains again; its
+					// stale predicted rate must not count as load.
+					rate = 0
+				}
 				snap[i] = place.Pair{
 					ID:       i,
 					Manager:  c.cmIndex,
-					Rate:     c.pred.Predict(),
+					Rate:     rate,
 					Buffered: c.buf.Len(),
 				}
 			}
@@ -156,6 +169,8 @@ func Run(cfg Config) (metrics.Report, error) {
 		Duration:          dur,
 		Produced:          m.Produced,
 		Consumed:          m.Consumed,
+		Dropped:           m.Dropped,
+		Quarantines:       m.Quarantines,
 		Wakeups:           wakeups,
 		AttributedWakeups: wakeups,
 		Invocations:       m.Invocations,

@@ -35,6 +35,8 @@ func ByID(id string, cfg Config) (Table, error) {
 		return Alignment(cfg)
 	case "place":
 		return Place(cfg)
+	case "faults":
+		return Faults(cfg)
 	default:
 		return Table{}, fmt.Errorf("exp: unknown figure id %q", id)
 	}
@@ -45,6 +47,6 @@ func IDs() []string {
 	return []string{
 		"fig3", "fig4", "corr", "fig9", "fig10", "fig11",
 		"wakeups", "buffer", "ablation", "latency", "predictors",
-		"racetoidle", "alignment", "place",
+		"racetoidle", "alignment", "place", "faults",
 	}
 }

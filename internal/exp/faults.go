@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// faultProfiles gives pair 0 a hostile handler and leaves the rest
+// healthy: the first failures are forced (FailFirst) so the breaker
+// variant opens deterministically, after which the handler keeps
+// failing 80% of invocations (stall ∪ error) and burning 2 ms of
+// active core time per stall — a consumer that is both broken and
+// expensive.
+func faultProfiles(pairs int) []faults.Profile {
+	p := make([]faults.Profile, pairs)
+	p[0] = faults.Profile{
+		Seed:      42,
+		ErrorRate: 0.6,
+		StallRate: 0.5,
+		Stall:     2 * time.Millisecond,
+		FailFirst: 3,
+	}
+	return p
+}
+
+// Faults measures what one broken consumer costs the machine and what
+// the circuit breaker claws back: healthy PBPL vs fault injection with
+// the breaker disabled ("-noquar": the faulty pair keeps waking its
+// core, stalling it, and dropping batches forever) vs fault injection
+// with quarantine after 3 consecutive failures (the pair deregisters;
+// its core never wakes for it again and its buffer quota returns to
+// the pool). The FAULT row of the experiment index.
+//
+// The comparison is power/usage/drop accounting, not healthy-pair
+// latency: the simulator measures buffering latency at the drain
+// event, so a co-hosted staller shows up as active time rather than
+// queueing delay. Latency isolation under faults is a live-runtime
+// property, proven by the chaos test in fault_test.go.
+func Faults(cfg Config) (Table, error) {
+	if err := cfg.validate(); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "faults",
+		Title: "fault injection: one broken consumer of 5, breaker off vs quarantine after 3, buffer 25",
+		Columns: []Column{
+			colWakeups, colWakeupsCI, colPower, colPowerCI, colUsage,
+			colDropped, colQuarantines,
+		},
+	}
+	const pairs = 5
+	workload := multiWorkload(pairs, 25, cfg)
+	power := map[string]float64{}
+	for _, r := range []runner{
+		pbplRunner(),
+		pbplRunner(func(c *core.Config) {
+			c.FaultProfiles = faultProfiles(pairs)
+		}),
+		pbplRunner(func(c *core.Config) {
+			c.FaultProfiles = faultProfiles(pairs)
+			c.QuarantineAfter = 3
+		}),
+	} {
+		agg, err := measure(cfg, r, workload)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, aggRow(r.label, agg))
+		power[r.label] = agg.Power.Mean
+	}
+	noquar, quar := power[core.Name+"-fault-noquar"], power[core.Name+"-fault"]
+	if noquar > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("quarantine vs breaker-off power: %+.1f%% (the faulty pair stops waking its core)",
+				100*stats.RelativeChange(noquar, quar)),
+			"healthy-pair latency isolation is a live-runtime property; see the chaos test (fault_test.go)",
+		)
+	}
+	return t, nil
+}

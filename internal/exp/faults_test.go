@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFaultsTable(t *testing.T) {
+	tb, err := Faults(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	// Healthy PBPL drops nothing and never quarantines.
+	if d := tb.MustValue(core.Name, KeyDropped); d != 0 {
+		t.Errorf("healthy dropped = %v, want 0", d)
+	}
+	// Both fault variants drop the broken pair's batches.
+	if d := tb.MustValue(core.Name+"-fault-noquar", KeyDropped); d == 0 {
+		t.Error("breaker-off run dropped nothing despite injected faults")
+	}
+	if d := tb.MustValue(core.Name+"-fault", KeyDropped); d == 0 {
+		t.Error("quarantine run dropped nothing despite injected faults")
+	}
+	// The breaker opens exactly once (pair 0), and only when enabled.
+	if q := tb.MustValue(core.Name+"-fault-noquar", KeyQuarantines); q != 0 {
+		t.Errorf("breaker-off quarantines = %v, want 0", q)
+	}
+	if q := tb.MustValue(core.Name+"-fault", KeyQuarantines); q != 1 {
+		t.Errorf("quarantines = %v, want 1", q)
+	}
+	// Quarantining the broken pair must not cost more active time than
+	// letting it stall its core forever.
+	noquar := tb.MustValue(core.Name+"-fault-noquar", KeyUsage)
+	quar := tb.MustValue(core.Name+"-fault", KeyUsage)
+	if quar > noquar {
+		t.Errorf("usage with quarantine %.2f ms/s > breaker-off %.2f ms/s", quar, noquar)
+	}
+}

@@ -30,6 +30,8 @@ const (
 	KeyLatencyP99  = "latency_p99_ms"
 	KeyMaxLatency  = "max_latency_ms"
 	KeyMigrations  = "migrations"
+	KeyDropped     = "dropped"
+	KeyQuarantines = "quarantines"
 )
 
 func aggRow(label string, a metrics.Aggregate) Row {
@@ -51,6 +53,8 @@ func aggRow(label string, a metrics.Aggregate) Row {
 			KeyLatencyP99:  a.LatencyP99.Mean,
 			KeyMaxLatency:  float64(a.MaxLatency) / float64(simtime.Millisecond),
 			KeyMigrations:  a.Migrations.Mean,
+			KeyDropped:     a.Dropped.Mean,
+			KeyQuarantines: a.Quarantines.Mean,
 		},
 	}
 }
@@ -67,6 +71,8 @@ var (
 	colAvgBuffer   = Column{KeyAvgBuffer, "avg-buf", "%.1f"}
 	colAvgBatch    = Column{KeyAvgBatch, "avg-batch", "%.1f"}
 	colMigrations  = Column{KeyMigrations, "migrations", "%.0f"}
+	colDropped     = Column{KeyDropped, "dropped", "%.0f"}
+	colQuarantines = Column{KeyQuarantines, "quarantines", "%.0f"}
 )
 
 // studyReports runs the §III single-pair study once: the seven
@@ -437,7 +443,7 @@ func All(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	tables = append(tables, corr)
-	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment, Place} {
+	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment, Place, Faults} {
 		tb, err := f(cfg)
 		if err != nil {
 			return nil, err

@@ -8,9 +8,11 @@ type Collector struct {
 	Produced    uint64
 	Attributed  uint64
 	Consumed    uint64
+	Dropped     uint64
 	Invocations uint64
 	Scheduled   uint64
 	Overflows   uint64
+	Quarantines uint64
 	SumLatency  simtime.Duration
 	MaxLatency  simtime.Duration
 	Latencies   Reservoir

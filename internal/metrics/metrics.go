@@ -21,9 +21,14 @@ type Report struct {
 	Cores    int
 	Duration simtime.Duration
 
-	// Item accounting.
+	// Item accounting. Conservation holds as
+	// Produced == Consumed + Dropped: a run without fault injection has
+	// Dropped == 0 and every produced item is consumed.
 	Produced uint64
 	Consumed uint64
+	// Dropped counts items discarded by failed (injected-fault) handler
+	// invocations or by quarantined consumers refusing admission.
+	Dropped uint64
 
 	// Wakeups are idle→active core transitions (Eq. 4's objective),
 	// summed over the consumer cores. This is the quantity the power
@@ -50,6 +55,10 @@ type Report struct {
 	// Migrations counts consumers moved between core managers by the
 	// consolidation control plane (zero unless it is enabled).
 	Migrations uint64
+	// Quarantines counts consumers whose circuit breaker opened after
+	// repeated injected handler failures (zero unless fault injection
+	// and the breaker are both configured).
+	Quarantines uint64
 
 	// UsageMs is the total active core time in milliseconds; ShallowMs
 	// and DeepIdleMs complete the consumer cores' C-state residency
@@ -117,11 +126,14 @@ func (r Report) AvgLatency() simtime.Duration {
 }
 
 // Validate checks run-level invariants: conservation (every produced
-// item was consumed — the paper's implementations "consume the same
-// number of data items", §III-C3), and internal counter consistency.
+// item was consumed or accounted as dropped — the paper's
+// implementations "consume the same number of data items", §III-C3;
+// fault injection extends the ledger with an explicit drop column),
+// and internal counter consistency.
 func (r Report) Validate() error {
-	if r.Produced != r.Consumed {
-		return fmt.Errorf("metrics: conservation violated: produced %d != consumed %d", r.Produced, r.Consumed)
+	if r.Produced != r.Consumed+r.Dropped {
+		return fmt.Errorf("metrics: conservation violated: produced %d != consumed %d + dropped %d",
+			r.Produced, r.Consumed, r.Dropped)
 	}
 	if r.Duration <= 0 {
 		return fmt.Errorf("metrics: non-positive duration %v", r.Duration)
@@ -141,21 +153,23 @@ func (r Report) Validate() error {
 // Aggregate summarizes replicate reports of the same configuration with
 // means and 95% confidence intervals, the paper's reporting format.
 type Aggregate struct {
-	Impl       string
-	Replicates int
-	Wakeups    stats.Summary // core wakeups/s
-	Attributed stats.Summary // PowerTop-attributed wakeups/s
-	Power      stats.Summary // extra milliwatts
-	Usage      stats.Summary // ms/s
-	Scheduled  stats.Summary // scheduled wakeups (count)
-	Overflows  stats.Summary // overflow count
-	Migrations stats.Summary // placement migrations (count)
-	AvgBuffer  stats.Summary // mean buffer quota
-	AvgBatch   stats.Summary
-	AvgLatency stats.Summary // mean item latency, ms
-	LatencyP50 stats.Summary // median item latency, ms
-	LatencyP99 stats.Summary // tail item latency, ms
-	MaxLatency simtime.Duration
+	Impl        string
+	Replicates  int
+	Wakeups     stats.Summary // core wakeups/s
+	Attributed  stats.Summary // PowerTop-attributed wakeups/s
+	Power       stats.Summary // extra milliwatts
+	Usage       stats.Summary // ms/s
+	Scheduled   stats.Summary // scheduled wakeups (count)
+	Overflows   stats.Summary // overflow count
+	Migrations  stats.Summary // placement migrations (count)
+	Dropped     stats.Summary // items dropped by failed/quarantined consumers
+	Quarantines stats.Summary // breaker-open transitions (count)
+	AvgBuffer   stats.Summary // mean buffer quota
+	AvgBatch    stats.Summary
+	AvgLatency  stats.Summary // mean item latency, ms
+	LatencyP50  stats.Summary // median item latency, ms
+	LatencyP99  stats.Summary // tail item latency, ms
+	MaxLatency  simtime.Duration
 }
 
 // Aggregated builds an Aggregate from replicate reports. It panics on
@@ -165,7 +179,7 @@ func Aggregated(reports []Report) Aggregate {
 		panic("metrics: aggregating zero reports")
 	}
 	impl := reports[0].Impl
-	var wk, at, pw, us, sch, ov, mg, ab, bt, al, l50, l99 []float64
+	var wk, at, pw, us, sch, ov, mg, dr, qr, ab, bt, al, l50, l99 []float64
 	agg := Aggregate{Impl: impl, Replicates: len(reports)}
 	for _, r := range reports {
 		if r.Impl != impl {
@@ -178,6 +192,8 @@ func Aggregated(reports []Report) Aggregate {
 		sch = append(sch, float64(r.ScheduledWakeups))
 		ov = append(ov, float64(r.Overflows))
 		mg = append(mg, float64(r.Migrations))
+		dr = append(dr, float64(r.Dropped))
+		qr = append(qr, float64(r.Quarantines))
 		ab = append(ab, r.AvgBufferQuota)
 		bt = append(bt, r.AvgBatch())
 		al = append(al, float64(r.AvgLatency())/float64(simtime.Millisecond))
@@ -194,6 +210,8 @@ func Aggregated(reports []Report) Aggregate {
 	agg.Scheduled = stats.Summarize(sch)
 	agg.Overflows = stats.Summarize(ov)
 	agg.Migrations = stats.Summarize(mg)
+	agg.Dropped = stats.Summarize(dr)
+	agg.Quarantines = stats.Summarize(qr)
 	agg.AvgBuffer = stats.Summarize(ab)
 	agg.AvgBatch = stats.Summarize(bt)
 	agg.AvgLatency = stats.Summarize(al)

@@ -127,6 +127,25 @@ func (q *Segmented[T]) SetQuota(quota int) {
 func (q *Segmented[T]) Push(v T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.pushLocked(v)
+}
+
+// PushBatch appends items in order under a single lock acquisition,
+// stopping at the quota (or when the pool runs dry) and returning how
+// many were accepted. It is the bulk counterpart of Push: one mutex
+// round-trip for the whole batch instead of one per item.
+func (q *Segmented[T]) PushBatch(items []T) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, v := range items {
+		if !q.pushLocked(v) {
+			return i
+		}
+	}
+	return len(items)
+}
+
+func (q *Segmented[T]) pushLocked(v T) bool {
 	if q.size >= q.quota {
 		return false
 	}

@@ -47,6 +47,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("pcd_invocations_total", "Consumer batch drains.", float64(stats.Invocations))
 	p.Counter("pcd_overflows_total", "Put calls that found a pair at quota.", float64(stats.Overflows))
 	p.Counter("pcd_handler_panics_total", "Recovered consumer-handler panics.", float64(stats.HandlerPanics))
+	p.Counter("pcd_handler_errors_total", "Non-nil returns from error-aware consumer handlers.", float64(stats.HandlerErrors))
+	p.Counter("pcd_handler_timeouts_total", "Handler invocations that overran their watchdog deadline.", float64(stats.HandlerTimeouts))
+	p.Counter("pcd_quarantines_total", "Circuit-breaker open transitions (pair quarantined after repeated failures).", float64(stats.Quarantines))
+	p.Counter("pcd_recoveries_total", "Successful half-open probes closing a pair's circuit breaker.", float64(stats.Recoveries))
+	p.Counter("pcd_redeliveries_total", "Failed batches re-offered to their handler.", float64(stats.Redeliveries))
+	p.Counter("pcd_items_dropped_total", "Items discarded after redelivery exhaustion or final-drain failure.", float64(stats.ItemsDropped))
 	p.Counter("pcd_migrations_total", "Pairs moved between core managers by the placement controller.", float64(stats.Migrations))
 
 	p.Gauge("pcd_wakeups_per_second", "Timer + forced wakeups per second of uptime (Eq. 4 objective, live).", wakeupsPerSecond(stats, elapsed))
@@ -57,6 +63,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("pcd_ingested_total", "Items accepted, by protocol.", float64(s.ingestedTCP.Load()), "proto", "tcp")
 	p.Counter("pcd_shed_total", "Items shed by admission control (pair at quota), by protocol.", float64(s.shedHTTP.Load()), "proto", "http")
 	p.Counter("pcd_shed_total", "Items shed by admission control (pair at quota), by protocol.", float64(s.shedTCP.Load()), "proto", "tcp")
+	p.Counter("pcd_shed_quarantined_total", "Items rejected because the stream's pair was quarantined (breaker open), by protocol.", float64(s.quarantinedHTTP.Load()), "proto", "http")
+	p.Counter("pcd_shed_quarantined_total", "Items rejected because the stream's pair was quarantined (breaker open), by protocol.", float64(s.quarantinedTCP.Load()), "proto", "tcp")
 	p.Counter("pcd_tcp_malformed_total", "Raw-TCP lines that did not parse.", float64(s.tcpMalformed.Load()))
 	p.Counter("pcd_stream_rejects_total", "Stream creations rejected (pair table full).", float64(s.streamRejects.Load()))
 
@@ -90,6 +98,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Gauge("pcd_stream_quota_items", "Current elastic buffer quota.", float64(st.Quota), "stream", st.Key, "pair", id)
 		p.Gauge("pcd_stream_armed", "1 while the stream holds a slot reservation.", boolGauge(st.Armed), "stream", st.Key, "pair", id)
 		p.Gauge("pcd_stream_manager", "Index of the core manager hosting this stream.", float64(st.Manager), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_quarantined", "1 while the stream's circuit breaker is open.", boolGauge(st.Quarantined), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_degraded", "1 while the stream's handler last overran its deadline.", boolGauge(st.Degraded), "stream", st.Key, "pair", id)
+		p.Gauge("pcd_stream_retained_items", "Items of a failed batch held for redelivery.", float64(st.Retained), "stream", st.Key, "pair", id)
+		p.Counter("pcd_stream_failures_total", "Handler failures on this stream, by kind.", float64(st.Panics), "stream", st.Key, "pair", id, "kind", "panic")
+		p.Counter("pcd_stream_failures_total", "Handler failures on this stream, by kind.", float64(st.Errors), "stream", st.Key, "pair", id, "kind", "error")
+		p.Counter("pcd_stream_failures_total", "Handler failures on this stream, by kind.", float64(st.Timeouts), "stream", st.Key, "pair", id, "kind", "timeout")
+		p.Counter("pcd_stream_dropped_total", "Items dropped on this stream after redelivery exhaustion.", float64(st.Dropped), "stream", st.Key, "pair", id)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -57,6 +57,12 @@ type Config struct {
 	// a handler that discards the batch (the runtime still counts it).
 	// The handler runs on a core-manager goroutine — keep it fast.
 	HandlerFor func(key string) func(batch [][]byte)
+	// HandlerFuncFor builds an error-aware consumer handler
+	// (repro.NewPairFunc): the context carries any
+	// PairWithHandlerTimeout deadline and a non-nil return feeds the
+	// pair's circuit breaker and redelivery policy. Takes precedence
+	// over HandlerFor when both are set.
+	HandlerFuncFor func(key string) func(ctx context.Context, batch [][]byte) error
 	// PairOptions builds per-stream pair options (e.g. a tighter
 	// latency bound for an interactive stream). Default: none.
 	PairOptions func(key string) []repro.PairOption
@@ -127,13 +133,15 @@ type Server struct {
 
 	draining atomic.Bool
 
-	httpRequests  atomic.Uint64
-	ingestedHTTP  atomic.Uint64
-	ingestedTCP   atomic.Uint64
-	shedHTTP      atomic.Uint64
-	shedTCP       atomic.Uint64
-	tcpMalformed  atomic.Uint64
-	streamRejects atomic.Uint64
+	httpRequests    atomic.Uint64
+	ingestedHTTP    atomic.Uint64
+	ingestedTCP     atomic.Uint64
+	shedHTTP        atomic.Uint64
+	shedTCP         atomic.Uint64
+	quarantinedHTTP atomic.Uint64
+	quarantinedTCP  atomic.Uint64
+	tcpMalformed    atomic.Uint64
+	streamRejects   atomic.Uint64
 }
 
 // New validates the config and builds a stopped server.
@@ -268,7 +276,13 @@ func (s *Server) streamFor(key string) (*stream, error) {
 	if s.cfg.PairOptions != nil {
 		opts = s.cfg.PairOptions(key)
 	}
-	p, err := repro.NewPair(s.rt, s.cfg.HandlerFor(key), opts...)
+	var p *repro.Pair[[]byte]
+	var err error
+	if s.cfg.HandlerFuncFor != nil {
+		p, err = repro.NewPairFunc(s.rt, s.cfg.HandlerFuncFor(key), opts...)
+	} else {
+		p, err = repro.NewPair(s.rt, s.cfg.HandlerFor(key), opts...)
+	}
 	if err != nil {
 		s.streamRejects.Add(1)
 		return nil, err
@@ -316,7 +330,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	accepted, shed := 0, 0
+	accepted, shed, quarantined := 0, 0, 0
 	for _, line := range bytes.Split(body, []byte("\n")) {
 		line = bytes.TrimRight(line, "\r")
 		if len(line) == 0 {
@@ -329,22 +343,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			accepted++
 		case errors.Is(err, repro.ErrOverflow):
 			shed++
+		case errors.Is(err, repro.ErrQuarantined):
+			// Breaker open: the stream's consumer is failing and cannot
+			// drain. Shed the item; the response is 503, not 429 — the
+			// client cannot help by slowing down, only by rerouting.
+			quarantined++
 		case errors.Is(err, repro.ErrClosed):
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 	}
-	if accepted == 0 && shed == 0 {
+	if accepted == 0 && shed == 0 && quarantined == 0 {
 		http.Error(w, "empty body: newline-delimited items expected", http.StatusBadRequest)
 		return
 	}
 	s.ingestedHTTP.Add(uint64(accepted))
 	s.shedHTTP.Add(uint64(shed))
+	s.quarantinedHTTP.Add(uint64(quarantined))
 	w.Header().Set("Content-Type", "application/json")
-	if shed > 0 {
+	switch {
+	case quarantined > 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case shed > 0:
 		w.WriteHeader(http.StatusTooManyRequests)
 	}
-	fmt.Fprintf(w, `{"stream":%q,"accepted":%d,"shed":%d}`+"\n", key, accepted, shed)
+	fmt.Fprintf(w, `{"stream":%q,"accepted":%d,"shed":%d,"quarantined":%d}`+"\n", key, accepted, shed, quarantined)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -445,6 +468,8 @@ type statusz struct {
 	IngestedTCP      uint64           `json:"ingested_tcp"`
 	ShedHTTP         uint64           `json:"shed_http"`
 	ShedTCP          uint64           `json:"shed_tcp"`
+	QuarantinedHTTP  uint64           `json:"quarantined_http"`
+	QuarantinedTCP   uint64           `json:"quarantined_tcp"`
 	StreamRejects    uint64           `json:"stream_rejects"`
 	Placement        placementz       `json:"placement"`
 	Streams          []streamSnapshot `json:"streams"`
@@ -463,6 +488,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		IngestedTCP:      s.ingestedTCP.Load(),
 		ShedHTTP:         s.shedHTTP.Load(),
 		ShedTCP:          s.shedTCP.Load(),
+		QuarantinedHTTP:  s.quarantinedHTTP.Load(),
+		QuarantinedTCP:   s.quarantinedTCP.Load(),
 		StreamRejects:    s.streamRejects.Load(),
 		Placement:        s.placementStatus(),
 		Streams:          s.snapshotStreams(),

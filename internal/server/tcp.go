@@ -67,6 +67,10 @@ func (s *Server) serveTCP(conn net.Conn) {
 			s.ingestedTCP.Add(1)
 		case errors.Is(err, repro.ErrOverflow):
 			s.shedTCP.Add(1)
+		case errors.Is(err, repro.ErrQuarantined):
+			// Breaker open: drop and count, same lossy contract as
+			// overflow but attributed to the failing consumer.
+			s.quarantinedTCP.Add(1)
 		case errors.Is(err, repro.ErrClosed):
 			return
 		}

@@ -10,6 +10,32 @@ import (
 	"repro/internal/simtime"
 )
 
+// drainReport is the outcome of one fault-isolated drain
+// (Pair.drainFault): how many items were offered to the handler, how
+// many it completed, how many were discarded, and how the invocation
+// failed, if it did.
+type drainReport struct {
+	// attempted is the number of items handed to the handler
+	// (redelivered + fresh); zero means the handler never ran.
+	attempted int
+	// delivered is the number of items the handler completed cleanly.
+	delivered int
+	// dropped is the number of items discarded (redelivery exhausted,
+	// or a failure on a final drain).
+	dropped int
+	// dequeued is the number of fresh items popped from the queue this
+	// call — the rate-predictor signal (redelivered items were already
+	// dequeued by an earlier drain).
+	dequeued int
+	// failed is true when any invocation panicked, returned an error,
+	// or overran its deadline.
+	failed bool
+	// timedOut is true when an invocation overran its
+	// PairWithHandlerTimeout deadline (the caller should re-sample the
+	// clock: the handler stole that time from the manager goroutine).
+	timedOut bool
+}
+
 // pairState is the manager-side, type-erased view of a pair. Except for
 // the atomic flags, all fields are owned by the manager goroutine.
 type pairState struct {
@@ -20,9 +46,11 @@ type pairState struct {
 	// put for its whole duration.
 	mgr atomic.Pointer[manager]
 
-	// drainInto drains the pair's queue through its handler and returns
-	// the item count (type erasure over Pair[T]).
-	drainInto func() int
+	// drainFault drains the pair's queue through its handler with panic
+	// recovery, watchdog and redelivery handling (type erasure over
+	// Pair[T]). final marks shutdown/close drains, where a failed batch
+	// is dropped (and accounted) instead of retained.
+	drainFault func(final bool) drainReport
 	// pending returns the current queue length.
 	pending func() int
 	// quota returns the pair's current elastic queue quota.
@@ -35,12 +63,33 @@ type pairState struct {
 	lastDrain    simtime.Time
 	reservedSlot int64 // -1 when none; manager-owned
 
+	// Fault-tolerance configuration, fixed at creation.
+	handlerTimeout time.Duration   // 0: no watchdog
+	breakerK       int             // consecutive failures to quarantine; 0: breaker off
+	maxRedeliver   int             // redeliveries before a failed batch drops
+	baseBackoff    simtime.Duration // first probe/redelivery delay (one slot)
+	maxBackoff     simtime.Duration // probe backoff cap
+
+	// Circuit-breaker state, owned by the manager goroutine.
+	consecFails int
+	backoff     simtime.Duration
+	// probeAt is when the next half-open probe may run (simtime nanos;
+	// atomic so Put can admit probe fodder once it is due).
+	probeAt atomic.Int64
+
 	// Per-pair counters (atomics: read by PairStats from any goroutine,
 	// written on the producer and manager paths).
-	itemsIn     atomic.Uint64
-	itemsOut    atomic.Uint64
-	invocations atomic.Uint64
-	overflows   atomic.Uint64
+	itemsIn      atomic.Uint64
+	itemsOut     atomic.Uint64
+	invocations  atomic.Uint64
+	overflows    atomic.Uint64
+	kicks        atomic.Uint64
+	panics       atomic.Uint64
+	herrors      atomic.Uint64
+	timeouts     atomic.Uint64
+	quarantines  atomic.Uint64
+	redeliveries atomic.Uint64
+	dropped      atomic.Uint64
 
 	// armed is true while the manager holds (or is about to compute) a
 	// reservation for this pair. Producers set it on the first item
@@ -49,6 +98,15 @@ type pairState struct {
 	// forcePending coalesces overflow force requests.
 	forcePending atomic.Bool
 	closed       atomic.Bool
+	// quarantined is true while the circuit breaker is open.
+	quarantined atomic.Bool
+	// degraded is set by the watchdog when a handler overruns its
+	// deadline; cleared by the next clean invocation.
+	degraded atomic.Bool
+	// probing is true while a half-open probe runs on its own goroutine.
+	probing atomic.Bool
+	// retained is the size of the failed batch held for redelivery.
+	retained atomic.Int64
 
 	// lastRate holds the float bits of the pair's latest predicted rate
 	// (items/s), published on every plan so the placement controller can
@@ -87,16 +145,41 @@ func (st *pairState) runOnOwner(f func(m *manager)) bool {
 	}
 }
 
-// countDrain credits a drain of n items to the pair's and the runtime's
-// counters. It is a no-op for empty drains.
-func (st *pairState) countDrain(rt *Runtime, n int) {
-	if n <= 0 {
-		return
-	}
+// countInvocation credits one handler invocation to the pair's and the
+// runtime's counters (item movement is counted inside drainFault).
+func (st *pairState) countInvocation(rt *Runtime) {
 	rt.stats.invocations.Add(1)
-	rt.stats.itemsOut.Add(uint64(n))
 	st.invocations.Add(1)
-	st.itemsOut.Add(uint64(n))
+}
+
+// countFinal credits a shutdown-path drain: invocations only fire when
+// the handler actually ran.
+func (st *pairState) countFinal(rt *Runtime, rep drainReport) {
+	if rep.attempted > 0 {
+		st.countInvocation(rt)
+	}
+}
+
+// probeDue reports whether the next half-open probe time has arrived.
+func (st *pairState) probeDue(now simtime.Time) bool {
+	return now >= simtime.Time(st.probeAt.Load())
+}
+
+// pairStats snapshots the pair's counters.
+func (st *pairState) pairStats() PairStats {
+	return PairStats{
+		ItemsIn:      st.itemsIn.Load(),
+		ItemsOut:     st.itemsOut.Load(),
+		Invocations:  st.invocations.Load(),
+		Overflows:    st.overflows.Load(),
+		Kicks:        st.kicks.Load(),
+		Panics:       st.panics.Load(),
+		Errors:       st.herrors.Load(),
+		Timeouts:     st.timeouts.Load(),
+		Quarantines:  st.quarantines.Load(),
+		Redeliveries: st.redeliveries.Load(),
+		Dropped:      st.dropped.Load(),
+	}
 }
 
 // manager is a live core manager (§V-B): one goroutine owning a slot
@@ -261,29 +344,172 @@ func (m *manager) onKick(p *pairState) {
 	m.plan(p, m.rt.now())
 }
 
-// drainAndPlan runs one consumer invocation: drain through the handler,
-// observe the rate, and reserve the next slot. scheduled distinguishes
-// slot-timer drains from overflow-forced ones.
+// drainAndPlan runs one consumer invocation: drain through the handler
+// (with fault isolation), settle the breaker, and reserve the next
+// slot. scheduled distinguishes slot-timer drains from overflow-forced
+// ones. A quarantined pair never drains inline here: once its probe
+// time arrives the half-open probe runs on its own goroutine, so a
+// handler that is still broken (or still stalling) cannot re-block the
+// other pairs sharing this manager.
 func (m *manager) drainAndPlan(p *pairState, now simtime.Time, scheduled bool) {
 	m.deregister(p)
-	n := p.drainInto()
-	if obs := m.rt.opts.observer; obs != nil {
-		obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: n, Scheduled: scheduled})
+	if p.quarantined.Load() {
+		if !p.probeDue(now) {
+			p.armed.Store(true)
+			m.reserve(p, m.slotAfter(simtime.Time(p.probeAt.Load())))
+			return
+		}
+		if !p.probing.Swap(true) {
+			m.rt.wg.Add(1)
+			go func() {
+				defer m.rt.wg.Done()
+				m.probe(p)
+			}()
+		}
+		return
 	}
-	m.rt.stats.invocations.Add(1)
-	m.rt.stats.itemsOut.Add(uint64(n))
-	p.invocations.Add(1)
-	p.itemsOut.Add(uint64(n))
+	rep := p.drainFault(false)
+	if rep.timedOut {
+		// The handler overran its deadline inline on this goroutine.
+		// Re-sample the clock so the next reservation charges the
+		// stolen time instead of pretending the drain was punctual.
+		now = m.rt.now()
+	}
+	if obs := m.rt.opts.observer; obs != nil {
+		obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered, Scheduled: scheduled})
+	}
+	p.countInvocation(m.rt)
 	if dt := now.Sub(p.lastDrain); dt > 0 {
-		p.pred.Observe(float64(n) / dt.Seconds())
+		p.pred.Observe(float64(rep.dequeued) / dt.Seconds())
 	}
 	p.lastDrain = now
+	m.settle(p, rep, now)
+}
+
+// settle applies one drain outcome to the pair's circuit breaker and
+// schedules what happens next: a normal plan, a redelivery slot, or a
+// quarantine probe. Runs on the owning manager's goroutine.
+func (m *manager) settle(p *pairState, rep drainReport, now simtime.Time) {
+	if p.closed.Load() {
+		return
+	}
+	if p.quarantined.Load() {
+		switch {
+		case rep.failed:
+			// Failed half-open probe: back off exponentially.
+			p.consecFails++
+			p.backoff *= 2
+			if p.backoff > p.maxBackoff {
+				p.backoff = p.maxBackoff
+			}
+			m.scheduleProbe(p, now)
+		case rep.attempted == 0:
+			// Nothing to prove (no retained batch, no probe fodder):
+			// hold the breaker state and probe again without widening
+			// the backoff.
+			m.scheduleProbe(p, now)
+		default:
+			// Successful delivery: close the breaker.
+			p.quarantined.Store(false)
+			p.consecFails = 0
+			p.backoff = 0
+			p.degraded.Store(false)
+			m.rt.stats.recoveries.Add(1)
+			if obs := m.rt.opts.observer; obs != nil {
+				obs(Event{Kind: EventRecover, Pair: p.id, At: time.Duration(now)})
+			}
+			m.plan(p, now)
+		}
+		return
+	}
+	if rep.failed {
+		p.consecFails++
+		if p.breakerK > 0 && p.consecFails >= p.breakerK {
+			p.quarantined.Store(true)
+			p.backoff = p.baseBackoff
+			p.quarantines.Add(1)
+			m.rt.stats.quarantines.Add(1)
+			if obs := m.rt.opts.observer; obs != nil {
+				obs(Event{Kind: EventQuarantine, Pair: p.id, At: time.Duration(now)})
+			}
+			m.scheduleProbe(p, now)
+			return
+		}
+		if p.retained.Load() > 0 {
+			// Redeliver the failed batch at the next slot after one
+			// slot's grace.
+			p.armed.Store(true)
+			m.reserve(p, m.slotAfter(now.Add(p.baseBackoff)))
+			return
+		}
+		m.plan(p, now)
+		return
+	}
+	if rep.attempted > 0 {
+		p.consecFails = 0
+		p.degraded.Store(false)
+	}
 	m.plan(p, now)
+}
+
+// scheduleProbe reserves the pair's next half-open probe slot.
+func (m *manager) scheduleProbe(p *pairState, now simtime.Time) {
+	at := now.Add(p.backoff)
+	p.probeAt.Store(int64(at))
+	p.armed.Store(true)
+	m.reserve(p, m.slotAfter(at))
+}
+
+// probe runs one half-open invocation of a quarantined pair on its own
+// goroutine and settles the outcome back on the owning manager.
+func (m *manager) probe(p *pairState) {
+	rep := p.drainFault(false)
+	now := m.rt.now()
+	if rep.attempted > 0 {
+		p.countInvocation(m.rt)
+		if obs := m.rt.opts.observer; obs != nil {
+			obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered})
+		}
+	}
+	ok := p.runOnOwner(func(cur *manager) {
+		p.probing.Store(false)
+		cur.settle(p, rep, cur.rt.now())
+	})
+	if !ok {
+		// Owner shut down mid-probe; Runtime.Close's final sweep picks
+		// up anything the probe left behind.
+		p.probing.Store(false)
+	}
+}
+
+// slotAfter returns the first slot whose start is at or after t.
+func (m *manager) slotAfter(t simtime.Time) int64 {
+	return m.rt.planner.Track.Index(t) + 1
 }
 
 // plan consults the shared PBPL planner and applies its decision.
 func (m *manager) plan(p *pairState, now simtime.Time) {
 	if p.closed.Load() {
+		return
+	}
+	if p.quarantined.Load() {
+		// Hand-off or kick while quarantined: keep probing, never a
+		// normal reservation.
+		if p.reservedSlot < 0 && !p.probing.Load() {
+			at := simtime.Time(p.probeAt.Load())
+			if at < now {
+				at = now
+			}
+			p.armed.Store(true)
+			m.reserve(p, m.slotAfter(at))
+		}
+		return
+	}
+	if p.retained.Load() > 0 && p.reservedSlot < 0 {
+		// A failed batch awaits redelivery (e.g. right after a
+		// migration hand-off): schedule it ahead of normal planning.
+		p.armed.Store(true)
+		m.reserve(p, m.slotAfter(now.Add(p.baseBackoff)))
 		return
 	}
 	rhat := p.pred.Predict()
@@ -342,7 +568,9 @@ func (m *manager) deregister(p *pairState) {
 	p.reservedSlot = -1
 }
 
-// finalDrain empties every pair still holding items at shutdown.
+// finalDrain empties every pair still holding items at shutdown. These
+// drains are final: a batch whose handler fails here is dropped and
+// accounted in ItemsDropped, never retained.
 func (m *manager) finalDrain() {
 	seen := map[*pairState]bool{}
 	for _, ps := range m.res {
@@ -369,10 +597,11 @@ func (m *manager) finalDrain() {
 	}
 	m.res = map[int64][]*pairState{}
 	for p := range seen {
-		if n := p.drainInto(); n > 0 {
-			p.countDrain(m.rt, n)
+		rep := p.drainFault(true)
+		if rep.attempted > 0 {
+			p.countInvocation(m.rt)
 			if obs := m.rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: n})
+				obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: rep.delivered})
 			}
 		}
 	}

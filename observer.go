@@ -25,6 +25,25 @@ const (
 	// manager. Fires on the controller goroutine, after the source
 	// manager's quiesce drain and ownership hand-over.
 	EventMigrate
+	// EventQuarantine: a pair's circuit breaker opened after K
+	// consecutive handler failures; the pair stops draining except for
+	// half-open probes and Put fails fast with ErrQuarantined.
+	EventQuarantine
+	// EventRecover: a quarantined pair's probe succeeded and the
+	// breaker closed; normal draining resumes.
+	EventRecover
+	// EventRedeliver: a previously failed batch is being handed to the
+	// handler again (Items is the batch size). May fire on a probe
+	// goroutine rather than the core manager's.
+	EventRedeliver
+	// EventDrop: items were discarded after redelivery exhaustion or a
+	// failure during a final drain (Items is the count). The drop is
+	// accounted in Stats.ItemsDropped, never silent.
+	EventDrop
+	// EventOverrun: a handler exceeded its PairWithHandlerTimeout
+	// deadline and the pair was marked degraded. Fires on the watchdog
+	// goroutine while the handler is still running.
+	EventOverrun
 )
 
 func (k EventKind) String() string {
@@ -41,6 +60,16 @@ func (k EventKind) String() string {
 		return "pair-close"
 	case EventMigrate:
 		return "migrate"
+	case EventQuarantine:
+		return "quarantine"
+	case EventRecover:
+		return "recover"
+	case EventRedeliver:
+		return "redeliver"
+	case EventDrop:
+		return "drop"
+	case EventOverrun:
+		return "overrun"
 	default:
 		return "unknown"
 	}
@@ -67,9 +96,11 @@ type Event struct {
 }
 
 // WithObserver installs a callback invoked for every drain, reservation
-// and idle transition. It runs on the core-manager goroutine: keep it
-// fast and non-blocking, or it will delay every consumer latched onto
-// the same wakeups.
+// and idle transition. It usually runs on the core-manager goroutine
+// (quarantine probes, watchdog overruns and pair open/close fire on
+// their own goroutines — the callback must be safe for concurrent
+// use): keep it fast and non-blocking, or it will delay every consumer
+// latched onto the same wakeups.
 func WithObserver(fn func(Event)) Option {
 	return func(o *options) { o.observer = fn }
 }

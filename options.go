@@ -19,6 +19,12 @@ var (
 	// ErrTooManyPairs reports that the runtime's preallocated global
 	// buffer arena cannot host another pair (see WithMaxPairs).
 	ErrTooManyPairs = errors.New("repro: too many pairs")
+	// ErrQuarantined reports a Put on a pair whose circuit breaker is
+	// open (see PairWithBreaker): the handler has failed repeatedly and
+	// items would only accumulate without draining, so Put fails fast.
+	// The pair recovers automatically once a half-open probe succeeds;
+	// callers should shed or route elsewhere, not spin.
+	ErrQuarantined = errors.New("repro: pair quarantined")
 )
 
 // options collects runtime configuration.

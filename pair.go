@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -13,7 +14,10 @@ import (
 type PairOption func(*pairConfig)
 
 type pairConfig struct {
-	maxLatency time.Duration
+	maxLatency     time.Duration
+	handlerTimeout time.Duration
+	breakerK       int
+	maxRedeliver   int
 }
 
 // PairWithMaxLatency overrides the runtime-wide response-latency bound
@@ -21,6 +25,37 @@ type pairConfig struct {
 // slot track stays shared). Must be at least the runtime's slot size.
 func PairWithMaxLatency(d time.Duration) PairOption {
 	return func(c *pairConfig) { c.maxLatency = d }
+}
+
+// PairWithHandlerTimeout arms a watchdog around every handler
+// invocation: the batch context carries this deadline, and a handler
+// that runs past it marks the pair degraded (PairSnapshot.Degraded),
+// counts in Stats.HandlerTimeouts, and is treated as a failure by the
+// circuit breaker — even if it eventually returns nil. The slot
+// planner re-samples the clock after an overrun so the next
+// reservation charges the stolen time instead of silently blowing
+// other pairs' bounds. Zero (the default) disables the watchdog.
+func PairWithHandlerTimeout(d time.Duration) PairOption {
+	return func(c *pairConfig) { c.handlerTimeout = d }
+}
+
+// PairWithBreaker sets K, the consecutive handler failures (panic,
+// returned error, or deadline overrun) that open the pair's circuit
+// breaker. An open breaker quarantines the pair: Put fails fast with
+// ErrQuarantined and the manager only schedules half-open probes with
+// exponential backoff; one successful probe closes the breaker.
+// Default 3; k <= 0 disables the breaker entirely (failures are
+// counted but never quarantine).
+func PairWithBreaker(k int) PairOption {
+	return func(c *pairConfig) { c.breakerK = k }
+}
+
+// PairWithRedelivery bounds how many times a failed batch is re-offered
+// to the handler before being dropped (counted in Stats.ItemsDropped,
+// surfaced as EventDrop). Default 3; n <= 0 restores at-most-once
+// delivery — a failed batch is dropped immediately.
+func PairWithRedelivery(n int) PairOption {
+	return func(c *pairConfig) { c.maxRedeliver = n }
 }
 
 // Pair is one producer-consumer pair: a bounded elastic buffer feeding
@@ -31,32 +66,66 @@ type Pair[T any] struct {
 	rt      *Runtime
 	st      *pairState
 	q       *ring.Segmented[T]
-	handler func([]T)
+	handler func(context.Context, []T) error
 
 	// drainMu serializes drains. They normally all happen on the
-	// manager goroutine, but Pair.Close racing Runtime.Close can fall
-	// back to draining on the caller while the manager's final drain
-	// is still running.
+	// manager goroutine, but quarantine probes run on their own
+	// goroutine, and Pair.Close racing Runtime.Close can fall back to
+	// draining on the caller while the manager's final drain is still
+	// running.
 	drainMu sync.Mutex
 	scratch []T
+	// retry holds a batch whose handler invocation failed, awaiting
+	// bounded redelivery (guarded by drainMu; mirrored in the
+	// st.retained atomic for lock-free snapshots).
+	retry         []T
+	retryAttempts int
 }
 
 // NewPair registers a consumer with the runtime. The handler receives
 // each drained batch; it must not block for long (it runs on the core
 // manager goroutine, serializing with the other consumers latched onto
 // the same wakeups). A panicking handler is recovered and counted in
-// Stats.HandlerPanics; its batch is dropped.
+// Stats.HandlerPanics; repeated failures quarantine the pair (see
+// PairWithBreaker). NewPair is a thin adapter over NewPairFunc for
+// handlers with nothing to report; new code that can fail should use
+// NewPairFunc directly.
 func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*Pair[T], error) {
 	if handler == nil {
 		panic("repro: nil handler")
 	}
+	return NewPairFunc(rt, func(_ context.Context, batch []T) error {
+		handler(batch)
+		return nil
+	}, opts...)
+}
+
+// NewPairFunc registers a consumer with an error-aware handler. The
+// context is Background unless PairWithHandlerTimeout is set, in which
+// case it carries the invocation deadline. A non-nil return counts in
+// Stats.HandlerErrors and feeds the circuit breaker and redelivery
+// policy exactly like a panic: the batch is retained and re-offered up
+// to PairWithRedelivery times before being dropped.
+func NewPairFunc[T any](rt *Runtime, handler func(ctx context.Context, batch []T) error, opts ...PairOption) (*Pair[T], error) {
+	if handler == nil {
+		panic("repro: nil handler")
+	}
 	o := rt.opts
-	pc := pairConfig{maxLatency: o.maxLatency}
+	pc := pairConfig{maxLatency: o.maxLatency, breakerK: 3, maxRedeliver: 3}
 	for _, f := range opts {
 		f(&pc)
 	}
 	if pc.maxLatency < o.slotSize {
 		return nil, fmt.Errorf("repro: pair max latency %v below slot size %v", pc.maxLatency, o.slotSize)
+	}
+	if pc.breakerK < 0 {
+		pc.breakerK = 0
+	}
+	if pc.maxRedeliver < 0 {
+		pc.maxRedeliver = 0
+	}
+	if pc.handlerTimeout < 0 {
+		pc.handlerTimeout = 0
 	}
 	id, err := rt.addPair()
 	if err != nil {
@@ -79,17 +148,22 @@ func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*
 		planner = &own
 	}
 	st := &pairState{
-		id:        id,
-		pred:      o.predictor(),
-		planner:   planner,
-		lastDrain: rt.now(),
-		pending:   p.q.Len,
-		quota:     p.q.Quota,
-		setQuota:  p.q.SetQuota,
+		id:             id,
+		pred:           o.predictor(),
+		planner:        planner,
+		lastDrain:      rt.now(),
+		pending:        p.q.Len,
+		quota:          p.q.Quota,
+		setQuota:       p.q.SetQuota,
+		handlerTimeout: pc.handlerTimeout,
+		breakerK:       pc.breakerK,
+		maxRedeliver:   pc.maxRedeliver,
+		baseBackoff:    simtime.Duration(o.slotSize),
+		maxBackoff:     8 * simtime.Duration(pc.maxLatency),
 	}
 	st.mgr.Store(rt.managerFor(id))
 	st.reservedSlot = -1
-	st.drainInto = p.drain
+	st.drainFault = p.drainFault
 	p.st = st
 	rt.trackPair(st)
 	if obs := rt.opts.observer; obs != nil {
@@ -102,31 +176,157 @@ func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*
 // pair to its Runtime.PairSnapshots entry and observer events.
 func (p *Pair[T]) ID() int { return p.st.id }
 
-// drain empties the queue through the handler, recovering panics.
-func (p *Pair[T]) drain() int {
+// event emits an observer event for this pair.
+func (p *Pair[T]) event(kind EventKind, items int) {
+	if obs := p.rt.opts.observer; obs != nil {
+		obs(Event{Kind: kind, Pair: p.st.id, At: time.Duration(p.rt.now()), Items: items})
+	}
+}
+
+// drainFault runs one fault-isolated consumer invocation: redeliver a
+// previously failed batch first (those items are older than anything
+// still queued, preserving FIFO), then drain and deliver the fresh
+// batch. Failed batches are retained for bounded redelivery unless
+// final is set (shutdown/close paths, where retention would strand
+// items): then they are dropped and accounted in Stats.ItemsDropped.
+// Every item that entered the pair leaves as ItemsOut or ItemsDropped,
+// never silently.
+func (p *Pair[T]) drainFault(final bool) drainReport {
 	p.drainMu.Lock()
 	defer p.drainMu.Unlock()
-	batch := p.q.DrainTo(p.scratch[:0])
-	if len(batch) == 0 {
-		return 0
+	var rep drainReport
+
+	if len(p.retry) > 0 {
+		p.retryAttempts++
+		p.st.redeliveries.Add(1)
+		p.rt.stats.redeliveries.Add(1)
+		p.event(EventRedeliver, len(p.retry))
+		if p.invoke(p.retry, &rep) {
+			p.deliver(len(p.retry), &rep)
+			p.clearRetry()
+		} else if final || p.retryAttempts >= p.st.maxRedeliver {
+			p.dropBatch(len(p.retry), &rep)
+			p.clearRetry()
+			if !final {
+				return rep
+			}
+		} else {
+			// Keep the batch for the next redelivery slot or probe.
+			return rep
+		}
 	}
-	func() {
+
+	batch := p.q.DrainTo(p.scratch[:0])
+	rep.dequeued = len(batch)
+	if len(batch) == 0 {
+		return rep
+	}
+	if p.invoke(batch, &rep) {
+		p.deliver(len(batch), &rep)
+		return rep
+	}
+	if final || p.st.maxRedeliver <= 0 {
+		p.dropBatch(len(batch), &rep)
+		return rep
+	}
+	// Retain a copy for redelivery: batch aliases scratch, which the
+	// next drain reuses.
+	p.retry = append(p.retry[:0], batch...)
+	p.retryAttempts = 0
+	p.st.retained.Store(int64(len(batch)))
+	return rep
+}
+
+// invoke hands one batch to the handler under panic recovery and, when
+// PairWithHandlerTimeout is set, a watchdog. It reports whether the
+// batch was handled cleanly; failures (panic, error, overrun) are
+// charged to the pair's and runtime's counters here.
+func (p *Pair[T]) invoke(batch []T, rep *drainReport) bool {
+	rep.attempted += len(batch)
+	ctx := context.Background()
+	var watchdog *time.Timer
+	if d := p.st.handlerTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+		n := len(batch)
+		watchdog = time.AfterFunc(d, func() {
+			// The handler is still running past its deadline. Flag it
+			// now (not at return, which may never come) so snapshots
+			// and the event stream see the overrun while it happens.
+			p.st.degraded.Store(true)
+			p.st.timeouts.Add(1)
+			p.rt.stats.handlerTimeouts.Add(1)
+			p.event(EventOverrun, n)
+		})
+	}
+	start := time.Now()
+	panicked := false
+	err := func() (err error) {
 		defer func() {
 			if recover() != nil {
-				p.rt.stats.handlerPanics.Add(1)
+				panicked = true
 			}
 		}()
-		p.handler(batch)
+		return p.handler(ctx, batch)
 	}()
-	return len(batch)
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	overran := p.st.handlerTimeout > 0 && time.Since(start) >= p.st.handlerTimeout
+	if panicked {
+		p.st.panics.Add(1)
+		p.rt.stats.handlerPanics.Add(1)
+	}
+	if err != nil {
+		p.st.herrors.Add(1)
+		p.rt.stats.handlerErrors.Add(1)
+	}
+	if overran {
+		rep.timedOut = true
+	}
+	if panicked || err != nil || overran {
+		rep.failed = true
+		return false
+	}
+	return true
+}
+
+// deliver credits n successfully handled items.
+func (p *Pair[T]) deliver(n int, rep *drainReport) {
+	rep.delivered += n
+	p.rt.stats.itemsOut.Add(uint64(n))
+	p.st.itemsOut.Add(uint64(n))
+}
+
+// dropBatch accounts n discarded items (redelivery exhausted, or a
+// failure on a final drain).
+func (p *Pair[T]) dropBatch(n int, rep *drainReport) {
+	rep.dropped += n
+	p.rt.stats.itemsDropped.Add(uint64(n))
+	p.st.dropped.Add(uint64(n))
+	p.event(EventDrop, n)
+}
+
+func (p *Pair[T]) clearRetry() {
+	p.retry = p.retry[:0]
+	p.retryAttempts = 0
+	p.st.retained.Store(0)
 }
 
 // Put buffers one item. It never blocks: when the pair's elastic quota
 // is exhausted it forces an immediate drain (the paper's overflow
 // wakeup) and returns ErrOverflow without enqueueing — retry or shed.
+// On a quarantined pair (open circuit breaker) Put fails fast with
+// ErrQuarantined instead of buffering items that cannot drain — except
+// in the brief window once the next half-open probe is due, when items
+// are admitted as probe fodder so a recovered handler can prove itself.
 func (p *Pair[T]) Put(v T) error {
 	if p.st.closed.Load() || p.rt.closed.Load() {
 		return ErrClosed
+	}
+	if p.st.quarantined.Load() && !p.st.probeDue(p.rt.now()) {
+		return ErrQuarantined
 	}
 	if p.q.Push(v) {
 		p.rt.stats.itemsIn.Add(1)
@@ -136,21 +336,71 @@ func (p *Pair[T]) Put(v T) error {
 			// final sweep may already have run: drain on the caller
 			// rather than strand the item. The item was accepted and
 			// handled, so report success.
-			p.st.countDrain(p.rt, p.drain())
+			p.st.countFinal(p.rt, p.drainFault(true))
 			return nil
 		}
-		if !p.st.armed.Swap(true) {
-			mgr := p.st.mgr.Load()
-			select {
-			case mgr.kick <- p.st:
-			case <-mgr.done:
-				p.st.armed.Store(false)
-			}
-		}
+		p.kickIfUnarmed()
 		return nil
 	}
 	p.rt.stats.overflows.Add(1)
 	p.st.overflows.Add(1)
+	p.forceDrain()
+	return ErrOverflow
+}
+
+// PutBatch buffers up to len(items) items with a single quota
+// negotiation and at most one manager kick, where a Put loop pays an
+// armed-check (and possibly a kick) per item. It returns how many
+// items were accepted. n < len(items) comes with ErrOverflow (the
+// quota filled; a forced drain is already underway — retry the rest or
+// shed); n == 0 with ErrClosed or ErrQuarantined mirrors Put.
+func (p *Pair[T]) PutBatch(items []T) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	if p.st.closed.Load() || p.rt.closed.Load() {
+		return 0, ErrClosed
+	}
+	if p.st.quarantined.Load() && !p.st.probeDue(p.rt.now()) {
+		return 0, ErrQuarantined
+	}
+	n := p.q.PushBatch(items)
+	if n > 0 {
+		p.rt.stats.itemsIn.Add(uint64(n))
+		p.st.itemsIn.Add(uint64(n))
+		if p.rt.closed.Load() {
+			// Same close race as Put: drain on the caller.
+			p.st.countFinal(p.rt, p.drainFault(true))
+		} else {
+			p.kickIfUnarmed()
+		}
+	}
+	if n < len(items) {
+		rejected := uint64(len(items) - n)
+		p.rt.stats.overflows.Add(rejected)
+		p.st.overflows.Add(rejected)
+		p.forceDrain()
+		return n, ErrOverflow
+	}
+	return n, nil
+}
+
+// kickIfUnarmed arms the pair and wakes its manager if no reservation
+// is pending.
+func (p *Pair[T]) kickIfUnarmed() {
+	if !p.st.armed.Swap(true) {
+		p.st.kicks.Add(1)
+		mgr := p.st.mgr.Load()
+		select {
+		case mgr.kick <- p.st:
+		case <-mgr.done:
+			p.st.armed.Store(false)
+		}
+	}
+}
+
+// forceDrain requests an overflow-forced drain, coalescing requests.
+func (p *Pair[T]) forceDrain() {
 	if !p.st.forcePending.Swap(true) {
 		mgr := p.st.mgr.Load()
 		select {
@@ -159,7 +409,6 @@ func (p *Pair[T]) Put(v T) error {
 			p.st.forcePending.Store(false)
 		}
 	}
-	return ErrOverflow
 }
 
 // PairStats is a snapshot of one pair's counters.
@@ -168,44 +417,58 @@ type PairStats struct {
 	ItemsOut    uint64
 	Invocations uint64
 	Overflows   uint64
+	// Kicks counts producer wake-ups of the manager (first item into an
+	// unarmed pair). PutBatch pays at most one per call.
+	Kicks uint64
+	// Panics / Errors / Timeouts count handler failures by kind
+	// (recovered panics, non-nil returns, watchdog deadline overruns).
+	Panics   uint64
+	Errors   uint64
+	Timeouts uint64
+	// Quarantines counts breaker-open transitions; Redeliveries counts
+	// re-offered failed batches; Dropped counts items discarded after
+	// redelivery exhaustion (ItemsIn == ItemsOut + Dropped once closed).
+	Quarantines  uint64
+	Redeliveries uint64
+	Dropped      uint64
 }
 
 // Stats returns a snapshot of the pair's counters.
 func (p *Pair[T]) Stats() PairStats {
-	return PairStats{
-		ItemsIn:     p.st.itemsIn.Load(),
-		ItemsOut:    p.st.itemsOut.Load(),
-		Invocations: p.st.invocations.Load(),
-		Overflows:   p.st.overflows.Load(),
-	}
+	return p.st.pairStats()
 }
 
-// Len returns the number of buffered items.
+// Len returns the number of buffered items (excluding a failed batch
+// retained for redelivery; see Runtime.PairSnapshots' Retained).
 func (p *Pair[T]) Len() int { return p.q.Len() }
 
 // Quota returns the pair's current elastic buffer capacity.
 func (p *Pair[T]) Quota() int { return p.q.Quota() }
 
+// Quarantined reports whether the pair's circuit breaker is open.
+func (p *Pair[T]) Quarantined() bool { return p.st.quarantined.Load() }
+
 // Close drains any remaining items through the handler, releases the
 // pair's pool capacity and detaches it from its manager. Further Puts
-// return ErrClosed. Close is idempotent.
+// return ErrClosed. A batch that fails during this final drain is
+// dropped and accounted (never retained), so after Close the pair's
+// ItemsIn == ItemsOut + Dropped. Close is idempotent.
 func (p *Pair[T]) Close() error {
 	if p.st.closed.Swap(true) {
 		return nil
 	}
 	ran := p.st.runOnOwner(func(m *manager) {
 		m.deregister(p.st)
-		if n := p.drain(); n > 0 {
-			p.st.countDrain(p.rt, n)
-			if obs := p.rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventDrain, Pair: p.st.id, At: time.Duration(p.rt.now()), Items: n})
-			}
+		rep := p.drainFault(true)
+		if rep.attempted > 0 {
+			p.st.countInvocation(p.rt)
+			p.event(EventDrain, rep.delivered)
 		}
 	})
 	if !ran {
 		// Manager already stopped: it drained (or will drain) every
 		// pair it knew in finalDrain; catch only what is left here.
-		p.st.countDrain(p.rt, p.drain())
+		p.st.countFinal(p.rt, p.drainFault(true))
 	}
 	p.rt.removePair(p.st.id)
 	if obs := p.rt.opts.observer; obs != nil {

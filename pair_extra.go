@@ -12,7 +12,10 @@ func (p *Pair[T]) PutWait(v T, timeout time.Duration) error {
 	backoff := 50 * time.Microsecond
 	for {
 		err := p.Put(v)
-		if err == nil || err == ErrClosed {
+		if err == nil || err == ErrClosed || err == ErrQuarantined {
+			// Quarantine outlasts any reasonable PutWait timeout (the
+			// breaker only closes on a successful probe): fail fast so
+			// callers shed or reroute instead of spinning.
 			return err
 		}
 		if timeout <= 0 || !time.Now().Before(deadline) {
@@ -32,6 +35,10 @@ func (p *Pair[T]) PutWait(v T, timeout time.Duration) error {
 func (p *Pair[T]) Flush() error {
 	if p.st.closed.Load() || p.rt.closed.Load() {
 		return ErrClosed
+	}
+	if p.st.quarantined.Load() {
+		// A forced drain cannot jump the breaker's probe schedule.
+		return ErrQuarantined
 	}
 	if !p.st.forcePending.Swap(true) {
 		mgr := p.st.mgr.Load()

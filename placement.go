@@ -224,16 +224,43 @@ func (rt *Runtime) migrate(st *pairState, to *manager) bool {
 		}
 		from.deregister(st)
 		now := rt.now()
-		if n := st.drainInto(); n > 0 {
-			st.countDrain(rt, n)
-			if obs := rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventDrain, Pair: st.id, At: time.Duration(now), Items: n})
+		if !st.quarantined.Load() {
+			// Quarantined pairs move without a quiesce drain: running a
+			// known-broken handler inline on the source would re-block
+			// it, and the retained batch travels with the pair anyway.
+			rep := st.drainFault(false)
+			if rep.attempted > 0 {
+				st.countInvocation(rt)
+				if obs := rt.opts.observer; obs != nil {
+					obs(Event{Kind: EventDrain, Pair: st.id, At: time.Duration(now), Items: rep.delivered})
+				}
 			}
-			if dt := now.Sub(st.lastDrain); dt > 0 {
-				st.pred.Observe(float64(n) / dt.Seconds())
-				st.lastRate.Store(math.Float64bits(st.pred.Predict()))
+			if rep.dequeued > 0 {
+				if dt := now.Sub(st.lastDrain); dt > 0 {
+					st.pred.Observe(float64(rep.dequeued) / dt.Seconds())
+					st.lastRate.Store(math.Float64bits(st.pred.Predict()))
+				}
+				st.lastDrain = now
 			}
-			st.lastDrain = now
+			// Breaker bookkeeping only — no reservation may land on the
+			// source; the hand-off kick makes the target schedule the
+			// probe or redelivery slot.
+			if rep.failed {
+				st.consecFails++
+				if st.breakerK > 0 && st.consecFails >= st.breakerK {
+					st.quarantined.Store(true)
+					st.backoff = st.baseBackoff
+					st.probeAt.Store(int64(now.Add(st.backoff)))
+					st.quarantines.Add(1)
+					rt.stats.quarantines.Add(1)
+					if obs := rt.opts.observer; obs != nil {
+						obs(Event{Kind: EventQuarantine, Pair: st.id, At: time.Duration(now)})
+					}
+				}
+			} else if rep.attempted > 0 {
+				st.consecFails = 0
+				st.degraded.Store(false)
+			}
 		}
 		st.mgr.Store(to)
 		moved = true

@@ -31,32 +31,61 @@ type Stats struct {
 	Overflows uint64
 	// HandlerPanics counts recovered consumer-handler panics.
 	HandlerPanics uint64
+	// HandlerErrors counts non-nil returns from error-aware handlers
+	// (see NewPairFunc).
+	HandlerErrors uint64
+	// HandlerTimeouts counts watchdog deadline overruns (see
+	// PairWithHandlerTimeout).
+	HandlerTimeouts uint64
+	// Quarantines counts circuit-breaker open transitions; Recoveries
+	// counts successful half-open probes closing a breaker.
+	Quarantines uint64
+	Recoveries  uint64
+	// Redeliveries counts failed batches re-offered to their handler.
+	Redeliveries uint64
+	// ItemsDropped counts items discarded after redelivery exhaustion
+	// or a failure during a final drain. Conservation: once every
+	// producer has returned and the runtime is closed,
+	// ItemsIn == ItemsOut + ItemsDropped.
+	ItemsDropped uint64
 	// Migrations counts pairs moved between managers by the placement
 	// controller (see WithConsolidation).
 	Migrations uint64
 }
 
 type counters struct {
-	timerWakes    atomic.Uint64
-	forcedWakes   atomic.Uint64
-	invocations   atomic.Uint64
-	itemsIn       atomic.Uint64
-	itemsOut      atomic.Uint64
-	overflows     atomic.Uint64
-	handlerPanics atomic.Uint64
-	migrations    atomic.Uint64
+	timerWakes      atomic.Uint64
+	forcedWakes     atomic.Uint64
+	invocations     atomic.Uint64
+	itemsIn         atomic.Uint64
+	itemsOut        atomic.Uint64
+	overflows       atomic.Uint64
+	handlerPanics   atomic.Uint64
+	handlerErrors   atomic.Uint64
+	handlerTimeouts atomic.Uint64
+	quarantines     atomic.Uint64
+	recoveries      atomic.Uint64
+	redeliveries    atomic.Uint64
+	itemsDropped    atomic.Uint64
+	migrations      atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		TimerWakes:    c.timerWakes.Load(),
-		ForcedWakes:   c.forcedWakes.Load(),
-		Invocations:   c.invocations.Load(),
-		ItemsIn:       c.itemsIn.Load(),
-		ItemsOut:      c.itemsOut.Load(),
-		Overflows:     c.overflows.Load(),
-		HandlerPanics: c.handlerPanics.Load(),
-		Migrations:    c.migrations.Load(),
+		TimerWakes:      c.timerWakes.Load(),
+		ForcedWakes:     c.forcedWakes.Load(),
+		Invocations:     c.invocations.Load(),
+		ItemsIn:         c.itemsIn.Load(),
+		ItemsOut:        c.itemsOut.Load(),
+		Overflows:       c.overflows.Load(),
+		HandlerPanics:   c.handlerPanics.Load(),
+		HandlerErrors:   c.handlerErrors.Load(),
+		HandlerTimeouts: c.handlerTimeouts.Load(),
+		Quarantines:     c.quarantines.Load(),
+		Recoveries:      c.recoveries.Load(),
+		Redeliveries:    c.redeliveries.Load(),
+		ItemsDropped:    c.itemsDropped.Load(),
+		Migrations:      c.migrations.Load(),
 	}
 }
 
@@ -166,6 +195,14 @@ type PairSnapshot struct {
 	// pair (round-robin at creation; the placement controller may move
 	// it, see WithConsolidation).
 	Manager int
+	// Quarantined reports an open circuit breaker (Put fails fast and
+	// only half-open probes drain the pair; see PairWithBreaker).
+	Quarantined bool
+	// Degraded reports that the most recent handler invocation overran
+	// its PairWithHandlerTimeout deadline; a clean invocation clears it.
+	Degraded bool
+	// Retained is the size of a failed batch held for redelivery.
+	Retained int
 	PairStats
 }
 
@@ -183,17 +220,15 @@ func (rt *Runtime) PairSnapshots() []PairSnapshot {
 	snaps := make([]PairSnapshot, len(states))
 	for i, st := range states {
 		snaps[i] = PairSnapshot{
-			ID:      st.id,
-			Len:     st.pending(),
-			Quota:   st.quota(),
-			Armed:   st.armed.Load(),
-			Manager: st.mgr.Load().id,
-			PairStats: PairStats{
-				ItemsIn:     st.itemsIn.Load(),
-				ItemsOut:    st.itemsOut.Load(),
-				Invocations: st.invocations.Load(),
-				Overflows:   st.overflows.Load(),
-			},
+			ID:          st.id,
+			Len:         st.pending(),
+			Quota:       st.quota(),
+			Armed:       st.armed.Load(),
+			Manager:     st.mgr.Load().id,
+			Quarantined: st.quarantined.Load(),
+			Degraded:    st.degraded.Load(),
+			Retained:    int(st.retained.Load()),
+			PairStats:   st.pairStats(),
 		}
 	}
 	return snaps
@@ -202,7 +237,9 @@ func (rt *Runtime) PairSnapshots() []PairSnapshot {
 // Close stops every core manager, draining all remaining buffered
 // items through their handlers first. Close is idempotent and safe to
 // race with concurrent Put: once every producer has returned, every
-// accepted item has been drained (ItemsOut == ItemsIn).
+// accepted item has been drained or accounted as dropped
+// (ItemsOut + ItemsDropped == ItemsIn; drops only happen when a
+// handler fails during these final drains or exhausted redelivery).
 func (rt *Runtime) Close() error {
 	if rt.closed.Swap(true) {
 		return nil
@@ -226,7 +263,7 @@ func (rt *Runtime) Close() error {
 	}
 	rt.pairMu.Unlock()
 	for _, st := range states {
-		st.countDrain(rt, st.drainInto())
+		st.countFinal(rt, st.drainFault(true))
 	}
 	return nil
 }
