@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify chaos lint bench experiments figures examples clean
+.PHONY: all build test race verify chaos lint bench fuzz experiments figures examples clean
 
 all: build test
 
@@ -42,10 +42,21 @@ lint:
 
 # One benchmark per paper figure/table, reduced scale, plus the
 # machine-readable headline numbers (FIG9/FIG10 wakeups/s, power, p99)
-# written to BENCH_PBPL.json for run-over-run diffing.
+# and the live Put-path observability overhead (figure putpath) written
+# to BENCH_PBPL.json for run-over-run diffing.
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/pcbench -json -duration 2s -reps 2
+	$(GO) run ./cmd/pcbench -json -duration 2s -reps 2 -putbench
+
+# Coverage-guided fuzzing smoke: a short budget per target on top of
+# the checked-in seed corpora (testdata/fuzz). Grow FUZZTIME locally
+# for a real exploration session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzParseCLF -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzTimelineJSON -fuzztime=$(FUZZTIME) .
 
 # Paper-scale regeneration of every table (≈ minutes).
 experiments:

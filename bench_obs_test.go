@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// benchPut drives the producer fast path with or without the full
+// observability stack (histograms + timeline). Shared by the plain and
+// observed benchmarks and the overhead-guard test, so all three always
+// measure the same loop.
+func benchPut(b *testing.B, observed bool) {
+	opts := []Option{
+		WithSlotSize(5 * time.Millisecond),
+		WithMaxLatency(50 * time.Millisecond),
+		WithBuffer(1 << 16),
+	}
+	if observed {
+		opts = append(opts, WithHistograms(), WithTimeline(4096))
+	}
+	rt, err := New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	pair, err := NewPair(rt, func([]int) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pair.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pair.Put(i) != nil {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkPut is the baseline producer path, observability off.
+func BenchmarkPut(b *testing.B) { benchPut(b, false) }
+
+// BenchmarkPutObserved is the same loop with histograms + timeline on;
+// compare against BenchmarkPut for the per-item observability cost.
+func BenchmarkPutObserved(b *testing.B) { benchPut(b, true) }
+
+// TestPutObservedOverheadGuard enforces the observability budget: with
+// histograms and the timeline enabled, Put may cost at most 15% more
+// per item than with them off. Runs the comparison up to five times and
+// passes on the first compliant trial, since a single CI scheduling
+// hiccup shouldn't fail the build; a real regression fails all five.
+func TestPutObservedOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing guard meaningless under the race detector")
+	}
+	const limit = 1.15
+	var last float64
+	for trial := 0; trial < 5; trial++ {
+		base := testing.Benchmark(BenchmarkPut)
+		observed := testing.Benchmark(BenchmarkPutObserved)
+		bn := float64(base.NsPerOp())
+		on := float64(observed.NsPerOp())
+		if bn <= 0 {
+			continue
+		}
+		last = on / bn
+		t.Logf("trial %d: base %.1f ns/op, observed %.1f ns/op, ratio %.3f", trial, bn, on, last)
+		if last <= limit {
+			return
+		}
+	}
+	t.Fatalf("observability overhead %.3f exceeds %.2f in every trial", last, limit)
+}

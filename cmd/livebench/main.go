@@ -67,25 +67,33 @@ func main() {
 	fmt.Printf("replaying %d items over ≈%.1fs wall clock (%d pairs, speed %gx)\n",
 		total, base.Duration.Seconds() / *speed, *pairs, *speed)
 
-	pbplWall, pbplStats := runPBPL(shards, *speed, *slot, *maxLat, *buffer)
+	pbplWall, pbplStats, wait, done := runPBPL(shards, *speed, *slot, *maxLat, *buffer)
 	chanWall, chanWakes := runChannels(shards, *speed)
 
 	wakes := pbplStats.TimerWakes + pbplStats.ForcedWakes
 	fmt.Printf("\nPBPL runtime   (%.2fs): %6d wakeups (%d timer + %d forced), %.1f items/wakeup, %d overflows\n",
 		pbplWall.Seconds(), wakes, pbplStats.TimerWakes, pbplStats.ForcedWakes,
 		float64(pbplStats.ItemsOut)/float64(max(wakes, 1)), pbplStats.Overflows)
+	fmt.Printf("  wait (enqueue→start): p50 %v  p95 %v  p99 %v  max %v  (%d samples)\n",
+		wait.P50, wait.P95, wait.P99, wait.Max, wait.Count)
+	fmt.Printf("  done (enqueue→done):  p50 %v  p95 %v  p99 %v  max %v  (bound %v)\n",
+		done.P50, done.P95, done.P99, done.Max, *maxLat)
 	fmt.Printf("channel/worker (%.2fs): %6d wakeups (one per item), 1.0 items/wakeup\n",
 		chanWall.Seconds(), chanWakes)
 	fmt.Printf("\nwakeup reduction: %.1f%%\n", 100*(1-float64(wakes)/float64(max(chanWakes, 1))))
 }
 
-// runPBPL replays the shards through the live runtime.
-func runPBPL(shards []trace.Trace, speed float64, slot, maxLat time.Duration, buffer int) (time.Duration, repro.Stats) {
+// runPBPL replays the shards through the live runtime. The returned
+// distributions are the sampled buffered-wait and full response
+// latencies (repro.LatencyTotals) — done.P99 against maxLat is the live
+// check of the §IV bound.
+func runPBPL(shards []trace.Trace, speed float64, slot, maxLat time.Duration, buffer int) (time.Duration, repro.Stats, repro.LatencyDist, repro.LatencyDist) {
 	rt, err := repro.New(
 		repro.WithSlotSize(slot),
 		repro.WithMaxLatency(maxLat),
 		repro.WithBuffer(buffer),
 		repro.WithMaxPairs(len(shards)),
+		repro.WithHistograms(),
 	)
 	if err != nil {
 		fatal(err)
@@ -118,7 +126,8 @@ func runPBPL(shards []trace.Trace, speed float64, slot, maxLat time.Duration, bu
 	wg.Wait()
 	rt.Close() // drains everything
 	wall := time.Since(start)
-	return wall, rt.Stats()
+	wait, done, _ := rt.LatencyTotals()
+	return wall, rt.Stats(), wait, done
 }
 
 // runChannels is the conventional baseline: one buffered channel and

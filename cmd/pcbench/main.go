@@ -38,6 +38,7 @@ func main() {
 		markdown = flag.Bool("markdown", false, "render GitHub-flavoured markdown instead of text")
 		plot     = flag.Bool("plot", false, "render bar charts like the paper's figures")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable benchmark document (default figs 9,10; default output BENCH_PBPL.json)")
+		putBench = flag.Bool("putbench", false, "also measure the live Put path with observability off vs on (figure putpath)")
 		outPath  = flag.String("o", "", "write output to a file instead of stdout")
 	)
 	flag.Parse()
@@ -94,6 +95,10 @@ func main() {
 			}
 			tables = append(tables, t)
 		}
+	}
+
+	if *putBench {
+		tables = append(tables, putBenchTables())
 	}
 
 	if *jsonOut {

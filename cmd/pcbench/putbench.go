@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/exp"
+)
+
+// putBenchTables measures the live producer fast path (repro.Pair.Put)
+// with observability off and on — the micro-benchmark behind the
+// "compiled-out-cheap" claim — and reports it as a table so the JSON
+// emitter treats it like any figure. Config "put" is the baseline,
+// "put-observed" adds histograms + timeline; overhead_pct on the
+// observed row is the per-item cost of turning observability on.
+func putBenchTables() exp.Table {
+	base := runPutBench(false)
+	observed := runPutBench(true)
+	t := exp.Table{
+		ID:    "putpath",
+		Title: "Live Put path: observability overhead (testing.Benchmark, ns/item)",
+		Columns: []exp.Column{
+			{Key: "ns_per_item", Header: "ns/item", Format: "%.1f"},
+			{Key: "overhead_pct", Header: "overhead %", Format: "%.1f"},
+		},
+		Rows: []exp.Row{
+			{Label: "put", Values: map[string]float64{"ns_per_item": base}},
+			{Label: "put-observed", Values: map[string]float64{
+				"ns_per_item":  observed,
+				"overhead_pct": 100 * (observed - base) / base,
+			}},
+		},
+	}
+	return t
+}
+
+// runPutBench mirrors the root package's BenchmarkPut/BenchmarkPutObserved
+// loop: a single producer putting into one pair, retrying on overflow.
+func runPutBench(observedOpts bool) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		opts := []repro.Option{
+			repro.WithSlotSize(5 * time.Millisecond),
+			repro.WithMaxLatency(50 * time.Millisecond),
+			repro.WithBuffer(1 << 16),
+		}
+		if observedOpts {
+			opts = append(opts, repro.WithHistograms(), repro.WithTimeline(4096))
+		}
+		rt, err := repro.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		pair, err := repro.NewPair(rt, func([]int) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pair.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for pair.Put(i) != nil {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	})
+	return float64(r.NsPerOp())
+}

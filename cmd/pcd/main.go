@@ -12,6 +12,8 @@
 //	pcd -managers 4 -consolidate             # pack streams onto the fewest managers
 //	pcd -handler-timeout 50ms -breaker-failures 3 -redeliveries 3
 //	                                         # fault tolerance: watchdog + breaker
+//	pcd -histograms -timeline 4096           # latency histograms + wakeup timeline
+//	                                         # (/metrics, /debug/latency, /debug/timeline)
 //
 // A stream whose handler keeps failing (panic, error, or deadline
 // overrun) is quarantined: its items answer 503 (`pcd_shed_quarantined_total`)
@@ -68,6 +70,9 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		handlerTimeout = fs.Duration("handler-timeout", 0, "per-stream handler watchdog deadline (0: disabled)")
 		breakerK       = fs.Int("breaker-failures", 3, "consecutive handler failures that quarantine a stream (0: breaker disabled)")
 		redeliveries   = fs.Int("redeliveries", 3, "redelivery attempts for a failed batch before its items drop")
+
+		histograms  = fs.Bool("histograms", false, "record sampled latency histograms, exported at /metrics and /debug/latency")
+		timelineCap = fs.Int("timeline", 0, "wakeup-timeline ring capacity served at /debug/timeline (0: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +90,12 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 			Interval:   *placeEvery,
 			BudgetRate: *placeBudget,
 		}))
+	}
+	if *histograms {
+		opts = append(opts, repro.WithHistograms())
+	}
+	if *timelineCap > 0 {
+		opts = append(opts, repro.WithTimeline(*timelineCap))
 	}
 	rt, err := repro.New(opts...)
 	if err != nil {

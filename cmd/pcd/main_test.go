@@ -203,6 +203,76 @@ func jsonDecode(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
 }
 
+// TestObservabilityFlags boots with -histograms and -timeline, ingests
+// traffic, and checks the three observability surfaces: the wakeup
+// timeline JSON, per-stream Prometheus latency histograms, and the
+// pprof mux registration.
+func TestObservabilityFlags(t *testing.T) {
+	base, sig, exit := startDaemon(t, "-histograms", "-timeline", "1024")
+
+	lines := make([]string, 64)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("item-%d", i)
+	}
+	body := strings.Join(lines, "\n")
+	for i := 0; i < 8; i++ {
+		for _, key := range []string{"a", "b"} {
+			resp, err := http.Post(base+"/ingest/"+key, "text/plain", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var tl struct {
+			Enabled bool `json:"enabled"`
+			Cap     int  `json:"cap"`
+			Records []struct {
+				Kind string `json:"kind"`
+			} `json:"records"`
+		}
+		resp, err := http.Get(base + "/debug/timeline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tl)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tl.Enabled || tl.Cap != 1024 {
+			t.Fatalf("timeline enabled=%v cap=%d, want enabled cap 1024", tl.Enabled, tl.Cap)
+		}
+		m := scrape(t, base)
+		_, histA := m[`pcd_stream_latency_seconds_count{stream="a",pair="0"}`]
+		if len(tl.Records) > 0 && histA {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observability surfaces never populated: %d records, hist=%v", len(tl.Records), histA)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+
+	sig <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
 // TestConsolidateFlag boots the daemon with the placement controller
 // on, ingests into streams spread over four managers, and waits for
 // /statusz to report them packed onto one.

@@ -29,6 +29,7 @@ type promFamily struct {
 }
 
 type promSample struct {
+	suffix string // "_bucket", "_sum", "_count" for histogram series, else ""
 	labels string // rendered {k="v",...} or ""
 	value  float64
 }
@@ -59,6 +60,32 @@ func (p *Prom) Counter(name, help string, value float64, labels ...string) {
 func (p *Prom) Gauge(name, help string, value float64, labels ...string) {
 	f := p.family(name, help, "gauge")
 	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+// Histogram records one cumulative histogram: cumulative[i] counts
+// observations ≤ bounds[i], and the final element of cumulative (one
+// longer than bounds) is the total, emitted as the implicit +Inf bucket
+// and the _count series. sum is the sum of observations in the unit the
+// bounds are expressed in. Bucket order follows bounds, which must be
+// ascending; cumulative shorter than len(bounds)+1 records nothing.
+func (p *Prom) Histogram(name, help string, bounds []float64, cumulative []uint64, sum float64, labels ...string) {
+	if len(cumulative) != len(bounds)+1 {
+		return
+	}
+	f := p.family(name, help, "histogram")
+	for i, b := range bounds {
+		le := append(append([]string(nil), labels...), "le", formatValue(b))
+		f.samples = append(f.samples, promSample{
+			suffix: "_bucket", labels: renderLabels(le), value: float64(cumulative[i]),
+		})
+	}
+	total := float64(cumulative[len(bounds)])
+	inf := append(append([]string(nil), labels...), "le", "+Inf")
+	f.samples = append(f.samples,
+		promSample{suffix: "_bucket", labels: renderLabels(inf), value: total},
+		promSample{suffix: "_sum", labels: renderLabels(labels), value: sum},
+		promSample{suffix: "_count", labels: renderLabels(labels), value: total},
+	)
 }
 
 // renderLabels formats alternating key, value pairs as {k="v",...},
@@ -108,14 +135,18 @@ func (p *Prom) WriteTo(w io.Writer) (int64, error) {
 	for _, name := range names {
 		f := p.families[name]
 		samples := append([]promSample(nil), f.samples...)
-		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		if f.typ != "histogram" {
+			// Histogram series keep insertion order so buckets stay in
+			// ascending le order per label set.
+			sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		}
 		var b strings.Builder
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, s := range samples {
-			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.value))
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatValue(s.value))
 		}
 		n, err := io.WriteString(w, b.String())
 		total += int64(n)

@@ -55,6 +55,44 @@ func TestPromLabelEscaping(t *testing.T) {
 	}
 }
 
+func TestPromHistogram(t *testing.T) {
+	p := NewProm()
+	// 10 observations: 4 ≤ 0.005, 9 ≤ 0.01, 10 total (1 beyond 0.01).
+	p.Histogram("lat_seconds", "Latency.", []float64{0.005, 0.01}, []uint64{4, 9, 10}, 0.07, "pair", "3")
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantOrder := []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{pair="3",le="0.005"} 4` + "\n",
+		`lat_seconds_bucket{pair="3",le="0.01"} 9` + "\n",
+		`lat_seconds_bucket{pair="3",le="+Inf"} 10` + "\n",
+		`lat_seconds_sum{pair="3"} 0.07` + "\n",
+		`lat_seconds_count{pair="3"} 10` + "\n",
+	}
+	at := 0
+	for _, want := range wantOrder {
+		i := strings.Index(out[at:], want)
+		if i < 0 {
+			t.Fatalf("exposition missing %q after offset %d:\n%s", want, at, out)
+		}
+		at += i + len(want)
+	}
+
+	// Mismatched cumulative length records nothing rather than lying.
+	p2 := NewProm()
+	p2.Histogram("bad", "", []float64{1}, []uint64{1}, 0)
+	var b2 strings.Builder
+	if _, err := p2.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "bad_bucket") {
+		t.Errorf("short cumulative slice still emitted buckets:\n%s", b2.String())
+	}
+}
+
 func TestPromSpecialValues(t *testing.T) {
 	p := NewProm()
 	p.Gauge("nan", "", math.NaN())

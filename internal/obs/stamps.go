@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StampRing carries per-item enqueue timestamps from a pair's producer
+// to its draining manager. It is single-producer (matching Pair's
+// documented contract); consumption is serialized by the pair's drain
+// lock. When the ring is full the stamp is dropped and counted — the
+// item still flows, its latency just goes unobserved. Stamps pair with
+// items by count, not identity, so a drop only shifts which timestamp
+// meets which item; for a histogram that is harmless.
+//
+// Layout and index caching follow the classic fast SPSC queue recipe
+// (cf. Torquati's study in PAPERS.md): head and tail live on separate
+// cache lines, and each side works against a cached snapshot of the
+// other's index, so the steady-state Push touches no consumer-written
+// line at all — that is what keeps the producer hot path within the
+// runtime's observability budget.
+type StampRing struct {
+	buf  []int64
+	mask uint64
+
+	_          [64]byte
+	head       atomic.Uint64 // next read; consumer-written
+	cachedTail uint64        // consumer's snapshot of tail
+	drops      atomic.Uint64 // consumer-read, producer-written on full
+
+	_          [64]byte
+	tail       atomic.Uint64 // next write; producer-written
+	cachedHead uint64        // producer's snapshot of head
+}
+
+// NewStampRing returns a ring holding at least capacity stamps
+// (rounded up to a power of two, minimum 16).
+func NewStampRing(capacity int) *StampRing {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &StampRing{buf: make([]int64, n), mask: uint64(n - 1)}
+}
+
+// Push records one enqueue timestamp. Single producer only.
+func (r *StampRing) Push(nanos int64) {
+	t := r.tail.Load()
+	if t-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.buf)) {
+			r.drops.Add(1)
+			return
+		}
+	}
+	r.buf[t&r.mask] = nanos
+	r.tail.Store(t + 1)
+}
+
+// Pop removes the oldest stamp. Single consumer only (the drain lock).
+func (r *StampRing) Pop() (nanos int64, ok bool) {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return 0, false
+		}
+	}
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch appends up to n of the oldest stamps to dst and returns the
+// result, publishing one head advance for the whole batch (the drain
+// side's analogue of the producer's cached-index trick). Single
+// consumer only.
+func (r *StampRing) PopBatch(dst []int64, n int) []int64 {
+	h := r.head.Load()
+	avail := r.cachedTail - h
+	if avail < uint64(n) {
+		r.cachedTail = r.tail.Load()
+		avail = r.cachedTail - h
+	}
+	if avail > uint64(n) {
+		avail = uint64(n)
+	}
+	for i := uint64(0); i < avail; i++ {
+		dst = append(dst, r.buf[(h+i)&r.mask])
+	}
+	if avail > 0 {
+		r.head.Store(h + avail)
+	}
+	return dst
+}
+
+// Drops returns how many stamps were discarded on a full ring.
+func (r *StampRing) Drops() uint64 { return r.drops.Load() }
+
+// Clock is a coarse monotonic clock: a background ticker publishes the
+// current runtime-relative nanoseconds into one atomic word, so hot
+// paths read a timestamp in ~1-2 ns instead of calling the precise
+// clock. The error is bounded by one tick, far below the slot size.
+type Clock struct {
+	now   atomic.Int64
+	done  chan struct{}
+	start time.Time
+}
+
+// NewClock starts a clock ticking at the given interval, measuring
+// nanoseconds since start. Stop it with Stop.
+func NewClock(start time.Time, tick time.Duration) *Clock {
+	c := &Clock{done: make(chan struct{}), start: start}
+	c.now.Store(int64(time.Since(start)))
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				c.now.Store(int64(time.Since(start)))
+			}
+		}
+	}()
+	return c
+}
+
+// Now returns the last published runtime-relative nanoseconds.
+func (c *Clock) Now() int64 { return c.now.Load() }
+
+// Precise returns the exact runtime-relative nanoseconds without
+// touching the published word (drain-side callers want accuracy, not
+// cache traffic on the producers' clock line).
+func (c *Clock) Precise() int64 {
+	return int64(time.Since(c.start))
+}
+
+// Stop terminates the ticker goroutine. Now keeps returning the last
+// published value.
+func (c *Clock) Stop() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStampRingFIFO(t *testing.T) {
+	r := NewStampRing(16)
+	for i := int64(0); i < 10; i++ {
+		r.Push(i * 100)
+	}
+	for i := int64(0); i < 10; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i*100 {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, v, ok, i*100)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+}
+
+func TestStampRingDropsWhenFull(t *testing.T) {
+	r := NewStampRing(16) // rounds to exactly 16
+	for i := 0; i < 20; i++ {
+		r.Push(int64(i))
+	}
+	if got := r.Drops(); got != 4 {
+		t.Fatalf("drops = %d, want 4", got)
+	}
+	// The surviving stamps are the oldest 16, in order.
+	for i := int64(0); i < 16; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+}
+
+// TestStampRingSPSC: one producer, one consumer, no torn values (run
+// under -race in make verify).
+func TestStampRingSPSC(t *testing.T) {
+	r := NewStampRing(64)
+	const total = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var popped, prev int64
+	prev = -1
+	go func() {
+		defer wg.Done()
+		for popped+int64(r.Drops()) < total {
+			v, ok := r.Pop()
+			if !ok {
+				continue
+			}
+			if v <= prev {
+				t.Errorf("out-of-order stamp %d after %d", v, prev)
+				return
+			}
+			prev = v
+			popped++
+		}
+	}()
+	for i := int64(0); i < total; i++ {
+		r.Push(i)
+	}
+	// Consumer exits once pops + drops account for every push.
+	wg.Wait()
+	if popped+int64(r.Drops()) != total {
+		t.Fatalf("popped %d + drops %d != %d", popped, r.Drops(), total)
+	}
+}
+
+func TestStampRingPopBatch(t *testing.T) {
+	r := NewStampRing(32)
+	for i := int64(0); i < 20; i++ {
+		r.Push(i)
+	}
+	got := r.PopBatch(nil, 8)
+	if len(got) != 8 {
+		t.Fatalf("PopBatch returned %d stamps, want 8", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("stamp %d = %d, want %d", i, v, i)
+		}
+	}
+	// Ask for more than remain: get exactly the remainder.
+	got = r.PopBatch(got[:0], 100)
+	if len(got) != 12 || got[0] != 8 || got[11] != 19 {
+		t.Fatalf("remainder batch = %v", got)
+	}
+	if got = r.PopBatch(got[:0], 4); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	// Interleave with pushes: FIFO order holds across batches.
+	r.Push(100)
+	r.Push(101)
+	if got = r.PopBatch(nil, 1); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("interleaved batch = %v", got)
+	}
+	if v, ok := r.Pop(); !ok || v != 101 {
+		t.Fatalf("Pop after PopBatch = (%d, %v)", v, ok)
+	}
+}
+
+func TestClock(t *testing.T) {
+	start := time.Now()
+	c := NewClock(start, time.Millisecond)
+	defer c.Stop()
+	if c.Now() < 0 {
+		t.Fatalf("initial Now = %d, want ≥ 0", c.Now())
+	}
+	p := c.Precise()
+	if p <= 0 {
+		t.Fatalf("Precise = %d, want > 0", p)
+	}
+	start0 := c.Now()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Now() <= start0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never advanced the clock")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// getJSON decodes one GET response body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// timelineLatched reports whether one timer fire's seq is the wake of
+// drain records on at least n distinct pairs.
+func timelineLatched(recs []repro.TimelineRecord, n int) bool {
+	pairsByFire := map[uint64]map[int]bool{}
+	for _, r := range recs {
+		if r.Kind == "timer-fire" {
+			pairsByFire[r.Seq] = map[int]bool{}
+		}
+	}
+	for _, r := range recs {
+		if r.Kind != "drain" || r.Wake == 0 {
+			continue
+		}
+		if set, ok := pairsByFire[r.Wake]; ok {
+			set[r.Pair] = true
+			if len(set) >= n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scrapeP99 extracts, for each series of family (a histogram) matching
+// the given stream label, the smallest `le` whose cumulative count
+// covers 99% of observations. Returns le seconds and total count.
+func scrapeP99(m map[string]float64, family, stream string) (le float64, count float64, ok bool) {
+	prefix := fmt.Sprintf("%s_bucket{stream=%q,", family, stream)
+	type bucket struct{ le, cum float64 }
+	var buckets []bucket
+	for name, v := range m {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		i := strings.Index(name, `le="`)
+		if i < 0 {
+			continue
+		}
+		s := name[i+4:]
+		s = s[:strings.IndexByte(s, '"')]
+		if s == "+Inf" {
+			count = v
+			continue
+		}
+		var b bucket
+		if _, err := fmt.Sscanf(s, "%g", &b.le); err != nil {
+			continue
+		}
+		b.cum = v
+		buckets = append(buckets, b)
+	}
+	if count == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for _, b := range buckets {
+		if b.cum >= 0.99*count {
+			return b.le, count, true
+		}
+	}
+	return buckets[len(buckets)-1].le + 1, count, true // p99 beyond the ladder
+}
+
+// TestDebugObservabilityEndToEnd is the observability smoke test over
+// the network: with -histograms/-timeline semantics enabled, steady
+// traffic into several streams must (1) show at least two pairs latched
+// onto one shared timer fire in /debug/timeline — the live Fig. 6 — and
+// (2) export per-stream Prometheus latency histograms whose p99 stays
+// within the configured MaxLatency bound (with wide slack for CI
+// scheduling noise: the runtime defers items up to MaxLatency by
+// design, so the p99 clusters near the bound, not near zero).
+func TestDebugObservabilityEndToEnd(t *testing.T) {
+	const maxLatency = 10 * time.Millisecond
+	s, rt := newTestServer(t, Config{},
+		repro.WithHistograms(),
+		repro.WithTimeline(2048),
+	)
+	base := "http://" + s.Addr()
+	streams := []string{"api", "audit", "analytics"}
+
+	// Trickle items into every stream until the timeline shows a shared
+	// fire and every stream has enough latency samples for a p99.
+	// LatencySampleEvery items yield one sample, so send in chunks.
+	lines := make([]string, 64)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("item-%d", i)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	latched := false
+	var tl timelinez
+	for time.Now().Before(deadline) {
+		for _, key := range streams {
+			postLines(t, base, key, lines)
+		}
+		time.Sleep(2 * time.Millisecond)
+		getJSON(t, base+"/debug/timeline", &tl)
+		if !tl.Enabled || tl.Cap != 2048 {
+			t.Fatalf("timeline enabled=%v cap=%d, want enabled cap 2048", tl.Enabled, tl.Cap)
+		}
+		if timelineLatched(tl.Records, 2) {
+			latched = true
+			break
+		}
+	}
+	if !latched {
+		t.Fatalf("no timer fire latched ≥ 2 pairs after load; %d timeline records", len(tl.Records))
+	}
+
+	// Let the tail drain so the last samples land, then scrape.
+	waitDrained(t, base, 1)
+	m := scrapeMetrics(t, base)
+	for _, key := range streams {
+		le, count, ok := scrapeP99(m, "pcd_stream_latency_seconds", key)
+		if !ok {
+			t.Fatalf("no pcd_stream_latency_seconds histogram for %q", key)
+		}
+		if count < 3 {
+			t.Errorf("stream %q: only %v latency samples", key, count)
+		}
+		// 10× slack on the 10ms bound: the histogram's conservative
+		// bucketing plus single-CPU CI scheduling can push samples past
+		// the bound, but an unbounded latency bug lands far beyond it.
+		if le > 10*maxLatency.Seconds() {
+			t.Errorf("stream %q: p99 bucket %gs breaches MaxLatency %v (10x slack)", key, le, maxLatency)
+		}
+		if _, _, ok := scrapeP99(m, "pcd_stream_wait_seconds", key); !ok {
+			t.Errorf("no pcd_stream_wait_seconds histogram for %q", key)
+		}
+	}
+	if _, ok := m[`pcd_manager_drain_seconds_bucket{manager="0",le="+Inf"}`]; !ok {
+		t.Error("no pcd_manager_drain_seconds histogram for manager 0")
+	}
+
+	// /debug/latency agrees: every stream keyed, totals populated.
+	var lz latencyz
+	getJSON(t, base+"/debug/latency", &lz)
+	if !lz.Enabled {
+		t.Fatal("/debug/latency reports disabled with WithHistograms on")
+	}
+	keys := map[string]bool{}
+	for _, pl := range lz.Pairs {
+		keys[pl.Key] = true
+	}
+	for _, key := range streams {
+		if !keys[key] {
+			t.Errorf("/debug/latency missing stream %q: %+v", key, keys)
+		}
+	}
+	if lz.Done.Count == 0 || lz.Done.P99 <= 0 {
+		t.Errorf("/debug/latency totals empty: %+v", lz.Done)
+	}
+
+	// pprof is mounted on the custom mux.
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+
+	_ = rt // lifecycle owned by newTestServer
+}
+
+// TestDebugEndpointsDisabled: without the runtime options the endpoints
+// answer cleanly instead of erroring, so dashboards can poll blindly.
+func TestDebugEndpointsDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	base := "http://" + s.Addr()
+	var tl timelinez
+	getJSON(t, base+"/debug/timeline", &tl)
+	if tl.Enabled || tl.Cap != 0 || len(tl.Records) != 0 {
+		t.Errorf("disabled timeline = %+v", tl)
+	}
+	var lz latencyz
+	getJSON(t, base+"/debug/latency", &lz)
+	if lz.Enabled || len(lz.Pairs) != 0 {
+		t.Errorf("disabled latency = %+v", lz)
+	}
+	m := scrapeMetrics(t, base)
+	for name := range m {
+		if strings.HasPrefix(name, "pcd_stream_latency_seconds") {
+			t.Errorf("histogram series %q exported without WithHistograms", name)
+		}
+	}
+}

@@ -107,8 +107,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("pcd_stream_dropped_total", "Items dropped on this stream after redelivery exhaustion.", float64(st.Dropped), "stream", st.Key, "pair", id)
 	}
 
+	s.histogramMetrics(p)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
+}
+
+// histogramMetrics exports the WithHistograms latency distributions as
+// Prometheus histograms (seconds, DefaultLatencyBounds ladder): per
+// stream the buffered-wait and full enqueue→done latency, per manager
+// the wake→drain-done time. Silent when histograms are off.
+func (s *Server) histogramMetrics(p *metrics.Prom) {
+	pls := s.rt.PairLatencies()
+	mls := s.rt.ManagerLatencies()
+	if len(pls) == 0 && len(mls) == 0 {
+		return
+	}
+	bounds := make([]float64, 0, len(repro.DefaultLatencyBounds()))
+	for _, b := range repro.DefaultLatencyBounds() {
+		bounds = append(bounds, b.Seconds())
+	}
+	keys := s.streamKeysByPair()
+	for _, pl := range pls {
+		key, ok := keys[pl.ID]
+		if !ok {
+			continue
+		}
+		id := strconv.Itoa(pl.ID)
+		p.Histogram("pcd_stream_wait_seconds",
+			"Sampled enqueue to handler-start latency: how long items sat buffered.",
+			bounds, pl.Wait.Cumulative, pl.Wait.Sum.Seconds(), "stream", key, "pair", id)
+		p.Histogram("pcd_stream_latency_seconds",
+			"Sampled enqueue to handler-done latency, the bound MaxLatency enforces.",
+			bounds, pl.Done.Cumulative, pl.Done.Sum.Seconds(), "stream", key, "pair", id)
+		p.Counter("pcd_stream_stamp_drops_total",
+			"Latency samples discarded on a full stamp ring (items still flowed).",
+			float64(pl.StampDrops), "stream", key, "pair", id)
+	}
+	for _, ml := range mls {
+		p.Histogram("pcd_manager_drain_seconds",
+			"Wake to drain-done time per core-manager wakeup.",
+			bounds, ml.Drain.Cumulative, ml.Drain.Sum.Seconds(), "manager", strconv.Itoa(ml.ID))
+	}
 }
 
 func boolGauge(b bool) float64 {

@@ -1,11 +1,15 @@
 package repro
 
 import (
+	"context"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/simtime"
 )
@@ -58,15 +62,20 @@ type pairState struct {
 	// setQuota adjusts the pair's elastic queue quota.
 	setQuota func(int)
 
+	// obs is the pair's latency instrumentation; nil unless the runtime
+	// was built WithHistograms (the only hot-path cost then is this nil
+	// check).
+	obs *pairObs
+
 	pred         predict.Predictor
 	planner      *core.Planner
 	lastDrain    simtime.Time
 	reservedSlot int64 // -1 when none; manager-owned
 
 	// Fault-tolerance configuration, fixed at creation.
-	handlerTimeout time.Duration   // 0: no watchdog
-	breakerK       int             // consecutive failures to quarantine; 0: breaker off
-	maxRedeliver   int             // redeliveries before a failed batch drops
+	handlerTimeout time.Duration    // 0: no watchdog
+	breakerK       int              // consecutive failures to quarantine; 0: breaker off
+	maxRedeliver   int              // redeliveries before a failed batch drops
 	baseBackoff    simtime.Duration // first probe/redelivery delay (one slot)
 	maxBackoff     simtime.Duration // probe backoff cap
 
@@ -199,6 +208,11 @@ type manager struct {
 
 	timer *time.Timer
 
+	// labelCtx carries the goroutine's pprof labels (pbpl_manager) so
+	// per-drain pair labels can nest under them via pprof.Do; set once
+	// at the top of loop.
+	labelCtx context.Context
+
 	// Per-manager wakeup counters (atomics: incremented alongside the
 	// runtime totals, read by ManagerSnapshots from any goroutine). They
 	// expose where the wakeups happen, which is what the placement
@@ -263,6 +277,11 @@ func (m *manager) earliest() (int64, bool) {
 // kicks and control commands. On shutdown it drains every registered
 // pair one final time.
 func (m *manager) loop() {
+	// Label the goroutine so pprof samples and runtime/trace attribute
+	// time to this core manager.
+	m.labelCtx = pprof.WithLabels(context.Background(),
+		pprof.Labels("pbpl_manager", strconv.Itoa(m.id)))
+	pprof.SetGoroutineLabels(m.labelCtx)
 	defer m.finalDrain()
 	for {
 		var timerC <-chan time.Time
@@ -304,7 +323,16 @@ func (m *manager) loop() {
 			if !p.closed.Load() {
 				m.rt.stats.forcedWakes.Add(1)
 				m.forcedWakes.Add(1)
-				m.drainAndPlan(p, m.rt.now(), false)
+				now := m.rt.now()
+				wake := m.rt.timelineAppend(obs.Record{
+					Kind:    obs.KindForcedWake,
+					Nanos:   int64(now),
+					Manager: m.id,
+					Slot:    m.rt.planner.Track.Index(now),
+					Pair:    uint64(p.id),
+					Items:   p.pending(),
+				})
+				m.drainAndPlan(p, now, false, wake)
 			}
 		case <-timerC:
 			m.onTimer()
@@ -313,25 +341,45 @@ func (m *manager) loop() {
 }
 
 // onTimer fires every reserved slot whose start has passed. One timer
-// expiration serving several pairs is the latching payoff.
+// expiration serving several pairs is the latching payoff — gather the
+// due pairs first so the timeline can record one fire covering them
+// all (and so reservations made while draining never join this round).
 func (m *manager) onTimer() {
 	now := m.rt.now()
 	nowSlot := m.rt.planner.Track.Index(now)
-	fired := false
+	var due []*pairState
 	for slot, ps := range m.res {
 		if slot > nowSlot || len(ps) == 0 {
 			continue
 		}
-		fired = true
 		delete(m.res, slot)
 		for _, p := range ps {
 			p.reservedSlot = -1
-			m.drainAndPlan(p, now, true)
+			due = append(due, p)
 		}
 	}
-	if fired {
-		m.rt.stats.timerWakes.Add(1)
-		m.timerWakes.Add(1)
+	if len(due) == 0 {
+		return
+	}
+	m.rt.stats.timerWakes.Add(1)
+	m.timerWakes.Add(1)
+	wake := m.rt.timelineAppend(obs.Record{
+		Kind:    obs.KindTimerFire,
+		Nanos:   int64(now),
+		Manager: m.id,
+		Slot:    nowSlot,
+		Items:   len(due),
+	})
+	var t0 int64
+	o := m.rt.obs
+	if o != nil && o.hist {
+		t0 = o.clock.Precise()
+	}
+	for _, p := range due {
+		m.drainAndPlan(p, now, true, wake)
+	}
+	if o != nil && o.hist {
+		o.mgrDrain[m.id].Record(o.clock.Precise() - t0)
 	}
 }
 
@@ -347,11 +395,12 @@ func (m *manager) onKick(p *pairState) {
 // drainAndPlan runs one consumer invocation: drain through the handler
 // (with fault isolation), settle the breaker, and reserve the next
 // slot. scheduled distinguishes slot-timer drains from overflow-forced
-// ones. A quarantined pair never drains inline here: once its probe
-// time arrives the half-open probe runs on its own goroutine, so a
-// handler that is still broken (or still stalling) cannot re-block the
-// other pairs sharing this manager.
-func (m *manager) drainAndPlan(p *pairState, now simtime.Time, scheduled bool) {
+// ones; wake is the timeline sequence of the fire that triggered this
+// drain (0 when the timeline is off). A quarantined pair never drains
+// inline here: once its probe time arrives the half-open probe runs on
+// its own goroutine, so a handler that is still broken (or still
+// stalling) cannot re-block the other pairs sharing this manager.
+func (m *manager) drainAndPlan(p *pairState, now simtime.Time, scheduled bool, wake uint64) {
 	m.deregister(p)
 	if p.quarantined.Load() {
 		if !p.probeDue(now) {
@@ -368,15 +417,27 @@ func (m *manager) drainAndPlan(p *pairState, now simtime.Time, scheduled bool) {
 		}
 		return
 	}
-	rep := p.drainFault(false)
+	var rep drainReport
+	pprof.Do(m.labelCtx, pprof.Labels("pbpl_pair", strconv.Itoa(p.id)), func(context.Context) {
+		rep = p.drainFault(false)
+	})
+	m.rt.timelineAppend(obs.Record{
+		Kind:    obs.KindDrain,
+		Nanos:   int64(m.rt.now()),
+		Manager: m.id,
+		Slot:    m.rt.planner.Track.Index(now),
+		Pair:    uint64(p.id),
+		Wake:    wake,
+		Items:   rep.delivered,
+	})
 	if rep.timedOut {
 		// The handler overran its deadline inline on this goroutine.
 		// Re-sample the clock so the next reservation charges the
 		// stolen time instead of pretending the drain was punctual.
 		now = m.rt.now()
 	}
-	if obs := m.rt.opts.observer; obs != nil {
-		obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered, Scheduled: scheduled})
+	if cb := m.rt.opts.observer; cb != nil {
+		cb(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered, Scheduled: scheduled})
 	}
 	p.countInvocation(m.rt)
 	if dt := now.Sub(p.lastDrain); dt > 0 {
@@ -415,9 +476,16 @@ func (m *manager) settle(p *pairState, rep drainReport, now simtime.Time) {
 			p.backoff = 0
 			p.degraded.Store(false)
 			m.rt.stats.recoveries.Add(1)
-			if obs := m.rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventRecover, Pair: p.id, At: time.Duration(now)})
+			if cb := m.rt.opts.observer; cb != nil {
+				cb(Event{Kind: EventRecover, Pair: p.id, At: time.Duration(now)})
 			}
+			m.rt.timelineAppend(obs.Record{
+				Kind:    obs.KindRecover,
+				Nanos:   int64(now),
+				Manager: m.id,
+				Slot:    m.rt.planner.Track.Index(now),
+				Pair:    uint64(p.id),
+			})
 			m.plan(p, now)
 		}
 		return
@@ -429,9 +497,16 @@ func (m *manager) settle(p *pairState, rep drainReport, now simtime.Time) {
 			p.backoff = p.baseBackoff
 			p.quarantines.Add(1)
 			m.rt.stats.quarantines.Add(1)
-			if obs := m.rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventQuarantine, Pair: p.id, At: time.Duration(now)})
+			if cb := m.rt.opts.observer; cb != nil {
+				cb(Event{Kind: EventQuarantine, Pair: p.id, At: time.Duration(now)})
 			}
+			m.rt.timelineAppend(obs.Record{
+				Kind:    obs.KindQuarantine,
+				Nanos:   int64(now),
+				Manager: m.id,
+				Slot:    m.rt.planner.Track.Index(now),
+				Pair:    uint64(p.id),
+			})
 			m.scheduleProbe(p, now)
 			return
 		}
@@ -467,8 +542,8 @@ func (m *manager) probe(p *pairState) {
 	now := m.rt.now()
 	if rep.attempted > 0 {
 		p.countInvocation(m.rt)
-		if obs := m.rt.opts.observer; obs != nil {
-			obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered})
+		if cb := m.rt.opts.observer; cb != nil {
+			cb(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(now), Items: rep.delivered})
 		}
 	}
 	ok := p.runOnOwner(func(cur *manager) {
@@ -524,8 +599,8 @@ func (m *manager) plan(p *pairState, now simtime.Time) {
 		// Going idle: allow producers to re-arm us, then re-check for
 		// an item that raced in between the pending() read and the
 		// flag flip.
-		if obs := m.rt.opts.observer; obs != nil {
-			obs(Event{Kind: EventIdle, Pair: p.id, At: time.Duration(now)})
+		if cb := m.rt.opts.observer; cb != nil {
+			cb(Event{Kind: EventIdle, Pair: p.id, At: time.Duration(now)})
 		}
 		p.armed.Store(false)
 		if p.pending() > 0 && !p.armed.Swap(true) {
@@ -534,8 +609,8 @@ func (m *manager) plan(p *pairState, now simtime.Time) {
 		return
 	}
 	p.armed.Store(true)
-	if obs := m.rt.opts.observer; obs != nil {
-		obs(Event{Kind: EventReserve, Pair: p.id, At: time.Duration(now), Slot: plan.Slot})
+	if cb := m.rt.opts.observer; cb != nil {
+		cb(Event{Kind: EventReserve, Pair: p.id, At: time.Duration(now), Slot: plan.Slot})
 	}
 	m.reserve(p, plan.Slot)
 }
@@ -600,8 +675,8 @@ func (m *manager) finalDrain() {
 		rep := p.drainFault(true)
 		if rep.attempted > 0 {
 			p.countInvocation(m.rt)
-			if obs := m.rt.opts.observer; obs != nil {
-				obs(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: rep.delivered})
+			if cb := m.rt.opts.observer; cb != nil {
+				cb(Event{Kind: EventDrain, Pair: p.id, At: time.Duration(m.rt.now()), Items: rep.delivered})
 			}
 		}
 	}

@@ -42,6 +42,9 @@ type options struct {
 
 	consolidate *ConsolidationConfig
 
+	histograms  bool
+	timelineCap int
+
 	disableLatching   bool
 	disableResizing   bool
 	disablePrediction bool
@@ -101,6 +104,9 @@ func (o options) validate() error {
 	if o.omegaMicro <= 0 || o.perItemMicro <= 0 || o.overheadMicro < 0 {
 		return fmt.Errorf("repro: non-positive energy constants")
 	}
+	if o.timelineCap < 0 {
+		return fmt.Errorf("repro: timeline capacity %d < 0", o.timelineCap)
+	}
 	return nil
 }
 
@@ -150,6 +156,31 @@ func WithPredictor(f predict.Factory) Option { return func(o *options) { o.predi
 // internal/place for the policy. Most useful with WithManagers(n>1).
 func WithConsolidation(cfg ConsolidationConfig) Option {
 	return func(o *options) { o.consolidate = &cfg }
+}
+
+// WithHistograms enables per-pair latency histograms
+// (enqueue→handler-start and enqueue→handler-done) and per-manager
+// wake→drain-done histograms, queryable via Runtime.PairLatencies,
+// ManagerLatencies and LatencyTotals. Latencies are sampled one item
+// in LatencySampleEvery, riding the pair's item counter, so producers
+// pay a branch per Put and a stamp write per sample; off (the
+// default), the hot path pays one nil check. See internal/obs for the
+// histogram's resolution bound.
+func WithHistograms() Option { return func(o *options) { o.histograms = true } }
+
+// WithTimeline enables the bounded in-memory wakeup timeline — timer
+// fires, forced wakes, latched drains, migrations and breaker
+// transitions, dumpable via Runtime.TimelineDump (pcd serves it at
+// /debug/timeline) as the live analogue of the paper's Fig. 6. The
+// ring keeps the most recent `capacity` records (rounded up to a power
+// of two); capacity ≤ 0 takes the default 4096.
+func WithTimeline(capacity int) Option {
+	return func(o *options) {
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		o.timelineCap = capacity
+	}
 }
 
 // WithoutLatching disables reservation latching (ablation/debugging).

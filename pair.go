@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime/trace"
 	"sync"
 	"time"
 
@@ -80,6 +81,14 @@ type Pair[T any] struct {
 	// st.retained atomic for lock-free snapshots).
 	retry         []T
 	retryAttempts int
+
+	// Latency instrumentation scratch (guarded by drainMu like retry):
+	// stampScratch holds the enqueue stamps popped for the batch being
+	// drained; retryStamps holds the stamps of a retained batch so a
+	// redelivered item's done-latency covers its retry delay too. Both
+	// stay empty unless the runtime was built WithHistograms.
+	stampScratch []int64
+	retryStamps  []int64
 }
 
 // NewPair registers a consumer with the runtime. The handler receives
@@ -164,6 +173,9 @@ func NewPairFunc[T any](rt *Runtime, handler func(ctx context.Context, batch []T
 	st.mgr.Store(rt.managerFor(id))
 	st.reservedSlot = -1
 	st.drainFault = p.drainFault
+	if rt.obs != nil && rt.obs.hist {
+		st.obs = newPairObs(o.buffer)
+	}
 	p.st = st
 	rt.trackPair(st)
 	if obs := rt.opts.observer; obs != nil {
@@ -203,6 +215,9 @@ func (p *Pair[T]) drainFault(final bool) drainReport {
 		p.event(EventRedeliver, len(p.retry))
 		if p.invoke(p.retry, &rep) {
 			p.deliver(len(p.retry), &rep)
+			// Redelivered items' done-latency spans the retry delay:
+			// their stamps were kept alongside the retained batch.
+			p.recordDone(p.retryStamps)
 			p.clearRetry()
 		} else if final || p.retryAttempts >= p.st.maxRedeliver {
 			p.dropBatch(len(p.retry), &rep)
@@ -221,8 +236,10 @@ func (p *Pair[T]) drainFault(final bool) drainReport {
 	if len(batch) == 0 {
 		return rep
 	}
+	stamps := p.recordWait(len(batch))
 	if p.invoke(batch, &rep) {
 		p.deliver(len(batch), &rep)
+		p.recordDone(stamps)
 		return rep
 	}
 	if final || p.st.maxRedeliver <= 0 {
@@ -230,11 +247,46 @@ func (p *Pair[T]) drainFault(final bool) drainReport {
 		return rep
 	}
 	// Retain a copy for redelivery: batch aliases scratch, which the
-	// next drain reuses.
+	// next drain reuses (likewise stamps and stampScratch).
 	p.retry = append(p.retry[:0], batch...)
+	p.retryStamps = append(p.retryStamps[:0], stamps...)
 	p.retryAttempts = 0
 	p.st.retained.Store(int64(len(batch)))
 	return rep
+}
+
+// recordWait pops the enqueue stamps of the batch being drained (the
+// drain empties the whole queue, so every ring stamp belongs to it —
+// at the sampling stride that is at most n/LatencySampleEvery, and
+// fewer when the ring overflowed; the drop is counted there) and
+// records each sampled item's wait (enqueue→handler-start) latency.
+// Pairing is by position, which only matters to the histogram, not to
+// the items. Nil unless WithHistograms.
+func (p *Pair[T]) recordWait(n int) []int64 {
+	po := p.st.obs
+	if po == nil || n == 0 {
+		return nil
+	}
+	s := po.stamps.PopBatch(p.stampScratch[:0], n)
+	p.stampScratch = s
+	start := p.rt.obs.clock.Precise()
+	for _, t := range s {
+		po.wait.Record(start - t)
+	}
+	return s
+}
+
+// recordDone records each delivered item's done (enqueue→handler-done)
+// latency for the stamps captured by recordWait.
+func (p *Pair[T]) recordDone(stamps []int64) {
+	po := p.st.obs
+	if po == nil || len(stamps) == 0 {
+		return
+	}
+	end := p.rt.obs.clock.Precise()
+	for _, t := range stamps {
+		po.done.Record(end - t)
+	}
 }
 
 // invoke hands one batch to the handler under panic recovery and, when
@@ -244,6 +296,15 @@ func (p *Pair[T]) drainFault(final bool) drainReport {
 func (p *Pair[T]) invoke(batch []T, rep *drainReport) bool {
 	rep.attempted += len(batch)
 	ctx := context.Background()
+	if trace.IsEnabled() {
+		// Task + region let `go tool trace` attribute handler time to
+		// this pair; the Logf carries the batch size.
+		var task *trace.Task
+		ctx, task = trace.NewTask(ctx, "pbpl.invoke")
+		defer task.End()
+		trace.Logf(ctx, "pbpl", "pair=%d batch=%d", p.st.id, len(batch))
+		defer trace.StartRegion(ctx, "pbpl.handler").End()
+	}
 	var watchdog *time.Timer
 	if d := p.st.handlerTimeout; d > 0 {
 		var cancel context.CancelFunc
@@ -310,6 +371,7 @@ func (p *Pair[T]) dropBatch(n int, rep *drainReport) {
 
 func (p *Pair[T]) clearRetry() {
 	p.retry = p.retry[:0]
+	p.retryStamps = p.retryStamps[:0]
 	p.retryAttempts = 0
 	p.st.retained.Store(0)
 }
@@ -330,7 +392,10 @@ func (p *Pair[T]) Put(v T) error {
 	}
 	if p.q.Push(v) {
 		p.rt.stats.itemsIn.Add(1)
-		p.st.itemsIn.Add(1)
+		n := p.st.itemsIn.Add(1)
+		if po := p.st.obs; po != nil && n&stampSampleMask == 0 {
+			po.stamps.Push(p.rt.obs.clock.Now())
+		}
 		if p.rt.closed.Load() {
 			// Runtime.Close raced in after the entry check, so its
 			// final sweep may already have run: drain on the caller
@@ -367,7 +432,17 @@ func (p *Pair[T]) PutBatch(items []T) (int, error) {
 	n := p.q.PushBatch(items)
 	if n > 0 {
 		p.rt.stats.itemsIn.Add(uint64(n))
-		p.st.itemsIn.Add(uint64(n))
+		end := p.st.itemsIn.Add(uint64(n))
+		if po := p.st.obs; po != nil {
+			// One stamp per sampling-stride boundary the batch crossed.
+			k := int(end>>stampSampleShift) - int((end-uint64(n))>>stampSampleShift)
+			if k > 0 {
+				now := p.rt.obs.clock.Now()
+				for i := 0; i < k; i++ {
+					po.stamps.Push(now)
+				}
+			}
+		}
 		if p.rt.closed.Load() {
 			// Same close race as Put: drain on the caller.
 			p.st.countFinal(p.rt, p.drainFault(true))

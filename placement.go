@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/place"
 )
 
@@ -231,8 +232,8 @@ func (rt *Runtime) migrate(st *pairState, to *manager) bool {
 			rep := st.drainFault(false)
 			if rep.attempted > 0 {
 				st.countInvocation(rt)
-				if obs := rt.opts.observer; obs != nil {
-					obs(Event{Kind: EventDrain, Pair: st.id, At: time.Duration(now), Items: rep.delivered})
+				if cb := rt.opts.observer; cb != nil {
+					cb(Event{Kind: EventDrain, Pair: st.id, At: time.Duration(now), Items: rep.delivered})
 				}
 			}
 			if rep.dequeued > 0 {
@@ -253,8 +254,8 @@ func (rt *Runtime) migrate(st *pairState, to *manager) bool {
 					st.probeAt.Store(int64(now.Add(st.backoff)))
 					st.quarantines.Add(1)
 					rt.stats.quarantines.Add(1)
-					if obs := rt.opts.observer; obs != nil {
-						obs(Event{Kind: EventQuarantine, Pair: st.id, At: time.Duration(now)})
+					if cb := rt.opts.observer; cb != nil {
+						cb(Event{Kind: EventQuarantine, Pair: st.id, At: time.Duration(now)})
 					}
 				}
 			} else if rep.attempted > 0 {
@@ -269,9 +270,17 @@ func (rt *Runtime) migrate(st *pairState, to *manager) bool {
 		return false
 	}
 	rt.stats.migrations.Add(1)
-	if obs := rt.opts.observer; obs != nil {
-		obs(Event{Kind: EventMigrate, Pair: st.id, At: time.Duration(rt.now()), Manager: to.id})
+	now := rt.now()
+	if cb := rt.opts.observer; cb != nil {
+		cb(Event{Kind: EventMigrate, Pair: st.id, At: time.Duration(now), Manager: to.id})
 	}
+	rt.timelineAppend(obs.Record{
+		Kind:    obs.KindMigrate,
+		Nanos:   int64(now),
+		Manager: to.id,
+		Slot:    rt.planner.Track.Index(now),
+		Pair:    uint64(st.id),
+	})
 	select {
 	case to.kick <- st:
 	case <-to.done:

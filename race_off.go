@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive guards (the Put-path overhead test) skip under it.
+const raceEnabled = false

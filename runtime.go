@@ -98,6 +98,7 @@ type Runtime struct {
 	managers []*manager
 	placer   *placementController // nil unless WithConsolidation
 	stats    counters
+	obs      *obsState // nil unless WithHistograms/WithTimeline
 
 	poolMu sync.Mutex
 	pool   *buffer.Pool
@@ -137,6 +138,9 @@ func New(opts ...Option) (*Runtime, error) {
 			DisableResizing:   o.disableResizing,
 			DisablePrediction: o.disablePrediction,
 		},
+	}
+	if o.histograms || o.timelineCap > 0 {
+		rt.obs = newObsState(o, rt.start)
 	}
 	for i := 0; i < o.managers; i++ {
 		rt.managers = append(rt.managers, newManager(rt, i))
@@ -265,6 +269,9 @@ func (rt *Runtime) Close() error {
 	for _, st := range states {
 		st.countFinal(rt, st.drainFault(true))
 	}
+	if rt.obs != nil && rt.obs.clock != nil {
+		rt.obs.clock.Stop()
+	}
 	return nil
 }
 
@@ -305,12 +312,19 @@ func (rt *Runtime) trackPair(st *pairState) {
 	rt.pairMu.Unlock()
 }
 
-// removePair releases a pair's pool membership.
+// removePair releases a pair's pool membership. A closing pair's
+// histograms fold into the runtime's retired accumulators so
+// LatencyTotals keeps covering it.
 func (rt *Runtime) removePair(id int) {
 	rt.pairMu.Lock()
 	rt.openPairs--
+	st := rt.pairs[id]
 	delete(rt.pairs, id)
 	rt.pairMu.Unlock()
+	if st != nil && st.obs != nil && rt.obs != nil && rt.obs.hist {
+		rt.obs.retiredWait.Merge(st.obs.wait)
+		rt.obs.retiredDone.Merge(st.obs.done)
+	}
 	rt.poolMu.Lock()
 	_ = rt.pool.Remove(id)
 	rt.poolMu.Unlock()
