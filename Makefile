@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify chaos lint bench fuzz experiments figures examples clean
+.PHONY: all build test race verify chaos lint bench fuzz cluster-smoke experiments figures examples clean
 
 all: build test
 
@@ -57,6 +57,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzParseCLF -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzTimelineJSON -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/cluster
+
+# End-to-end cluster smoke over real processes: build pcd + pcload,
+# boot a two-node fleet on loopback, replay a phase-shifted trace
+# through both entry nodes, scrape /statusz, SIGTERM-drain both clean.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Paper-scale regeneration of every table (≈ minutes).
 experiments:

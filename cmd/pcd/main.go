@@ -14,6 +14,16 @@
 //	                                         # fault tolerance: watchdog + breaker
 //	pcd -histograms -timeline 4096           # latency histograms + wakeup timeline
 //	                                         # (/metrics, /debug/latency, /debug/timeline)
+//	pcd -node-id a -cluster-listen :7100 \
+//	    -cluster-seed b@host2:7100 -fleet    # shard streams across a pcd fleet
+//
+// Cluster mode (-cluster-listen) shards streams across pcd nodes:
+// rendezvous hashing assigns each stream an owner, non-owners forward
+// ingest to it (or answer 307 redirects to clients that send
+// "X-Pcd-Redirect: 1"), and live pair migration re-homes a stream's
+// backlog when ownership moves. With -fleet, the elected leader packs
+// all streams onto the fewest nodes whose -fleet-budget holds the
+// aggregate load, so lightly loaded fleets park whole machines.
 //
 // A stream whose handler keeps failing (panic, error, or deadline
 // overrun) is quarantined: its items answer 503 (`pcd_shed_quarantined_total`)
@@ -34,10 +44,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/power"
 	"repro/internal/server"
 )
@@ -73,6 +86,16 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 
 		histograms  = fs.Bool("histograms", false, "record sampled latency histograms, exported at /metrics and /debug/latency")
 		timelineCap = fs.Int("timeline", 0, "wakeup-timeline ring capacity served at /debug/timeline (0: disabled)")
+
+		nodeID        = fs.String("node-id", "", "this node's cluster id (required with -cluster-listen)")
+		clusterListen = fs.String("cluster-listen", "", "cluster wire listen address (empty: clustering disabled)")
+		clusterSeed   = fs.String("cluster-seed", "", "static peer seeds, comma-separated id@host:port")
+		clusterHB     = fs.Duration("cluster-heartbeat", 250*time.Millisecond, "peer heartbeat/probe period")
+		advertiseHTTP = fs.String("advertise-http", "", "HTTP ingest address advertised to peers for redirects (default: the bound -http address)")
+		fleetOn       = fs.Bool("fleet", false, "enable the fleet placement controller (leader packs streams onto the fewest nodes)")
+		fleetEvery    = fs.Duration("fleet-interval", 500*time.Millisecond, "fleet re-plan period (with -fleet)")
+		fleetBudget   = fs.Float64("fleet-budget", 0, "default per-node load budget, items/s (0: packer default)")
+		fleetBudgets  = fs.String("fleet-node-budget", "", "per-node budget overrides, comma-separated id@rate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -136,13 +159,64 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pcd:", err)
 		return 1
 	}
+	var node *cluster.Node
+	if *clusterListen != "" {
+		if *nodeID == "" {
+			rt.Close()
+			fmt.Fprintln(stderr, "pcd: -cluster-listen requires -node-id")
+			return 2
+		}
+		seeds, err := parseSeeds(*clusterSeed)
+		if err != nil {
+			rt.Close()
+			fmt.Fprintln(stderr, "pcd:", err)
+			return 2
+		}
+		ccfg := cluster.Config{
+			NodeID:         *nodeID,
+			ListenAddr:     *clusterListen,
+			HTTPAddr:       *advertiseHTTP,
+			Seeds:          seeds,
+			HeartbeatEvery: *clusterHB,
+			Logf:           logf,
+		}
+		if *fleetOn {
+			budgets, err := parseBudgets(*fleetBudgets)
+			if err != nil {
+				rt.Close()
+				fmt.Fprintln(stderr, "pcd:", err)
+				return 2
+			}
+			ccfg.Fleet = &cluster.FleetConfig{
+				Interval:    *fleetEvery,
+				BudgetRate:  *fleetBudget,
+				NodeBudgets: budgets,
+			}
+		}
+		node, err = cluster.NewNode(ccfg, srv)
+		if err != nil {
+			rt.Close()
+			fmt.Fprintln(stderr, "pcd:", err)
+			return 1
+		}
+		srv.SetRouter(node)
+	}
 	if err := srv.Start(); err != nil {
+		if node != nil {
+			node.Close()
+		}
 		rt.Close()
 		fmt.Fprintln(stderr, "pcd:", err)
 		return 1
 	}
+	if node != nil && *advertiseHTTP == "" {
+		node.SetHTTPAddr(srv.Addr())
+	}
 	if *addrFile != "" {
 		contents := fmt.Sprintf("http=%s\ntcp=%s\n", srv.Addr(), srv.TCPAddr())
+		if node != nil {
+			contents += fmt.Sprintf("cluster=%s\n", node.Addr())
+		}
 		if err := os.WriteFile(*addrFile, []byte(contents), 0o644); err != nil {
 			fmt.Fprintln(stderr, "pcd: addr-file:", err)
 			return 1
@@ -161,6 +235,11 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	code := 0
+	if node != nil {
+		// Stop cluster traffic (probes, sweeps, fleet plans) before the
+		// drain so no stream migrates in or out mid-shutdown.
+		node.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		logf("pcd: drain: %v", err)
 		code = 1
@@ -181,6 +260,44 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		"pcd: served %d items (%d shed as overflow, %d dropped) over %.1fs: %d wakeups (%d timer + %d forced), %.1f items/wakeup\n",
 		st.ItemsOut, st.Overflows, st.ItemsDropped, elapsed.Seconds(), wakes, st.TimerWakes, st.ForcedWakes, perWake)
 	return code
+}
+
+// parseSeeds parses "-cluster-seed id@host:port,id@host:port".
+func parseSeeds(s string) (map[string]string, error) {
+	seeds := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "@")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("pcd: bad -cluster-seed entry %q (want id@host:port)", part)
+		}
+		seeds[id] = addr
+	}
+	return seeds, nil
+}
+
+// parseBudgets parses "-fleet-node-budget id@rate,id@rate".
+func parseBudgets(s string) (map[string]float64, error) {
+	budgets := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rate, ok := strings.Cut(part, "@")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("pcd: bad -fleet-node-budget entry %q (want id@rate)", part)
+		}
+		v, err := strconv.ParseFloat(rate, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("pcd: bad -fleet-node-budget rate %q", rate)
+		}
+		budgets[id] = v
+	}
+	return budgets, nil
 }
 
 // spin burns CPU for roughly d, modelling per-item consumer work

@@ -8,6 +8,12 @@
 //	pcload -target http://localhost:8080                  # synthetic World-Cup trace
 //	pcload -target http://localhost:8080 -trace real.pctr -speed 5
 //	pcload -tcp localhost:8081 -streams 8 -rate 5000
+//	pcload -targets http://host1:8080,http://host2:8080   # pcd cluster
+//
+// With -targets (comma-separated base URLs) streams round-robin across
+// the cluster's nodes and every request carries "X-Pcd-Redirect: 1", so
+// a node that does not own a stream answers 307 and the client re-sends
+// to the owner directly (the redirect is followed transparently).
 //
 // Exit status is 0 when every arrival was sent (shed items are the
 // daemon's choice, reported but not an error) and 1 on transport
@@ -34,6 +40,7 @@ import (
 
 type loadConfig struct {
 	target    string // pcd base URL for HTTP ingest ("" disables)
+	targets   string // comma-separated cluster base URLs (overrides target)
 	tcpTarget string // pcd raw-TCP address ("" disables)
 	tracePath string
 	streams   int
@@ -56,6 +63,7 @@ type summary struct {
 func main() {
 	var cfg loadConfig
 	flag.StringVar(&cfg.target, "target", "http://127.0.0.1:8080", "pcd base URL for HTTP ingest (empty: use -tcp)")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated pcd cluster base URLs; streams round-robin across them honoring ownership redirects (overrides -target)")
 	flag.StringVar(&cfg.tcpTarget, "tcp", "", "pcd raw-TCP address (overrides -target when set)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "binary trace to replay (default: synthetic World-Cup shape)")
 	flag.IntVar(&cfg.streams, "streams", 4, "phase-shifted producer streams")
@@ -105,12 +113,30 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 	var sent, accepted, shed, errs atomic.Int64
 	client := &http.Client{Timeout: 10 * time.Second}
 
+	// Cluster mode: round-robin streams across the target list and let
+	// ownership redirects (307) pin each stream to its owning node.
+	bases := []string{cfg.target}
+	clustered := false
+	if cfg.targets != "" {
+		bases = bases[:0]
+		for _, tgt := range strings.Split(cfg.targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				bases = append(bases, tgt)
+			}
+		}
+		if len(bases) == 0 {
+			return summary{}, fmt.Errorf("-targets has no usable URLs")
+		}
+		clustered = true
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, sh := range shards {
 		key := fmt.Sprintf("%s%d", cfg.prefix, i)
+		base := bases[i%len(bases)]
 		wg.Add(1)
-		go func(key string, sh trace.Trace) {
+		go func(key, base string, sh trace.Trace) {
 			defer wg.Done()
 			var send func(items []string)
 			if cfg.tcpTarget != "" {
@@ -132,10 +158,10 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 					// Fire-and-forget: the daemon counts sheds.
 				}
 			} else {
-				url := strings.TrimRight(cfg.target, "/") + "/ingest/" + key
+				url := strings.TrimRight(base, "/") + "/ingest/" + key
 				send = func(items []string) {
 					sent.Add(int64(len(items)))
-					a, s, err := postBatch(client, url, items)
+					a, s, err := postBatch(client, url, items, clustered)
 					if err != nil {
 						errs.Add(int64(len(items)))
 						return
@@ -159,7 +185,7 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 			if err != nil && ctx.Err() == nil {
 				errs.Add(1)
 			}
-		}(key, sh)
+		}(key, base, sh)
 	}
 	wg.Wait()
 	sum.Elapsed = time.Since(start)
@@ -189,8 +215,20 @@ func loadTrace(cfg loadConfig) (trace.Trace, error) {
 }
 
 // postBatch sends one ingest request and parses the daemon's verdict.
-func postBatch(client *http.Client, url string, items []string) (accepted, shed int, err error) {
-	resp, err := client.Post(url, "text/plain", strings.NewReader(strings.Join(items, "\n")))
+// With redirect set it announces redirect support ("X-Pcd-Redirect: 1")
+// so a cluster node that does not own the stream answers 307 to the
+// owner; the client follows it transparently (the request body is
+// replayable via GetBody).
+func postBatch(client *http.Client, url string, items []string, redirect bool) (accepted, shed int, err error) {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(strings.Join(items, "\n")))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if redirect {
+		req.Header.Set("X-Pcd-Redirect", "1")
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestHandoffReturnsBufferedFIFO: items still buffered when Handoff runs
+// come back in Put order, are counted as HandedOff (not ItemsOut or
+// Dropped), and the conservation ledger balances.
+func TestHandoffReturnsBufferedFIFO(t *testing.T) {
+	// A slot/latency far beyond the test's lifetime keeps the manager
+	// from draining before the hand-off.
+	rt, err := New(WithSlotSize(time.Second), WithMaxLatency(time.Minute), WithBuffer(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	p, err := NewPair(rt, func([]int) { t.Error("handler must not run during handoff") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := p.Put(i); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	items, err := p.Handoff()
+	if err != nil {
+		t.Fatalf("Handoff: %v", err)
+	}
+	if len(items) != n {
+		t.Fatalf("handoff returned %d items, want %d", len(items), n)
+	}
+	for i, v := range items {
+		if v != i {
+			t.Fatalf("items[%d] = %d, FIFO order violated", i, v)
+		}
+	}
+	st := p.Stats()
+	if st.HandedOff != n || st.ItemsOut != 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want HandedOff=%d ItemsOut=0 Dropped=0", st, n)
+	}
+	if st.ItemsIn != st.ItemsOut+st.Dropped+st.HandedOff {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+	if rt.Stats().HandedOff != n {
+		t.Fatalf("runtime HandedOff = %d, want %d", rt.Stats().HandedOff, n)
+	}
+	if err := p.Put(99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Handoff = %v, want ErrClosed", err)
+	}
+	if _, err := p.Handoff(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Handoff = %v, want ErrClosed", err)
+	}
+}
+
+// TestHandoffShipsRetainedBatchFirst: a failed batch retained for
+// redelivery travels at the head of the handed-off items — it is older
+// than anything still buffered.
+func TestHandoffShipsRetainedBatchFirst(t *testing.T) {
+	rt, err := New(WithSlotSize(5*time.Millisecond), WithMaxLatency(20*time.Millisecond), WithBuffer(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	fail := make(chan struct{})
+	failed := make(chan struct{}, 8)
+	p, err := NewPairFunc(rt, func(_ context.Context, batch []int) error {
+		select {
+		case <-fail:
+			return nil
+		default:
+			select {
+			case failed <- struct{}{}:
+			default:
+			}
+			return errors.New("injected")
+		}
+	}, PairWithBreaker(0), PairWithRedelivery(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the handler has failed at least once, so the first
+	// batch is retained for redelivery.
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never invoked")
+	}
+	for i := 4; i < 8; i++ {
+		if err := p.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := p.Handoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.ItemsIn != st.ItemsOut+st.Dropped+st.HandedOff {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+	if uint64(len(items)) != st.HandedOff {
+		t.Fatalf("returned %d items but HandedOff=%d", len(items), st.HandedOff)
+	}
+	// Whatever was extracted must be in global FIFO order: the retained
+	// batch holds the oldest items, the queue the newest.
+	for i := 1; i < len(items); i++ {
+		if items[i-1] >= items[i] {
+			t.Fatalf("handed-off items out of order: %v", items)
+		}
+	}
+	close(fail)
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/place"
+)
+
+// FleetConfig parameterizes the fleet placement controller: the
+// consolidation control plane lifted from core managers to whole nodes.
+// The same best-fit-decreasing packer (internal/place) decides which
+// node hosts which stream, with per-node rate budgets, so under light
+// aggregate load every stream packs onto one node and its peers hold
+// zero pairs — whole machines idle, the paper's Eq. 4 objective at
+// fleet scale.
+type FleetConfig struct {
+	// Interval is how often the leader replans. Zero defaults to 500ms.
+	Interval time.Duration
+	// BudgetRate is the default per-node load budget in items/s.
+	// Zero defaults to the packer's default (50000).
+	BudgetRate float64
+	// NodeBudgets overrides BudgetRate per node id (entries ≤ 0 ignored),
+	// for heterogeneous fleets.
+	NodeBudgets map[string]float64
+	// TargetUtil is the pack level as a fraction of a node's budget; the
+	// gap up to the full budget is the hysteresis band. Zero defaults
+	// to 0.7.
+	TargetUtil float64
+	// MinDwell pins a freshly moved stream to its node for this many
+	// plans, damping oscillation. Zero defaults to 3.
+	MinDwell int
+	// MaxMovesPerRound caps how many streams one plan may relocate;
+	// excess moves wait for later rounds so migration load stays
+	// bounded. Zero defaults to 16.
+	MaxMovesPerRound int
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.MaxMovesPerRound <= 0 {
+		c.MaxMovesPerRound = 16
+	}
+	return c
+}
+
+// fleet runs the placement control loop on one node. Every node ticks
+// it; only the current leader (lowest routable id) computes and
+// publishes plans, and generation-stamped override tables make a
+// transient two-leader split harmless — the higher generation wins
+// everywhere.
+type fleet struct {
+	cfg FleetConfig
+	n   *Node
+
+	planner  *place.Planner
+	members  []string // member set the planner was built for
+	lastPlan time.Time
+}
+
+func newFleet(cfg FleetConfig, n *Node) (*fleet, error) {
+	cfg = cfg.withDefaults()
+	// Validate the placement knobs up front with a probe config, so a
+	// bad flag fails node construction rather than the first plan.
+	probe := place.Config{
+		Managers:   1,
+		BudgetRate: cfg.BudgetRate,
+		TargetUtil: cfg.TargetUtil,
+		MinDwell:   cfg.MinDwell,
+	}
+	if _, err := place.NewPlanner(probe); err != nil {
+		return nil, fmt.Errorf("cluster: fleet config: %w", err)
+	}
+	return &fleet{cfg: cfg, n: n}, nil
+}
+
+// tick runs from the node's probe loop. It replans at most once per
+// Interval, and only while this node is the leader.
+func (f *fleet) tick() {
+	if time.Since(f.lastPlan) < f.cfg.Interval {
+		return
+	}
+	f.lastPlan = time.Now()
+	n := f.n
+	if n.Leader() != n.cfg.NodeID {
+		return
+	}
+	members := n.router.Members()
+
+	// Assemble the fleet-wide load snapshot: this node's own streams
+	// plus every peer's last heartbeat report. A stream reported by two
+	// nodes (mid-migration) keeps its first claimant as current host.
+	reports := n.mem.Loads()
+	reports[n.cfg.NodeID] = n.backend.StreamLoads()
+	idx := make(map[string]int, len(members))
+	for i, id := range members {
+		idx[id] = i
+	}
+	type streamRef struct {
+		key  string
+		pair place.Pair
+	}
+	byID := make(map[int]*streamRef)
+	var order []int
+	for _, nodeID := range members {
+		loads, ok := reports[nodeID]
+		if !ok {
+			continue
+		}
+		keys := make([]string, 0, len(loads))
+		for k := range loads {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			id := streamPairID(key)
+			if ref, dup := byID[id]; dup {
+				// Hash collision or double report: fold the rate in.
+				ref.pair.Rate += loads[key]
+				continue
+			}
+			byID[id] = &streamRef{key: key, pair: place.Pair{
+				ID: id, Manager: idx[nodeID], Rate: loads[key],
+			}}
+			order = append(order, id)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	// Rebuild the planner when the member set changes: manager indexes
+	// are positions in the sorted member list, so a membership change
+	// invalidates them (dwell state resets, which is fine — membership
+	// changes are rare and warrant fresh placement anyway).
+	if f.planner == nil || !equal(members, f.members) {
+		budgets := make([]float64, len(members))
+		for i, id := range members {
+			budgets[i] = f.cfg.NodeBudgets[id]
+		}
+		pl, err := place.NewPlanner(place.Config{
+			Managers:   len(members),
+			BudgetRate: f.cfg.BudgetRate,
+			Budgets:    budgets,
+			TargetUtil: f.cfg.TargetUtil,
+			MinDwell:   f.cfg.MinDwell,
+		})
+		if err != nil {
+			n.cfg.Logf("cluster: fleet planner rejected config: %v", err)
+			return
+		}
+		f.planner = pl
+		f.members = append([]string(nil), members...)
+	}
+
+	pairs := make([]place.Pair, 0, len(order))
+	for _, id := range order {
+		pairs = append(pairs, byID[id].pair)
+	}
+	plan := f.planner.Plan(pairs)
+
+	// Cap per-round churn: moves past the cap keep their current node
+	// this round (the next plan picks them up).
+	moved := make(map[int]bool, len(plan.Moves))
+	for i, mv := range plan.Moves {
+		if i < f.cfg.MaxMovesPerRound {
+			moved[mv.Pair] = true
+		}
+	}
+	table := make(map[string]string, len(plan.Assign))
+	for id, m := range plan.Assign {
+		ref := byID[id]
+		if ref == nil {
+			continue
+		}
+		target := members[m]
+		if cur := ref.pair.Manager; !moved[id] && target != members[cur] && cur >= 0 && cur < len(members) {
+			target = members[cur] // deferred move
+		}
+		table[ref.key] = target
+	}
+
+	_, cur := n.router.Overrides()
+	if tablesEqual(cur, table) {
+		return
+	}
+	gen := n.router.PublishOverrides(table)
+	n.cfg.Logf("cluster: fleet plan gen %d: %d streams on %d/%d nodes, %d move(s)",
+		gen, len(order), plan.Active, len(members), len(plan.Moves))
+}
+
+// streamPairID derives the packer's stable pair id from a stream key.
+func streamPairID(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() & 0x7fffffff)
+}
+
+func tablesEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

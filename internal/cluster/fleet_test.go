@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFleetConsolidatesLightLoad is the subsystem's acceptance shape in
+// miniature: streams scattered across two nodes, aggregate load far
+// under one node's budget — the leader's plan must pack everything onto
+// a single node and the follower must adopt the override table, leaving
+// one backend with zero streams.
+func TestFleetConsolidatesLightLoad(t *testing.T) {
+	fleetCfg := &FleetConfig{
+		Interval:   20 * time.Millisecond,
+		BudgetRate: 1000,
+		TargetUtil: 0.9,
+		MinDwell:   1,
+	}
+	f1, f2 := newFakeBackend(), newFakeBackend()
+	n1, n2 := twoNodes(t, f1, f2, fleetCfg, fleetCfg)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	// Scatter streams by their natural rendezvous owner so both nodes
+	// start with load; total rate 6×10 ≪ 1000.
+	for i := 0; i < 3; i++ {
+		f1.add(keyOwnedBy(n1.router, "n1")+fmt.Sprintf("-a%d", i), 10, []byte("x"))
+	}
+	for i := 0; i < 3; i++ {
+		f2.add(keyOwnedBy(n2.router, "n2")+fmt.Sprintf("-b%d", i), 10, []byte("y"))
+	}
+	// Hand the scattered keys a tick to be re-homed by the sweep, then
+	// require full consolidation: one backend owns everything.
+	waitFor(t, "consolidation onto one node", func() bool {
+		k1, k2 := len(f1.StreamKeys()), len(f2.StreamKeys())
+		return (k1 == 6 && k2 == 0) || (k1 == 0 && k2 == 6)
+	})
+	// The override table that did it must be adopted fleet-wide.
+	waitFor(t, "override adoption on the follower", func() bool {
+		g1, t1 := n1.router.Overrides()
+		g2, t2 := n2.router.Overrides()
+		return g1 == g2 && g1 > 0 && len(t1) == 6 && tablesEqual(t1, t2)
+	})
+	// And the packed node is what Status reports peers hosting.
+	st := n1.Status()
+	if st.RouteGen == 0 || st.Overrides != 6 {
+		t.Fatalf("status after consolidation: %+v", st)
+	}
+}
+
+// TestFleetRespectsBudgets: two nodes, each stream heavy enough that
+// one node's budget cannot hold both — the plan must keep both nodes
+// active rather than overcommit.
+func TestFleetRespectsBudgets(t *testing.T) {
+	fleetCfg := &FleetConfig{
+		Interval:   20 * time.Millisecond,
+		BudgetRate: 100,
+		TargetUtil: 1.0,
+		MinDwell:   1,
+	}
+	f1, f2 := newFakeBackend(), newFakeBackend()
+	n1, n2 := twoNodes(t, f1, f2, fleetCfg, fleetCfg)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	f1.add(keyOwnedBy(n1.router, "n1"), 80, []byte("x"))
+	f2.add(keyOwnedBy(n2.router, "n2"), 80, []byte("y"))
+	// Give the leader several planning rounds, then assert it never
+	// packed 160 items/s onto a 100 items/s node.
+	time.Sleep(300 * time.Millisecond)
+	if len(f1.StreamKeys()) != 1 || len(f2.StreamKeys()) != 1 {
+		t.Fatalf("budget overcommitted: n1=%v n2=%v", f1.StreamKeys(), f2.StreamKeys())
+	}
+}

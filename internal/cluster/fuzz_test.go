@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the wire-protocol decoder with arbitrary
+// bytes: it must never panic, and any frame it does accept must survive
+// a re-encode/re-decode round trip with its routing-critical fields
+// intact (the properties the node loop relies on).
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"t":"hb","from":"n1","addr":"127.0.0.1:7100","http":"127.0.0.1:7070","epoch":3,"gen":2,"routes":{"s1":"n2"},"loads":{"s1":42.5}}`),
+		[]byte(`{"t":"ok","from":"n2","epoch":1,"gen":2}`),
+		[]byte(`{"t":"fwd","from":"n1","key":"s1","items":["aGVsbG8=","d29ybGQ="]}`),
+		[]byte(`{"t":"fok","from":"n2","key":"s1","accepted":2}`),
+		[]byte(`{"t":"mig","from":"n1","key":"s1","items":["AAEC"]}`),
+		[]byte(`{"t":"mok","from":"n2","key":"s1","accepted":1,"shed":0}`),
+		[]byte(`{"t":"err","from":"n2","err":"draining"}`),
+		[]byte(`{"t":"fwd","from":"n1","key":"s1","items":["!!!"]}`),
+		[]byte(`{"t":"zap"}`),
+		[]byte(`{`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames re-encode...
+		line, err := EncodeFrame(frame)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v (%+v)", err, frame)
+		}
+		// ...and decode back to the same routing-critical fields.
+		again, err := DecodeFrame(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v (%s)", err, line)
+		}
+		if again.Type != frame.Type || again.From != frame.From ||
+			again.Key != frame.Key || again.Epoch != frame.Epoch ||
+			again.Gen != frame.Gen || again.Accepted != frame.Accepted ||
+			again.Shed != frame.Shed || again.Quarantined != frame.Quarantined ||
+			len(again.Items) != len(frame.Items) ||
+			len(again.Routes) != len(frame.Routes) ||
+			len(again.Loads) != len(frame.Loads) {
+			t.Fatalf("round trip changed frame: %+v → %+v", frame, again)
+		}
+		// Items an accepted fwd/mig frame carries must decode.
+		if frame.Type == FrameForward || frame.Type == FrameMigrate {
+			if _, err := DecodeItems(frame.Items); err != nil {
+				t.Fatalf("accepted %s frame has undecodable items: %v", frame.Type, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's health as seen by this node.
+type PeerState int
+
+const (
+	// StateDead: never proven alive, or past the dead threshold. Dead
+	// peers are not routable — no stream hashes onto them — but keep
+	// being probed (static membership: nodes come back).
+	StateDead PeerState = iota
+	// StateSuspect: recently alive but missing probes; still routable
+	// (the grace band, so one dropped heartbeat does not reshuffle the
+	// fleet's stream assignment).
+	StateSuspect
+	// StateAlive: answering probes.
+	StateAlive
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// MembershipConfig tunes the health state machine.
+type MembershipConfig struct {
+	// SuspectAfter is the consecutive missed probes that turn an alive
+	// peer suspect. Zero defaults to 2.
+	SuspectAfter int
+	// DeadAfter is the consecutive missed probes that turn a peer dead.
+	// Zero defaults to 5.
+	DeadAfter int
+}
+
+func (c MembershipConfig) withDefaults() MembershipConfig {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 3
+	}
+	return c
+}
+
+// peerInfo is one configured peer and its observed state.
+type peerInfo struct {
+	id       string
+	addr     string // cluster wire address (seed-configured, hb-refreshed)
+	http     string // HTTP ingest address learned from heartbeats
+	state    PeerState
+	lastSeen time.Time
+	misses   int
+	epoch    uint64
+	gen      uint64
+	loads    map[string]float64 // owned stream → items/s, last report
+}
+
+// Membership tracks the static peer set and each peer's health. It is
+// passive bookkeeping: the Node drives probes and feeds observations
+// in. Safe for concurrent use.
+type Membership struct {
+	self string
+	cfg  MembershipConfig
+
+	mu    sync.Mutex
+	peers map[string]*peerInfo
+}
+
+// NewMembership builds the table from the static seed list (peer id →
+// cluster wire address). Every peer starts dead: configured but
+// unproven, so nothing routes to it until a heartbeat succeeds.
+func NewMembership(self string, seeds map[string]string, cfg MembershipConfig) *Membership {
+	m := &Membership{self: self, cfg: cfg.withDefaults(), peers: make(map[string]*peerInfo)}
+	for id, addr := range seeds {
+		if id == self || id == "" {
+			continue
+		}
+		m.peers[id] = &peerInfo{id: id, addr: addr, state: StateDead}
+	}
+	return m
+}
+
+// Observe records a successful exchange with a peer (an ack to our
+// probe, or an inbound heartbeat): the peer is alive, and its
+// advertised addresses, routing view, and load report are refreshed.
+// Unknown senders are added — a peer that knows us by seed may dial in
+// before we probed it.
+func (m *Membership) Observe(f Frame) {
+	if f.From == "" || f.From == m.self {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[f.From]
+	if !ok {
+		p = &peerInfo{id: f.From}
+		m.peers[f.From] = p
+	}
+	p.state = StateAlive
+	p.misses = 0
+	p.lastSeen = time.Now()
+	if f.Addr != "" {
+		p.addr = f.Addr
+	}
+	if f.HTTP != "" {
+		p.http = f.HTTP
+	}
+	p.epoch = f.Epoch
+	p.gen = f.Gen
+	if f.Loads != nil {
+		p.loads = f.Loads
+	}
+}
+
+// ObserveMiss records a failed probe of a peer, advancing it through
+// alive → suspect → dead. It reports whether the peer's state changed.
+func (m *Membership) ObserveMiss(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return false
+	}
+	p.misses++
+	was := p.state
+	switch {
+	case p.lastSeen.IsZero():
+		p.state = StateDead // never proven: stay dead
+	case p.misses >= m.cfg.DeadAfter:
+		p.state = StateDead
+	case p.misses >= m.cfg.SuspectAfter:
+		p.state = StateSuspect
+	}
+	return p.state != was
+}
+
+// Routable returns the node ids streams may hash onto: self plus every
+// peer not currently dead.
+func (m *Membership) Routable() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := []string{m.self}
+	for id, p := range m.peers {
+		if p.state != StateDead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// PeerAddr returns a peer's cluster wire address ("" if unknown).
+func (m *Membership) PeerAddr(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[id]; ok {
+		return p.addr
+	}
+	return ""
+}
+
+// PeerHTTP returns a peer's HTTP ingest address ("" if unknown).
+func (m *Membership) PeerHTTP(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[id]; ok {
+		return p.http
+	}
+	return ""
+}
+
+// PeerIDs returns every configured or learned peer id, sorted.
+func (m *Membership) PeerIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.peers))
+	for id := range m.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Loads returns each non-dead peer's last-reported stream loads.
+func (m *Membership) Loads() map[string]map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]map[string]float64, len(m.peers))
+	for id, p := range m.peers {
+		if p.state == StateDead || p.loads == nil {
+			continue
+		}
+		loads := make(map[string]float64, len(p.loads))
+		for k, v := range p.loads {
+			loads[k] = v
+		}
+		out[id] = loads
+	}
+	return out
+}
+
+// peerSnapshot is one peer's state for /statusz.
+type peerSnapshot struct {
+	ID       string
+	Addr     string
+	HTTP     string
+	State    PeerState
+	LastSeen time.Time
+	Streams  int
+	RateSum  float64
+}
+
+// Snapshot returns every peer's state, sorted by id.
+func (m *Membership) Snapshot() []peerSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]peerSnapshot, 0, len(m.peers))
+	for _, p := range m.peers {
+		ps := peerSnapshot{
+			ID: p.id, Addr: p.addr, HTTP: p.http,
+			State: p.state, LastSeen: p.lastSeen, Streams: len(p.loads),
+		}
+		for _, r := range p.loads {
+			ps.RateSum += r
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestUnprovenPeerStaysDead(t *testing.T) {
+	m := NewMembership("a", map[string]string{"b": "127.0.0.1:1"}, MembershipConfig{})
+	if got := m.Routable(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("routable %v want [a]", got)
+	}
+	for i := 0; i < 10; i++ {
+		m.ObserveMiss("b")
+	}
+	if got := m.Routable(); len(got) != 1 {
+		t.Fatalf("unproven peer became routable: %v", got)
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	cfg := MembershipConfig{SuspectAfter: 2, DeadAfter: 4}
+	m := NewMembership("a", map[string]string{"b": "127.0.0.1:1"}, cfg)
+	m.Observe(Frame{Type: FrameAck, From: "b", Addr: "127.0.0.1:1", HTTP: "127.0.0.1:2"})
+	if got := m.Routable(); len(got) != 2 {
+		t.Fatalf("alive peer not routable: %v", got)
+	}
+	if m.ObserveMiss("b") {
+		t.Fatal("one miss already flipped state")
+	}
+	if !m.ObserveMiss("b") {
+		t.Fatal("second miss did not flip alive→suspect")
+	}
+	if got := m.Routable(); len(got) != 2 {
+		t.Fatalf("suspect peer must stay routable: %v", got)
+	}
+	m.ObserveMiss("b")
+	if !m.ObserveMiss("b") {
+		t.Fatal("fourth miss did not flip suspect→dead")
+	}
+	if got := m.Routable(); len(got) != 1 {
+		t.Fatalf("dead peer still routable: %v", got)
+	}
+	// Recovery: one good exchange restores alive.
+	m.Observe(Frame{Type: FrameAck, From: "b"})
+	if got := m.Routable(); len(got) != 2 {
+		t.Fatalf("recovered peer not routable: %v", got)
+	}
+	if m.PeerHTTP("b") != "127.0.0.1:2" {
+		t.Fatalf("http addr lost on recovery: %q", m.PeerHTTP("b"))
+	}
+}
+
+func TestObserveLearnsUnknownPeer(t *testing.T) {
+	m := NewMembership("a", nil, MembershipConfig{})
+	m.Observe(Frame{Type: FrameHeartbeat, From: "c", Addr: "127.0.0.1:3",
+		Loads: map[string]float64{"s": 7}})
+	if m.PeerAddr("c") != "127.0.0.1:3" {
+		t.Fatalf("peer addr %q", m.PeerAddr("c"))
+	}
+	loads := m.Loads()
+	if loads["c"]["s"] != 7 {
+		t.Fatalf("loads %v", loads)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].ID != "c" || snap[0].State != StateAlive ||
+		snap[0].Streams != 1 || snap[0].RateSum != 7 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestObserveIgnoresSelfAndEmpty(t *testing.T) {
+	m := NewMembership("a", nil, MembershipConfig{})
+	m.Observe(Frame{Type: FrameHeartbeat, From: "a"})
+	m.Observe(Frame{Type: FrameAck})
+	if got := m.PeerIDs(); len(got) != 0 {
+		t.Fatalf("peers %v want none", got)
+	}
+}

@@ -1,0 +1,579 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// maxChunkItems bounds the items in one outbound forward/migrate frame;
+// larger batches are split so every frame stays within the decoder's
+// limits. A hand-off split across frames still lands in order: the
+// chunks travel back-to-back on one mutex-held connection.
+const maxChunkItems = 4096
+
+// Backend is the node-local ingest surface the cluster drives — the
+// slice of *server.Server the subsystem needs. Tests substitute fakes.
+type Backend interface {
+	IngestForwarded(key string, items [][]byte) (server.IngestResult, error)
+	IngestHandoff(key string, items [][]byte) (server.IngestResult, error)
+	DetachStream(key string) ([][]byte, bool)
+	StreamKeys() []string
+	StreamLoads() map[string]float64
+}
+
+// Config parameterizes a cluster Node.
+type Config struct {
+	// NodeID names this node; must be unique and non-empty.
+	NodeID string
+	// ListenAddr is the cluster wire listen address ("host:port";
+	// ":0" picks a port — read the result from Node.Addr).
+	ListenAddr string
+	// HTTPAddr is the HTTP ingest address advertised to peers, used by
+	// them to answer client redirects toward this node.
+	HTTPAddr string
+	// Seeds is the static peer list: node id → cluster wire address.
+	Seeds map[string]string
+	// HeartbeatEvery is the probe period. Zero defaults to 250ms.
+	HeartbeatEvery time.Duration
+	// DialTimeout bounds connecting to a peer. Zero defaults to 500ms.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response exchange. Zero defaults
+	// to 2s.
+	CallTimeout time.Duration
+	// Membership tunes the health state machine.
+	Membership MembershipConfig
+	// Fleet enables the fleet placement controller (leader-elected; safe
+	// to set on every node). Nil disables it: placement is pure
+	// rendezvous hashing.
+	Fleet *FleetConfig
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// peerConn is one persistent connection to a peer. The mutex serializes
+// complete request/response exchanges, which doubles as the migration
+// ordering latch: a mig frame sent under the lock precedes every later
+// fwd frame for the same stream on this connection.
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	sc *bufio.Scanner
+}
+
+// Node is one pcd process's cluster presence: it serves the wire
+// protocol to peers, probes membership, keeps the router in sync, ships
+// misplaced streams to their owners, and (behind leader election by
+// lowest routable id) runs the fleet placement controller. It
+// implements server.Router.
+type Node struct {
+	cfg     Config
+	backend Backend
+	mem     *Membership
+	router  *Router
+	fleet   *fleet
+	ln      net.Listener
+
+	httpAddr atomic.Value // string; advertised HTTP ingest address
+
+	connMu sync.Mutex
+	conns  map[string]*peerConn
+
+	inMu    sync.Mutex
+	inConns map[net.Conn]struct{}
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+// NewNode starts a cluster node: it binds the wire listener and launches
+// the probe/sweep loop. Close releases everything.
+func NewNode(cfg Config, backend Backend) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NodeID == "" {
+		return nil, errors.New("cluster: empty node id")
+	}
+	if backend == nil {
+		return nil, errors.New("cluster: nil backend")
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.ListenAddr, err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		backend: backend,
+		mem:     NewMembership(cfg.NodeID, cfg.Seeds, cfg.Membership),
+		router:  NewRouter(cfg.NodeID),
+		ln:      ln,
+		conns:   make(map[string]*peerConn),
+		inConns: make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}
+	n.httpAddr.Store(cfg.HTTPAddr)
+	if cfg.Fleet != nil {
+		f, err := newFleet(*cfg.Fleet, n)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		n.fleet = f
+	}
+	n.wg.Add(2)
+	go n.serve()
+	go n.probeLoop()
+	n.cfg.Logf("cluster: node %s listening on %s", cfg.NodeID, ln.Addr())
+	return n, nil
+}
+
+// Addr returns the bound cluster wire address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetHTTPAddr updates the HTTP ingest address advertised to peers —
+// for servers that learn their ephemeral port only after binding.
+func (n *Node) SetHTTPAddr(addr string) { n.httpAddr.Store(addr) }
+
+// Close stops the loops and closes every connection. Idempotent.
+func (n *Node) Close() error {
+	if n.stopped.Swap(true) {
+		return nil
+	}
+	close(n.stop)
+	n.ln.Close()
+	n.inMu.Lock()
+	for c := range n.inConns {
+		c.Close()
+	}
+	n.inMu.Unlock()
+	n.connMu.Lock()
+	conns := make([]*peerConn, 0, len(n.conns))
+	for _, pc := range n.conns {
+		conns = append(conns, pc)
+	}
+	n.conns = make(map[string]*peerConn)
+	n.connMu.Unlock()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		if pc.c != nil {
+			pc.c.Close()
+			pc.c = nil
+		}
+		pc.mu.Unlock()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Leader returns the fleet leader's node id: the lowest routable member
+// id, recomputed from the local membership view (no election protocol —
+// a wrong transient answer only delays consolidation, never correctness,
+// because placement overrides are versioned by generation).
+func (n *Node) Leader() string {
+	return n.router.Members()[0]
+}
+
+// ---- server.Router ----
+
+// Resolve maps a stream key to its current owner.
+func (n *Node) Resolve(key string) server.Route {
+	owner := n.router.Owner(key)
+	if owner == n.cfg.NodeID {
+		return server.Route{Local: true, Owner: owner}
+	}
+	return server.Route{Owner: owner, OwnerHTTP: n.mem.PeerHTTP(owner)}
+}
+
+// Forward ships items for a remotely-owned stream to its owner. Large
+// batches are chunked; if a later chunk fails after an earlier one was
+// delivered, the remainder is admitted locally (never re-sent, so no
+// duplicates) and the call still succeeds.
+func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) {
+	owner := n.router.Owner(key)
+	if owner == n.cfg.NodeID {
+		return server.IngestResult{}, errors.New("cluster: forward to self")
+	}
+	var res server.IngestResult
+	for off := 0; off < len(items); off += maxChunkItems {
+		end := off + maxChunkItems
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[off:end]
+		resp, err := n.call(owner, Frame{
+			Type: FrameForward, From: n.cfg.NodeID,
+			Key: key, Items: EncodeItems(chunk),
+		})
+		if err == nil && resp.Type != FrameForwardAck {
+			err = fmt.Errorf("cluster: forward rejected: %s", resp.Error)
+		}
+		if err != nil {
+			if off == 0 {
+				return server.IngestResult{}, err
+			}
+			// Partial delivery: keep the rest here rather than lose or
+			// duplicate it. Forwarded-ingest is the right local path —
+			// these items must not bounce back out.
+			rest, lerr := n.backend.IngestForwarded(key, items[off:])
+			if lerr != nil {
+				return server.IngestResult{}, lerr
+			}
+			res.Accepted += rest.Accepted
+			res.Shed += rest.Shed
+			res.Quarantined += rest.Quarantined
+			return res, nil
+		}
+		res.Accepted += resp.Accepted
+		res.Shed += resp.Shed
+		res.Quarantined += resp.Quarantined
+	}
+	return res, nil
+}
+
+// Status reports membership and routing state. The server layers its
+// own forward/migration item counters on top.
+func (n *Node) Status() server.ClusterStatus {
+	gen, table := n.router.Overrides()
+	cs := server.ClusterStatus{
+		Enabled:   true,
+		NodeID:    n.cfg.NodeID,
+		Epoch:     n.router.Epoch(),
+		RouteGen:  gen,
+		Leader:    n.Leader(),
+		Overrides: len(table),
+	}
+	for _, p := range n.mem.Snapshot() {
+		ps := server.PeerStatus{
+			ID: p.ID, Addr: p.Addr, HTTP: p.HTTP,
+			State: p.State.String(), Streams: p.Streams, RateSum: p.RateSum,
+		}
+		if !p.LastSeen.IsZero() {
+			ps.LastSeen = p.LastSeen.UTC().Format(time.RFC3339Nano)
+		}
+		cs.Peers = append(cs.Peers, ps)
+	}
+	return cs
+}
+
+// ---- inbound wire protocol ----
+
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		n.inMu.Lock()
+		n.inConns[c] = struct{}{}
+		n.inMu.Unlock()
+		n.wg.Add(1)
+		go n.handleConn(c)
+	}
+}
+
+func (n *Node) handleConn(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.inMu.Lock()
+		delete(n.inConns, c)
+		n.inMu.Unlock()
+	}()
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	for sc.Scan() {
+		f, err := DecodeFrame(sc.Bytes())
+		var resp Frame
+		if err != nil {
+			resp = Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
+		} else {
+			resp = n.handleFrame(f)
+		}
+		b, err := EncodeFrame(resp)
+		if err != nil {
+			b, _ = EncodeFrame(Frame{Type: FrameError, From: n.cfg.NodeID, Error: "encode failed"})
+		}
+		c.SetWriteDeadline(time.Now().Add(n.cfg.CallTimeout))
+		if _, err := c.Write(b); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handleFrame(f Frame) Frame {
+	switch f.Type {
+	case FrameHeartbeat:
+		n.mem.Observe(f)
+		n.adoptView(f)
+		return n.viewFrame(FrameAck)
+	case FrameForward:
+		items, err := DecodeItems(f.Items)
+		if err != nil {
+			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
+		}
+		res, err := n.backend.IngestForwarded(f.Key, items)
+		if err != nil {
+			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
+		}
+		return Frame{
+			Type: FrameForwardAck, From: n.cfg.NodeID, Key: f.Key,
+			Accepted: res.Accepted, Shed: res.Shed, Quarantined: res.Quarantined,
+		}
+	case FrameMigrate:
+		items, err := DecodeItems(f.Items)
+		if err != nil {
+			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
+		}
+		res, err := n.backend.IngestHandoff(f.Key, items)
+		if err != nil {
+			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
+		}
+		n.cfg.Logf("cluster: node %s adopted stream %q (%d items, %d shed)",
+			n.cfg.NodeID, f.Key, res.Accepted, res.Shed)
+		return Frame{
+			Type: FrameMigrateAck, From: n.cfg.NodeID, Key: f.Key,
+			Accepted: res.Accepted, Shed: res.Shed, Quarantined: res.Quarantined,
+		}
+	default:
+		return Frame{Type: FrameError, From: n.cfg.NodeID, Error: "unexpected frame " + f.Type}
+	}
+}
+
+// viewFrame builds a heartbeat or ack carrying this node's full routing
+// view: addresses, epoch, override table + generation, and the load
+// report for the streams it hosts.
+func (n *Node) viewFrame(typ string) Frame {
+	gen, table := n.router.Overrides()
+	http, _ := n.httpAddr.Load().(string)
+	return Frame{
+		Type: typ, From: n.cfg.NodeID,
+		Addr: n.Addr(), HTTP: http,
+		Epoch: n.router.Epoch(), Gen: gen, Routes: table,
+		Loads: n.backend.StreamLoads(),
+	}
+}
+
+// adoptView folds a peer's heartbeat/ack into local routing state:
+// newer override tables are adopted, and the routable member set is
+// recomputed from membership.
+func (n *Node) adoptView(f Frame) {
+	if f.Gen > 0 && n.router.AdoptOverrides(f.Gen, f.Routes) {
+		n.cfg.Logf("cluster: node %s adopted override table gen %d (%d routes) from %s",
+			n.cfg.NodeID, f.Gen, len(f.Routes), f.From)
+	}
+	n.router.SetMembers(n.mem.Routable())
+}
+
+// ---- outbound wire protocol ----
+
+// peerConnFor returns the persistent connection to a peer, dialing on
+// first use.
+func (n *Node) peerConnFor(id string) (*peerConn, error) {
+	n.connMu.Lock()
+	pc, ok := n.conns[id]
+	if !ok {
+		pc = &peerConn{}
+		n.conns[id] = pc
+	}
+	n.connMu.Unlock()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.c != nil {
+		return pc, nil
+	}
+	addr := n.mem.PeerAddr(id)
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: no address for peer %s", id)
+	}
+	c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	pc.c = c
+	pc.sc = bufio.NewScanner(c)
+	pc.sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	return pc, nil
+}
+
+// exchange performs one request/response on a held connection. The
+// caller holds pc.mu. On any error the connection is torn down so the
+// next call redials.
+func (n *Node) exchange(pc *peerConn, f Frame) (Frame, error) {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return Frame{}, err
+	}
+	pc.c.SetDeadline(time.Now().Add(n.cfg.CallTimeout))
+	if _, err := pc.c.Write(b); err != nil {
+		pc.c.Close()
+		pc.c = nil
+		return Frame{}, err
+	}
+	if !pc.sc.Scan() {
+		err := pc.sc.Err()
+		if err == nil {
+			err = errors.New("cluster: peer closed connection")
+		}
+		pc.c.Close()
+		pc.c = nil
+		return Frame{}, err
+	}
+	resp, err := DecodeFrame(pc.sc.Bytes())
+	if err != nil {
+		pc.c.Close()
+		pc.c = nil
+		return Frame{}, err
+	}
+	return resp, nil
+}
+
+// call performs one request/response exchange with a peer, serialized
+// against other calls to the same peer.
+func (n *Node) call(id string, f Frame) (Frame, error) {
+	pc, err := n.peerConnFor(id)
+	if err != nil {
+		return Frame{}, err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.c == nil {
+		// Torn down between peerConnFor and lock; redial inline.
+		addr := n.mem.PeerAddr(id)
+		if addr == "" {
+			return Frame{}, fmt.Errorf("cluster: no address for peer %s", id)
+		}
+		c, derr := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+		if derr != nil {
+			return Frame{}, derr
+		}
+		pc.c = c
+		pc.sc = bufio.NewScanner(c)
+		pc.sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	}
+	return n.exchange(pc, f)
+}
+
+// ---- probe / sweep loop ----
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.probeOnce()
+		n.router.SetMembers(n.mem.Routable())
+		if n.fleet != nil {
+			n.fleet.tick()
+		}
+		n.sweep()
+	}
+}
+
+// probeOnce heartbeats every configured peer, folding acks into
+// membership and routing and counting misses against health.
+func (n *Node) probeOnce() {
+	for _, id := range n.mem.PeerIDs() {
+		resp, err := n.call(id, n.viewFrame(FrameHeartbeat))
+		if err != nil || resp.Type != FrameAck {
+			if n.mem.ObserveMiss(id) {
+				n.cfg.Logf("cluster: node %s marks peer %s unhealthy", n.cfg.NodeID, id)
+			}
+			continue
+		}
+		n.mem.Observe(resp)
+		n.adoptView(resp)
+	}
+}
+
+// sweep ships every locally hosted stream whose resolved owner is a
+// different node: detach (quiesce-drain hand-off), then send the
+// backlog in mig frames on the owner's mutex-held connection, so later
+// forwards for the same stream queue behind the hand-off and the new
+// owner sees the items in order. Each node heals its own misplacements,
+// so the fleet leader only ever edits the override table.
+func (n *Node) sweep() {
+	for _, key := range n.backend.StreamKeys() {
+		owner := n.router.Owner(key)
+		if owner == n.cfg.NodeID {
+			continue
+		}
+		n.migrateStream(key, owner)
+	}
+}
+
+func (n *Node) migrateStream(key, owner string) {
+	pc, err := n.peerConnFor(owner)
+	if err != nil {
+		return // owner unreachable: the stream stays local for now
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.c == nil {
+		return
+	}
+	items, ok := n.backend.DetachStream(key)
+	if !ok {
+		return
+	}
+	sent := 0
+	for off := 0; off < len(items) || off == 0; off += maxChunkItems {
+		end := off + maxChunkItems
+		if end > len(items) {
+			end = len(items)
+		}
+		resp, err := n.exchange(pc, Frame{
+			Type: FrameMigrate, From: n.cfg.NodeID,
+			Key: key, Items: EncodeItems(items[off:end]),
+		})
+		if err == nil && resp.Type != FrameMigrateAck {
+			err = fmt.Errorf("cluster: migrate rejected: %s", resp.Error)
+		}
+		if err != nil {
+			// Hand-off failed mid-flight: re-admit the unsent remainder
+			// locally so no item is lost. The sweep retries next tick.
+			n.cfg.Logf("cluster: node %s failed to ship stream %q to %s: %v",
+				n.cfg.NodeID, key, owner, err)
+			n.backend.IngestHandoff(key, items[off:])
+			return
+		}
+		sent = end
+	}
+	n.cfg.Logf("cluster: node %s shipped stream %q (%d items) to %s",
+		n.cfg.NodeID, key, sent, owner)
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fakeBackend is an in-memory Backend: streams are just item slices.
+type fakeBackend struct {
+	mu       sync.Mutex
+	streams  map[string][][]byte
+	loads    map[string]float64
+	forwards int
+	handoffs int
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{streams: make(map[string][][]byte), loads: make(map[string]float64)}
+}
+
+func (f *fakeBackend) add(key string, rate float64, items ...[]byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.streams[key] = append(f.streams[key], items...)
+	f.loads[key] = rate
+}
+
+func (f *fakeBackend) items(key string) [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([][]byte, len(f.streams[key]))
+	copy(out, f.streams[key])
+	return out
+}
+
+func (f *fakeBackend) IngestForwarded(key string, items [][]byte) (server.IngestResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.forwards++
+	if _, ok := f.streams[key]; !ok {
+		f.streams[key] = nil
+		f.loads[key] = 0
+	}
+	f.streams[key] = append(f.streams[key], items...)
+	return server.IngestResult{Accepted: len(items)}, nil
+}
+
+func (f *fakeBackend) IngestHandoff(key string, items [][]byte) (server.IngestResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handoffs++
+	if _, ok := f.streams[key]; !ok {
+		f.streams[key] = nil
+		f.loads[key] = 0
+	}
+	f.streams[key] = append(f.streams[key], items...)
+	return server.IngestResult{Accepted: len(items)}, nil
+}
+
+func (f *fakeBackend) DetachStream(key string) ([][]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	items, ok := f.streams[key]
+	if !ok {
+		return nil, false
+	}
+	delete(f.streams, key)
+	delete(f.loads, key)
+	return items, true
+}
+
+func (f *fakeBackend) StreamKeys() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.streams))
+	for k := range f.streams {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (f *fakeBackend) StreamLoads() map[string]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]float64, len(f.loads))
+	for k, v := range f.loads {
+		out[k] = v
+	}
+	return out
+}
+
+func testNodeConfig(id string, seeds map[string]string) Config {
+	return Config{
+		NodeID:         id,
+		ListenAddr:     "127.0.0.1:0",
+		HTTPAddr:       "127.0.0.1:1", // advertised only; never dialed here
+		Seeds:          seeds,
+		HeartbeatEvery: 15 * time.Millisecond,
+	}
+}
+
+// twoNodes boots n1 (no seeds) and n2 (seeded with n1); n1 learns n2
+// from its inbound heartbeats.
+func twoNodes(t *testing.T, f1, f2 *fakeBackend, fleet1, fleet2 *FleetConfig) (*Node, *Node) {
+	t.Helper()
+	cfg1 := testNodeConfig("n1", nil)
+	cfg1.Fleet = fleet1
+	n1, err := NewNode(cfg1, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n1.Close() })
+	cfg2 := testNodeConfig("n2", map[string]string{"n1": n1.Addr()})
+	cfg2.Fleet = fleet2
+	n2, err := NewNode(cfg2, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n2.Close() })
+	return n1, n2
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// keyOwnedBy finds a stream key the router resolves to the given node.
+func keyOwnedBy(r *Router, node string) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("stream-%d", i)
+		if r.Owner(k) == node {
+			return k
+		}
+	}
+}
+
+func TestTwoNodesConverge(t *testing.T) {
+	n1, n2 := twoNodes(t, newFakeBackend(), newFakeBackend(), nil, nil)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	if l1, l2 := n1.Leader(), n2.Leader(); l1 != "n1" || l2 != "n1" {
+		t.Fatalf("leaders disagree or wrong: n1 says %q, n2 says %q", l1, l2)
+	}
+	st := n1.Status()
+	if !st.Enabled || st.NodeID != "n1" || len(st.Peers) != 1 ||
+		st.Peers[0].ID != "n2" || st.Peers[0].State != "alive" {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestForwardDeliversToOwner(t *testing.T) {
+	f1, f2 := newFakeBackend(), newFakeBackend()
+	n1, n2 := twoNodes(t, f1, f2, nil, nil)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	key := keyOwnedBy(n1.router, "n2")
+	route := n1.Resolve(key)
+	if route.Local || route.Owner != "n2" {
+		t.Fatalf("route %+v want owner n2", route)
+	}
+	items := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	res, err := n1.Forward(key, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 3 {
+		t.Fatalf("accepted %d want 3", res.Accepted)
+	}
+	got := f2.items(key)
+	if len(got) != 3 || !bytes.Equal(got[0], items[0]) || !bytes.Equal(got[2], items[2]) {
+		t.Fatalf("peer backend has %q", got)
+	}
+}
+
+func TestSweepShipsMisplacedStream(t *testing.T) {
+	f1, f2 := newFakeBackend(), newFakeBackend()
+	n1, n2 := twoNodes(t, f1, f2, nil, nil)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	// Host a stream on n1 that rendezvous-hashes to n2: the next sweep
+	// must quiesce it and ship the backlog in order.
+	key := keyOwnedBy(n1.router, "n2")
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		want = append(want, []byte(fmt.Sprintf("item-%03d", i)))
+	}
+	f1.add(key, 5, want...)
+	waitFor(t, "stream to migrate", func() bool {
+		return len(f2.items(key)) == len(want)
+	})
+	got := f2.items(key)
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("migrated item %d = %q want %q (FIFO broken)", i, got[i], want[i])
+		}
+	}
+	if keys := f1.StreamKeys(); len(keys) != 0 {
+		t.Fatalf("stream still on n1: %v", keys)
+	}
+	f2.mu.Lock()
+	handoffs := f2.handoffs
+	f2.mu.Unlock()
+	if handoffs == 0 {
+		t.Fatal("migration did not use the hand-off path")
+	}
+}

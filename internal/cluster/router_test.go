@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministicAcrossNodes(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	ra, rb := NewRouter("a"), NewRouter("b")
+	ra.SetMembers(members)
+	rb.SetMembers(members)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		if oa, ob := ra.Owner(key), rb.Owner(key); oa != ob {
+			t.Fatalf("key %q: node a resolves %q, node b resolves %q", key, oa, ob)
+		}
+	}
+}
+
+func TestOwnerSpreadsAcrossMembers(t *testing.T) {
+	r := NewRouter("a")
+	r.SetMembers([]string{"a", "b", "c"})
+	count := map[string]int{}
+	for i := 0; i < 300; i++ {
+		count[r.Owner(fmt.Sprintf("stream-%d", i))]++
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if count[n] == 0 {
+			t.Fatalf("rendezvous hash assigned nothing to %q: %v", n, count)
+		}
+	}
+}
+
+func TestRemovingMemberOnlyRemapsItsStreams(t *testing.T) {
+	r := NewRouter("a")
+	r.SetMembers([]string{"a", "b", "c"})
+	before := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("stream-%d", i)
+		before[k] = r.Owner(k)
+	}
+	r.SetMembers([]string{"a", "b"}) // c died
+	for k, was := range before {
+		now := r.Owner(k)
+		if was != "c" && now != was {
+			t.Fatalf("key %q moved %q→%q though its owner survived", k, was, now)
+		}
+		if was == "c" && now == "c" {
+			t.Fatalf("key %q still resolves to removed node", k)
+		}
+	}
+}
+
+func TestSetMembersEpochBumpsOnlyOnChange(t *testing.T) {
+	r := NewRouter("a")
+	e0 := r.Epoch()
+	r.SetMembers([]string{"a"})
+	if r.Epoch() != e0 {
+		t.Fatal("epoch bumped on identical member set")
+	}
+	r.SetMembers([]string{"b", "a"})
+	if r.Epoch() != e0+1 {
+		t.Fatalf("epoch %d want %d", r.Epoch(), e0+1)
+	}
+	// Self is always a member even if omitted.
+	r.SetMembers([]string{"b"})
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("members %v want [a b]", got)
+	}
+}
+
+func TestOverrideAdoptionByGeneration(t *testing.T) {
+	r := NewRouter("a")
+	r.SetMembers([]string{"a", "b"})
+	if !r.AdoptOverrides(5, map[string]string{"s": "b"}) {
+		t.Fatal("fresh table not adopted")
+	}
+	if r.Owner("s") != "b" {
+		t.Fatalf("override ignored: owner %q", r.Owner("s"))
+	}
+	if r.AdoptOverrides(5, map[string]string{"s": "a"}) {
+		t.Fatal("stale generation adopted")
+	}
+	if r.AdoptOverrides(4, nil) {
+		t.Fatal("older generation adopted")
+	}
+	gen := r.PublishOverrides(map[string]string{"s": "a"})
+	if gen != 6 {
+		t.Fatalf("publish gen %d want 6", gen)
+	}
+	if r.Owner("s") != "a" {
+		t.Fatalf("published override ignored: owner %q", r.Owner("s"))
+	}
+}
+
+func TestOverrideToUnroutableNodeFallsBackToHash(t *testing.T) {
+	r := NewRouter("a")
+	r.SetMembers([]string{"a", "b"})
+	r.PublishOverrides(map[string]string{"s": "zombie"})
+	if got := r.Owner("s"); got != "a" && got != "b" {
+		t.Fatalf("owner %q not a routable member", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package cluster shards pcd streams across nodes: rendezvous-hash
+// stream→node assignment with request forwarding on the ingest path,
+// static-seed membership with heartbeat health probes, cross-node pair
+// migration reusing the runtime's quiesce-drain hand-off
+// (repro.Pair.Handoff), and a fleet placement controller that packs
+// streams onto the fewest nodes whose budgets hold the load — the
+// paper's Eq. 4 objective (minimize idle→active transitions) lifted one
+// level, so under light aggregate load whole machines go idle instead
+// of just core managers.
+//
+// The wire protocol is deliberately small: newline-delimited JSON
+// frames over plain TCP, one request/response exchange at a time per
+// connection. Peers exchange heartbeats that piggyback the routing
+// override table and per-stream load report; the same connections carry
+// forwarded ingest items and migration hand-offs, so a stream's items
+// arrive at the new owner in the order the old owner saw them.
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Frame types. Every exchange is request → response on one connection.
+const (
+	// FrameHeartbeat announces liveness and piggybacks the sender's
+	// addresses, routing epoch, override table, and stream load report.
+	FrameHeartbeat = "hb"
+	// FrameAck answers a heartbeat with the receiver's own view.
+	FrameAck = "ok"
+	// FrameForward ships ingest items for a stream to its owner.
+	FrameForward = "fwd"
+	// FrameForwardAck returns the owner's admission verdict.
+	FrameForwardAck = "fok"
+	// FrameMigrate ships a detached stream's unprocessed items to its
+	// new owner (the cross-node half of the quiesce-drain hand-off).
+	FrameMigrate = "mig"
+	// FrameMigrateAck acknowledges a migration hand-off.
+	FrameMigrateAck = "mok"
+	// FrameError reports a frame the receiver could not serve.
+	FrameError = "err"
+)
+
+// Wire-protocol bounds, enforced by DecodeFrame so a malformed or
+// hostile peer cannot balloon memory.
+const (
+	// MaxFrameBytes bounds one encoded frame line.
+	MaxFrameBytes = 8 << 20
+	// maxKeyLen mirrors the server's stream-key bound.
+	maxKeyLen = 256
+	// maxItems bounds the items in one forward/migrate frame.
+	maxItems = 1 << 16
+	// maxTableEntries bounds the routes/loads maps.
+	maxTableEntries = 1 << 13
+)
+
+// Frame is one cluster wire message. Fields are a union over the frame
+// types; unused fields stay empty and are omitted on the wire.
+type Frame struct {
+	Type string `json:"t"`
+	From string `json:"from,omitempty"` // sender node id
+	// Heartbeat payload: the sender's listen addresses and routing view.
+	Addr  string             `json:"addr,omitempty"`  // cluster wire address
+	HTTP  string             `json:"http,omitempty"`  // HTTP ingest address (redirect target)
+	Epoch uint64             `json:"epoch,omitempty"` // routing epoch
+	Gen   uint64             `json:"gen,omitempty"`   // override-table generation
+	Routes map[string]string  `json:"routes,omitempty"` // stream key → owner overrides
+	Loads  map[string]float64 `json:"loads,omitempty"`  // owned stream → items/s
+	// Forward / migrate payload.
+	Key   string   `json:"key,omitempty"`
+	Items []string `json:"items,omitempty"` // base64(std) item payloads
+	// Verdicts (fok / mok).
+	Accepted    int `json:"accepted,omitempty"`
+	Shed        int `json:"shed,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	// Error payload (err frames, or soft errors on acks).
+	Error string `json:"err,omitempty"`
+}
+
+// EncodeFrame renders one frame as a newline-terminated JSON line.
+func EncodeFrame(f Frame) ([]byte, error) {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)+1 > MaxFrameBytes {
+		return nil, fmt.Errorf("cluster: frame %q exceeds %d bytes", f.Type, MaxFrameBytes)
+	}
+	return append(b, '\n'), nil
+}
+
+var errFrame = errors.New("cluster: malformed frame")
+
+// DecodeFrame parses and validates one frame line (with or without the
+// trailing newline). It enforces the protocol bounds — frame size, key
+// length, item count, table sizes, base64 item payloads — so the caller
+// can trust a decoded frame's shape.
+func DecodeFrame(line []byte) (Frame, error) {
+	if len(line) == 0 || len(line) > MaxFrameBytes {
+		return Frame{}, errFrame
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", errFrame, err)
+	}
+	switch f.Type {
+	case FrameHeartbeat, FrameAck, FrameForward, FrameForwardAck, FrameMigrate, FrameMigrateAck, FrameError:
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown type %q", errFrame, f.Type)
+	}
+	if len(f.From) > maxKeyLen || len(f.Key) > maxKeyLen ||
+		len(f.Addr) > maxKeyLen || len(f.HTTP) > maxKeyLen {
+		return Frame{}, fmt.Errorf("%w: oversized field", errFrame)
+	}
+	if len(f.Items) > maxItems {
+		return Frame{}, fmt.Errorf("%w: %d items", errFrame, len(f.Items))
+	}
+	if len(f.Routes) > maxTableEntries || len(f.Loads) > maxTableEntries {
+		return Frame{}, fmt.Errorf("%w: oversized table", errFrame)
+	}
+	for k := range f.Routes {
+		if len(k) > maxKeyLen {
+			return Frame{}, fmt.Errorf("%w: oversized route key", errFrame)
+		}
+	}
+	for k := range f.Loads {
+		if len(k) > maxKeyLen {
+			return Frame{}, fmt.Errorf("%w: oversized load key", errFrame)
+		}
+	}
+	if f.Accepted < 0 || f.Shed < 0 || f.Quarantined < 0 {
+		return Frame{}, fmt.Errorf("%w: negative verdict", errFrame)
+	}
+	switch f.Type {
+	case FrameForward, FrameMigrate:
+		if f.Key == "" {
+			return Frame{}, fmt.Errorf("%w: %s without key", errFrame, f.Type)
+		}
+		for _, it := range f.Items {
+			if !validB64(it) {
+				return Frame{}, fmt.Errorf("%w: bad item encoding", errFrame)
+			}
+		}
+	case FrameHeartbeat:
+		if f.From == "" {
+			return Frame{}, fmt.Errorf("%w: heartbeat without sender", errFrame)
+		}
+	}
+	return f, nil
+}
+
+func validB64(s string) bool {
+	_, err := base64.StdEncoding.DecodeString(s)
+	return err == nil
+}
+
+// EncodeItems packs raw item payloads for the Items field.
+func EncodeItems(items [][]byte) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = base64.StdEncoding.EncodeToString(it)
+	}
+	return out
+}
+
+// DecodeItems unpacks a frame's Items field. DecodeFrame has already
+// validated the encoding for forward/migrate frames.
+func DecodeItems(items []string) ([][]byte, error) {
+	out := make([][]byte, len(items))
+	for i, it := range items {
+		b, err := base64.StdEncoding.DecodeString(it)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d: %v", errFrame, i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}

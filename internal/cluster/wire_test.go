@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHeartbeat, From: "a", Addr: "127.0.0.1:9", HTTP: "127.0.0.1:8",
+			Epoch: 3, Gen: 2, Routes: map[string]string{"s1": "b"},
+			Loads: map[string]float64{"s1": 42.5}},
+		{Type: FrameAck, From: "b", Epoch: 1},
+		{Type: FrameForward, From: "a", Key: "s1", Items: EncodeItems([][]byte{[]byte("x"), []byte("y")})},
+		{Type: FrameForwardAck, From: "b", Key: "s1", Accepted: 2},
+		{Type: FrameMigrate, From: "a", Key: "s1", Items: EncodeItems([][]byte{{0, 1, 2}})},
+		{Type: FrameMigrateAck, From: "b", Key: "s1", Accepted: 1, Shed: 0},
+		{Type: FrameError, From: "b", Error: "nope"},
+	}
+	for _, f := range frames {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %q: %v", f.Type, err)
+		}
+		if !bytes.HasSuffix(b, []byte("\n")) {
+			t.Fatalf("encode %q: no trailing newline", f.Type)
+		}
+		got, err := DecodeFrame(bytes.TrimSuffix(b, []byte("\n")))
+		if err != nil {
+			t.Fatalf("decode %q: %v", f.Type, err)
+		}
+		if got.Type != f.Type || got.From != f.From || got.Key != f.Key ||
+			got.Epoch != f.Epoch || got.Gen != f.Gen ||
+			got.Accepted != f.Accepted || got.Error != f.Error ||
+			len(got.Items) != len(f.Items) || len(got.Routes) != len(f.Routes) {
+			t.Fatalf("round trip %q: got %+v want %+v", f.Type, got, f)
+		}
+	}
+}
+
+func TestDecodeItemsRoundTrip(t *testing.T) {
+	in := [][]byte{[]byte("hello"), {}, {0xff, 0x00}}
+	out, err := DecodeItems(EncodeItems(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Fatalf("item %d: %q want %q", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"not json":        "{",
+		"unknown type":    `{"t":"zap"}`,
+		"hb no sender":    `{"t":"hb"}`,
+		"fwd no key":      `{"t":"fwd","from":"a"}`,
+		"mig no key":      `{"t":"mig","from":"a"}`,
+		"bad base64":      `{"t":"fwd","from":"a","key":"s","items":["!!!"]}`,
+		"negative":        `{"t":"fok","accepted":-1}`,
+		"oversized key":   `{"t":"fwd","from":"a","key":"` + strings.Repeat("k", maxKeyLen+1) + `"}`,
+		"oversized route": `{"t":"hb","from":"a","routes":{"` + strings.Repeat("r", maxKeyLen+1) + `":"b"}}`,
+	}
+	for name, line := range cases {
+		if _, err := DecodeFrame([]byte(line)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, line)
+		}
+	}
+}
+
+func TestEncodeFrameBoundsSize(t *testing.T) {
+	huge := Frame{Type: FrameForward, From: "a", Key: "s",
+		Items: []string{strings.Repeat("A", MaxFrameBytes)}}
+	if _, err := EncodeFrame(huge); err == nil {
+		t.Fatal("oversized frame encoded")
+	}
+}

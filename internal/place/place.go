@@ -49,6 +49,11 @@ type Config struct {
 	// manager has room, and pairs on a manager that exceeds it spread
 	// back out. Zero defaults to 50000.
 	BudgetRate float64
+	// Budgets optionally overrides BudgetRate per manager (index i is
+	// manager i's budget; entries ≤ 0 and indexes past the end fall back
+	// to BudgetRate). The fleet placement controller uses this to pack
+	// streams onto heterogeneous nodes without overcommitting small ones.
+	Budgets []float64
 	// TargetUtil is the fraction of BudgetRate the packer aims at when
 	// choosing how few managers to keep active; the gap between
 	// TargetUtil·BudgetRate (pack level) and BudgetRate (spread level)
@@ -88,7 +93,26 @@ func (c Config) Validate() error {
 	if c.MinDwell < 0 {
 		return fmt.Errorf("place: negative dwell %d", c.MinDwell)
 	}
+	for i, b := range c.Budgets {
+		if b < 0 {
+			return fmt.Errorf("place: negative budget %v for manager %d", b, i)
+		}
+	}
 	return nil
+}
+
+// budget returns manager m's hard load budget.
+func (c Config) budget(m int) float64 {
+	if m >= 0 && m < len(c.Budgets) && c.Budgets[m] > 0 {
+		return c.Budgets[m]
+	}
+	return c.BudgetRate
+}
+
+// pack returns manager m's pack level (the consolidation target below
+// the hard budget; the gap is the hysteresis band).
+func (c Config) pack(m int) float64 {
+	return c.TargetUtil * c.budget(m)
 }
 
 // Move relocates one pair.
@@ -135,7 +159,6 @@ func NewPlanner(cfg Config) (*Planner, error) {
 // manager that still fits them (best-fit decreasing).
 func (pl *Planner) Plan(pairs []Pair) Plan {
 	cfg := pl.cfg
-	pack := cfg.TargetUtil * cfg.BudgetRate
 
 	// Age dwell counters and drop entries for departed pairs.
 	present := make(map[int]bool, len(pairs))
@@ -150,7 +173,7 @@ func (pl *Planner) Plan(pairs []Pair) Plan {
 		}
 	}
 
-	// How many managers the total predicted load wants at pack level.
+	// Total predicted load, and each manager's current share of it.
 	total := 0.0
 	load := make([]float64, cfg.Managers)
 	count := make([]int, cfg.Managers)
@@ -162,20 +185,11 @@ func (pl *Planner) Plan(pairs []Pair) Plan {
 			count[p.Manager]++
 		}
 	}
-	want := 1
-	if pack > 0 {
-		want = int(math.Ceil(total / pack))
-	}
-	if want < 1 {
-		want = 1
-	}
-	if want > cfg.Managers {
-		want = cfg.Managers
-	}
 
-	// Keep the want fullest managers active (ties: more pairs, then
-	// lower index) so consolidation empties the lightest ones and moves
-	// as few pairs as possible.
+	// Keep the fullest managers active (ties: more pairs, then lower
+	// index) so consolidation empties the lightest ones and moves as few
+	// pairs as possible; with heterogeneous Budgets the prefix extends
+	// until the kept managers' combined pack capacity covers the total.
 	order := make([]int, cfg.Managers)
 	for i := range order {
 		order[i] = i
@@ -190,6 +204,11 @@ func (pl *Planner) Plan(pairs []Pair) Plan {
 		}
 		return ma < mb
 	})
+	want, capacity := 0, 0.0
+	for want < cfg.Managers && (want < 1 || capacity < total) {
+		capacity += cfg.pack(order[want])
+		want++
+	}
 	active := make([]int, 0, want)
 	inActive := make([]bool, cfg.Managers)
 	for _, m := range order[:want] {
@@ -223,15 +242,15 @@ func (pl *Planner) Plan(pairs []Pair) Plan {
 			return cur
 		}
 		// Sticky: stay wherever an active manager still has budget.
-		if cur >= 0 && inActive[cur] && newLoad[cur]+r <= cfg.BudgetRate {
+		if cur >= 0 && inActive[cur] && newLoad[cur]+r <= cfg.budget(cur) {
 			return cur
 		}
 		// Best fit: the fullest active manager that stays at pack
 		// level, else the fullest that stays within the hard budget.
 		best := -1
-		for _, limit := range []float64{pack, cfg.BudgetRate} {
+		for _, limit := range []func(int) float64{cfg.pack, cfg.budget} {
 			for _, m := range active {
-				if newLoad[m]+r > limit {
+				if newLoad[m]+r > limit(m) {
 					continue
 				}
 				if best < 0 || newLoad[m] > newLoad[best] || (newLoad[m] == newLoad[best] && m < best) {

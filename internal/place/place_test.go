@@ -199,3 +199,52 @@ func TestUnplacedPair(t *testing.T) {
 		t.Fatalf("moves = %v, want one placement move", plan.Moves)
 	}
 }
+
+// Per-manager Budgets: a small node must not absorb load past its own
+// budget even when the scalar BudgetRate would allow it.
+func TestPerManagerBudgets(t *testing.T) {
+	if _, err := NewPlanner(Config{Managers: 2, Budgets: []float64{100, -5}}); err == nil {
+		t.Fatal("negative per-manager budget should fail")
+	}
+	// Manager 0 is a small node (budget 1000); manager 1 is large
+	// (falls back to BudgetRate 10000). Total load 3000 at TargetUtil
+	// 1.0 cannot fit manager 0 alone, so packing must land on 1.
+	pl := mustPlanner(t, Config{
+		Managers:   2,
+		BudgetRate: 10000,
+		Budgets:    []float64{1000},
+		TargetUtil: 1.0,
+		MinDwell:   1,
+	})
+	pairs := []Pair{
+		{ID: 0, Manager: 0, Rate: 1500},
+		{ID: 1, Manager: 0, Rate: 1500},
+	}
+	plan := pl.Plan(pairs)
+	for id, m := range plan.Assign {
+		if m != 1 {
+			t.Fatalf("pair %d assigned to manager %d, want 1 (0 is over its per-manager budget)", id, m)
+		}
+	}
+	if plan.Active != 1 {
+		t.Fatalf("active = %d, want 1", plan.Active)
+	}
+}
+
+// Heterogeneous budgets at light load still consolidate onto one node.
+func TestBudgetsLightLoadConsolidates(t *testing.T) {
+	pl := mustPlanner(t, Config{
+		Managers: 3,
+		Budgets:  []float64{5000, 5000, 5000},
+		MinDwell: 1,
+	})
+	pairs := []Pair{
+		{ID: 0, Manager: 0, Rate: 100},
+		{ID: 1, Manager: 1, Rate: 100},
+		{ID: 2, Manager: 2, Rate: 100},
+	}
+	plan := pl.Plan(pairs)
+	if plan.Active != 1 {
+		t.Fatalf("active = %d, want 1: %+v", plan.Active, plan)
+	}
+}

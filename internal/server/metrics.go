@@ -54,6 +54,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("pcd_redeliveries_total", "Failed batches re-offered to their handler.", float64(stats.Redeliveries))
 	p.Counter("pcd_items_dropped_total", "Items discarded after redelivery exhaustion or final-drain failure.", float64(stats.ItemsDropped))
 	p.Counter("pcd_migrations_total", "Pairs moved between core managers by the placement controller.", float64(stats.Migrations))
+	p.Counter("pcd_items_handed_off_total", "Items extracted unprocessed by pair hand-offs for cross-node migration.", float64(stats.HandedOff))
 
 	p.Gauge("pcd_wakeups_per_second", "Timer + forced wakeups per second of uptime (Eq. 4 objective, live).", wakeupsPerSecond(stats, elapsed))
 	p.Gauge("pcd_estimated_power_milliwatts", "Model-priced average power draw (internal/power, not a measurement).", s.estimatePower(stats, elapsed))
@@ -107,10 +108,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("pcd_stream_dropped_total", "Items dropped on this stream after redelivery exhaustion.", float64(st.Dropped), "stream", st.Key, "pair", id)
 	}
 
+	s.clusterMetrics(p)
 	s.histogramMetrics(p)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
+}
+
+// clusterMetrics exports the pcd_cluster_* families: membership by
+// state, the forwarding path, and cross-node stream migrations. Silent
+// on a clusterless server.
+func (s *Server) clusterMetrics(p *metrics.Prom) {
+	r := s.router
+	if r == nil {
+		return
+	}
+	cs := r.Status()
+	byState := map[string]int{"alive": 0, "suspect": 0, "dead": 0}
+	for _, peer := range cs.Peers {
+		byState[peer.State]++
+	}
+	for _, state := range []string{"alive", "suspect", "dead"} {
+		p.Gauge("pcd_cluster_peers", "Cluster peers by health state (this node excluded).", float64(byState[state]), "state", state)
+	}
+	p.Gauge("pcd_cluster_epoch", "Routing epoch; bumps on membership or override changes.", float64(cs.Epoch))
+	p.Gauge("pcd_cluster_route_overrides", "Fleet placement overrides in force.", float64(cs.Overrides))
+	p.Gauge("pcd_cluster_leader", "1 when this node is the fleet placement leader.", boolGauge(cs.Leader == cs.NodeID))
+	p.Gauge("pcd_cluster_owned_streams", "Streams this node currently hosts.", float64(len(s.StreamKeys())))
+	p.Counter("pcd_cluster_forwards_total", "Items forwarded between nodes on the ingest path, by direction.", float64(s.forwardedOut.Load()), "dir", "out")
+	p.Counter("pcd_cluster_forwards_total", "Items forwarded between nodes on the ingest path, by direction.", float64(s.forwardedIn.Load()), "dir", "in")
+	p.Counter("pcd_cluster_forward_fallbacks_total", "Forwards that failed and fell back to local ingest (no item lost).", float64(s.forwardFallbacks.Load()))
+	p.Counter("pcd_cluster_redirects_total", "Smart-client ingests answered with a 307 to the owner.", float64(s.redirects.Load()))
+	p.Counter("pcd_cluster_migrations_total", "Cross-node stream migrations, by direction.", float64(s.migrationsOut.Load()), "dir", "out")
+	p.Counter("pcd_cluster_migrations_total", "Cross-node stream migrations, by direction.", float64(s.migrationsIn.Load()), "dir", "in")
+	p.Counter("pcd_cluster_migrated_items_total", "Items shipped in stream hand-offs, by direction.", float64(s.migratedOutItems.Load()), "dir", "out")
+	p.Counter("pcd_cluster_migrated_items_total", "Items shipped in stream hand-offs, by direction.", float64(s.migratedInItems.Load()), "dir", "in")
+	p.Counter("pcd_cluster_migrate_shed_total", "Migrated items shed at the new owner after the hand-off wait.", float64(s.shedMigrate.Load()))
 }
 
 // histogramMetrics exports the WithHistograms latency distributions as

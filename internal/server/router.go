@@ -1,0 +1,338 @@
+// Stream routing: the ingest path's stream→owner resolution, extracted
+// behind the Router interface so it is pluggable. A clusterless server
+// owns every stream (the nil Router); internal/cluster plugs in a
+// rendezvous-hash router with membership health and fleet placement so
+// a node that receives a Put for a stream it does not own forwards it
+// to the owner — or answers a redirect for smart clients — and whole
+// nodes can go idle under light aggregate load (the paper's Eq. 4
+// objective lifted to fleet scale).
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// IngestResult is one admission verdict: how many items a node
+// accepted into the stream's pair, shed at quota, or rejected because
+// the pair was quarantined.
+type IngestResult struct {
+	Accepted    int
+	Shed        int
+	Quarantined int
+}
+
+// Route is the resolution of one stream key to its owning node.
+type Route struct {
+	// Local reports that this node owns the stream.
+	Local bool
+	// Owner is the owning node's id ("" on a clusterless server).
+	Owner string
+	// OwnerHTTP is the owner's HTTP ingest base address ("host:port"),
+	// used to answer redirects to smart clients.
+	OwnerHTTP string
+}
+
+// Router resolves stream ownership for a node in a pcd cluster. It is
+// transport-agnostic: the server only asks who owns a key, and hands
+// non-owned items over for forwarding. Implementations must be safe
+// for concurrent use. See internal/cluster for the real one.
+type Router interface {
+	// Resolve maps a stream key to its current owner.
+	Resolve(key string) Route
+	// Forward ships items for a remotely-owned stream to its owner and
+	// returns the owner's admission verdict. An error means the items
+	// were NOT delivered (the caller falls back to local ingest so no
+	// item is lost to routing).
+	Forward(key string, items [][]byte) (IngestResult, error)
+	// Status reports cluster state for /statusz and /metrics.
+	Status() ClusterStatus
+}
+
+// PeerStatus is one peer's row in the cluster status.
+type PeerStatus struct {
+	ID       string  `json:"id"`
+	Addr     string  `json:"addr"`
+	HTTP     string  `json:"http,omitempty"`
+	State    string  `json:"state"` // "alive", "suspect", "dead"
+	LastSeen string  `json:"last_seen,omitempty"`
+	Streams  int     `json:"streams"`  // owned streams it last reported
+	RateSum  float64 `json:"rate_sum"` // items/s it last reported
+}
+
+// ClusterStatus is the cluster section of /statusz and the source of
+// the pcd_cluster_* metric families.
+type ClusterStatus struct {
+	Enabled  bool         `json:"enabled"`
+	NodeID   string       `json:"node_id"`
+	Epoch    uint64       `json:"epoch"`     // routing epoch (bumps on membership/override change)
+	RouteGen uint64       `json:"route_gen"` // fleet override-table generation
+	Leader   string       `json:"leader,omitempty"`
+	Peers    []PeerStatus `json:"peers"`
+	// Overrides is the number of fleet placement overrides in force.
+	Overrides int `json:"overrides"`
+	// Item counters over the forwarding and migration paths.
+	ForwardsOutItems uint64 `json:"forwards_out_items"`
+	ForwardsInItems  uint64 `json:"forwards_in_items"`
+	ForwardFallbacks uint64 `json:"forward_fallbacks"`
+	MigrationsOut    uint64 `json:"migrations_out"` // streams shipped away
+	MigrationsIn     uint64 `json:"migrations_in"`  // streams received
+	MigratedItemsOut uint64 `json:"migrated_items_out"`
+	MigratedItemsIn  uint64 `json:"migrated_items_in"`
+}
+
+// SetRouter plugs a cluster router into the ingest path. It must be
+// called before Start; a nil router (the default) keeps every stream
+// local.
+func (s *Server) SetRouter(r Router) { s.router = r }
+
+// ingestLocal admits items into the key's local pair, creating it on
+// first use — the stream-local half of the ingest path, shared by HTTP,
+// raw TCP, and frames forwarded from peers. The returned error is
+// non-nil only when the stream cannot exist at all (pair table full) or
+// the server is draining.
+func (s *Server) ingestLocal(key string, items [][]byte) (IngestResult, error) {
+	for attempt := 0; ; attempt++ {
+		st, err := s.streamFor(key)
+		if err != nil {
+			return IngestResult{}, err
+		}
+		res, ok := s.putAll(st, items)
+		if ok {
+			return res, nil
+		}
+		// The stream was detached (migrated away) between lookup and
+		// Put. Re-resolve: the router now points at the new owner; after
+		// a few tries fall back to a fresh local pair so items are never
+		// lost to a routing race.
+		if r := s.router; r != nil && attempt < 3 {
+			if rt := r.Resolve(key); !rt.Local {
+				if res, err := r.Forward(key, items); err == nil {
+					return res, nil
+				}
+			}
+		}
+	}
+}
+
+// putAll puts every item into the stream's pair under its read lock.
+// ok=false means the stream was detached and nothing was admitted.
+func (s *Server) putAll(st *stream, items [][]byte) (IngestResult, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.detached {
+		return IngestResult{}, false
+	}
+	var res IngestResult
+	for _, item := range items {
+		switch err := st.pair.Put(item); {
+		case err == nil:
+			res.Accepted++
+		case errors.Is(err, repro.ErrOverflow):
+			res.Shed++
+		case errors.Is(err, repro.ErrQuarantined):
+			res.Quarantined++
+		case errors.Is(err, repro.ErrClosed):
+			// Draining: remaining items count as shed.
+			res.Shed += len(items) - res.Accepted - res.Shed - res.Quarantined
+			return res, true
+		}
+	}
+	return res, true
+}
+
+// routedIngest is the full ingest path: resolve the key's owner, admit
+// locally when owned, otherwise forward — falling back to local ingest
+// when the forward fails, so no item is ever lost to routing. The
+// returned Route lets HTTP callers answer redirects instead.
+func (s *Server) routedIngest(key string, items [][]byte) (IngestResult, Route, error) {
+	r := s.router
+	if r == nil {
+		res, err := s.ingestLocal(key, items)
+		return res, Route{Local: true}, err
+	}
+	route := r.Resolve(key)
+	if route.Local {
+		res, err := s.ingestLocal(key, items)
+		return res, route, err
+	}
+	// A stream this node still hosts keeps ingesting locally even when
+	// the router points elsewhere: the ownership sweep ships the whole
+	// backlog (detach + hand-off) before any forward for the key can be
+	// sent, so the new owner sees items in arrival order. Forwarding
+	// starts the moment the stream is detached.
+	if s.hosts(key) {
+		res, err := s.ingestLocal(key, items)
+		return res, Route{Local: true}, err
+	}
+	if res, err := r.Forward(key, items); err == nil {
+		s.forwardedOut.Add(uint64(len(items)))
+		return res, route, nil
+	}
+	// Owner unreachable: admit locally. The ownership sweep re-ships
+	// the stream once the owner is back (or the routing table moves on).
+	s.forwardFallbacks.Add(1)
+	res, err := s.ingestLocal(key, items)
+	return res, Route{Local: true}, err
+}
+
+// hosts reports whether this node currently hosts the key's stream
+// (present and not mid-detach).
+func (s *Server) hosts(key string) bool {
+	s.mu.Lock()
+	st, ok := s.streams[key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return !st.detached
+}
+
+// IngestForwarded admits items forwarded by a peer. Forwarded frames
+// are authoritative — they are never re-forwarded, so two nodes with
+// briefly divergent routing tables cannot bounce items in a loop.
+func (s *Server) IngestForwarded(key string, items [][]byte) (IngestResult, error) {
+	if s.draining.Load() {
+		return IngestResult{}, errors.New("draining")
+	}
+	if !s.validKey(key) {
+		return IngestResult{}, errors.New("bad stream key")
+	}
+	res, err := s.ingestLocal(key, items)
+	if err == nil {
+		s.forwardedIn.Add(uint64(res.Accepted))
+	}
+	return res, err
+}
+
+// IngestHandoff admits items shipped by a cross-node pair migration.
+// Unlike the forwarding path it retries briefly on quota overflow
+// (PutWait): migrated items already survived one node, shedding them at
+// the door would turn every migration into item loss. Items still shed
+// after the wait are counted in the verdict (the conservation ledger's
+// Shed term).
+func (s *Server) IngestHandoff(key string, items [][]byte) (IngestResult, error) {
+	if !s.validKey(key) {
+		return IngestResult{}, errors.New("bad stream key")
+	}
+	for attempt := 0; ; attempt++ {
+		st, err := s.streamFor(key)
+		if err != nil {
+			return IngestResult{}, err
+		}
+		res, ok := func() (IngestResult, bool) {
+			st.mu.RLock()
+			defer st.mu.RUnlock()
+			if st.detached {
+				return IngestResult{}, false
+			}
+			var res IngestResult
+			for _, item := range items {
+				switch err := st.pair.PutWait(item, 250*time.Millisecond); {
+				case err == nil:
+					res.Accepted++
+				default:
+					res.Shed++
+				}
+			}
+			return res, true
+		}()
+		if ok {
+			s.migratedInItems.Add(uint64(res.Accepted))
+			s.migrationsIn.Add(1)
+			s.shedMigrate.Add(uint64(res.Shed))
+			return res, nil
+		}
+		if attempt >= 3 {
+			return IngestResult{}, errors.New("stream detached repeatedly")
+		}
+	}
+}
+
+// DetachStream quiesce-drains the key's pair for migration to another
+// node: the pair is closed without running its handler and every
+// unprocessed item is returned in FIFO order (repro.Pair.Handoff).
+// ok=false means this node does not host the stream. After Detach the
+// key's next local ingest creates a fresh pair (or forwards, once the
+// routing table points elsewhere).
+func (s *Server) DetachStream(key string) (items [][]byte, ok bool) {
+	s.mu.Lock()
+	st, found := s.streams[key]
+	if found {
+		delete(s.streams, key)
+	}
+	s.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	st.mu.Lock()
+	st.detached = true
+	items, err := st.pair.Handoff()
+	st.mu.Unlock()
+	if err != nil {
+		// Already closed (shutdown race): nothing to ship.
+		return nil, false
+	}
+	s.migrationsOut.Add(1)
+	s.migratedOutItems.Add(uint64(len(items)))
+	s.cfg.Logf("pcd: detached stream %q (%d items to ship)", key, len(items))
+	return items, true
+}
+
+// StreamKeys lists the stream keys this node currently hosts.
+func (s *Server) StreamKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.streams))
+	for k := range s.streams {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// StreamLoads reports each hosted stream's observed ingest rate in
+// items/s, smoothed over the window since the previous call (EWMA with
+// the window as its time constant). The fleet placement controller
+// feeds these to the packer.
+func (s *Server) StreamLoads() map[string]float64 {
+	s.mu.Lock()
+	streams := make(map[string]*stream, len(s.streams))
+	for k, st := range s.streams {
+		streams[k] = st
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	loads := make(map[string]float64, len(streams))
+	for k, st := range streams {
+		in := st.pair.Stats().ItemsIn
+		st.rateMu.Lock()
+		if st.rateAt.IsZero() {
+			st.rateAt, st.rateIn = now, in
+		} else if dt := now.Sub(st.rateAt).Seconds(); dt > 0 {
+			inst := float64(in-st.rateIn) / dt
+			// Light smoothing so one quiet window does not zero a
+			// stream's placement weight.
+			st.rate = 0.5*st.rate + 0.5*inst
+			st.rateAt, st.rateIn = now, in
+		}
+		loads[k] = st.rate
+		st.rateMu.Unlock()
+	}
+	return loads
+}
+
+// streamMeta is the migration/rate bookkeeping side of a stream.
+type streamMeta struct {
+	mu       sync.RWMutex // guards pair use vs. DetachStream
+	detached bool
+
+	rateMu sync.Mutex
+	rate   float64
+	rateIn uint64
+	rateAt time.Time
+}

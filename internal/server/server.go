@@ -33,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,10 +109,12 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// stream is one key's producer-consumer pair plus server-side counters.
+// stream is one key's producer-consumer pair plus server-side
+// bookkeeping (migration latch, observed rate; see streamMeta).
 type stream struct {
 	key  string
 	pair *repro.Pair[[]byte]
+	streamMeta
 }
 
 // Server is the pcd network front-end. Create with New, then Start.
@@ -119,6 +122,10 @@ type Server struct {
 	cfg   Config
 	rt    *repro.Runtime
 	start time.Time
+
+	// router resolves stream→owner in cluster mode; nil keeps every
+	// stream local. Set via SetRouter before Start.
+	router Router
 
 	httpSrv *http.Server
 	httpLn  net.Listener
@@ -142,6 +149,17 @@ type Server struct {
 	quarantinedTCP  atomic.Uint64
 	tcpMalformed    atomic.Uint64
 	streamRejects   atomic.Uint64
+
+	// Cluster-path accounting (all zero on a clusterless server).
+	forwardedOut     atomic.Uint64 // items shipped to their owner
+	forwardedIn      atomic.Uint64 // items accepted off peer forwards
+	forwardFallbacks atomic.Uint64 // forwards that fell back to local ingest
+	redirects        atomic.Uint64 // smart-client 307 answers
+	migrationsOut    atomic.Uint64 // streams detached and shipped away
+	migrationsIn     atomic.Uint64 // stream hand-offs received
+	migratedOutItems atomic.Uint64
+	migratedInItems  atomic.Uint64
+	shedMigrate      atomic.Uint64 // migrated items shed at the new owner
 }
 
 // New validates the config and builds a stopped server.
@@ -302,10 +320,29 @@ func (s *Server) validKey(key string) bool {
 	return !strings.ContainsAny(key, "/ \t\r\n")
 }
 
+// splitItems turns a newline-delimited ingest body into one copied
+// item per non-empty line.
+func splitItems(body []byte) [][]byte {
+	var items [][]byte
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		line = bytes.TrimRight(line, "\r")
+		if len(line) == 0 {
+			continue
+		}
+		item := make([]byte, len(line))
+		copy(item, line)
+		items = append(items, item)
+	}
+	return items
+}
+
 // handleIngest serves POST /ingest/<key>: each newline-delimited body
 // record is one item. Items that find the pair at quota are shed and
 // reported with 429 — the producer-facing face of the paper's overflow
-// wakeup. The handler never blocks on buffer space.
+// wakeup. The handler never blocks on buffer space. In cluster mode a
+// key owned by another node is forwarded to it — or, when the client
+// sent "X-Pcd-Redirect: 1", answered with 307 to the owner's ingest URL
+// so smart clients pin the owner and skip the extra hop.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.httpRequests.Add(1)
 	if r.Method != http.MethodPost && r.Method != http.MethodPut {
@@ -326,49 +363,45 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body read: "+err.Error(), http.StatusRequestEntityTooLarge)
 		return
 	}
-	st, err := s.streamFor(key)
+	items := splitItems(body)
+	if len(items) == 0 {
+		http.Error(w, "empty body: newline-delimited items expected", http.StatusBadRequest)
+		return
+	}
+	if rt := s.router; rt != nil && r.Header.Get("X-Pcd-Redirect") != "" {
+		// Redirect only once the stream is no longer hosted here: while
+		// the backlog awaits its migration sweep, local ingest keeps the
+		// stream's items in one ordered line.
+		if route := rt.Resolve(key); !route.Local && route.OwnerHTTP != "" && !s.hosts(key) {
+			s.redirects.Add(1)
+			w.Header().Set("X-Pcd-Owner", route.Owner)
+			http.Redirect(w, r, "http://"+route.OwnerHTTP+"/ingest/"+key, http.StatusTemporaryRedirect)
+			return
+		}
+	}
+	res, route, err := s.routedIngest(key, items)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	accepted, shed, quarantined := 0, 0, 0
-	for _, line := range bytes.Split(body, []byte("\n")) {
-		line = bytes.TrimRight(line, "\r")
-		if len(line) == 0 {
-			continue
-		}
-		item := make([]byte, len(line))
-		copy(item, line)
-		switch err := st.pair.Put(item); {
-		case err == nil:
-			accepted++
-		case errors.Is(err, repro.ErrOverflow):
-			shed++
-		case errors.Is(err, repro.ErrQuarantined):
-			// Breaker open: the stream's consumer is failing and cannot
-			// drain. Shed the item; the response is 503, not 429 — the
-			// client cannot help by slowing down, only by rerouting.
-			quarantined++
-		case errors.Is(err, repro.ErrClosed):
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
+	if route.Local {
+		s.ingestedHTTP.Add(uint64(res.Accepted))
+		s.shedHTTP.Add(uint64(res.Shed))
+		s.quarantinedHTTP.Add(uint64(res.Quarantined))
 	}
-	if accepted == 0 && shed == 0 && quarantined == 0 {
-		http.Error(w, "empty body: newline-delimited items expected", http.StatusBadRequest)
-		return
-	}
-	s.ingestedHTTP.Add(uint64(accepted))
-	s.shedHTTP.Add(uint64(shed))
-	s.quarantinedHTTP.Add(uint64(quarantined))
 	w.Header().Set("Content-Type", "application/json")
 	switch {
-	case quarantined > 0:
+	case res.Quarantined > 0:
 		w.WriteHeader(http.StatusServiceUnavailable)
-	case shed > 0:
+	case res.Shed > 0:
 		w.WriteHeader(http.StatusTooManyRequests)
 	}
-	fmt.Fprintf(w, `{"stream":%q,"accepted":%d,"shed":%d,"quarantined":%d}`+"\n", key, accepted, shed, quarantined)
+	owner := ""
+	if !route.Local {
+		owner = fmt.Sprintf(`,"owner":%q`, route.Owner)
+	}
+	fmt.Fprintf(w, `{"stream":%q,"accepted":%d,"shed":%d,"quarantined":%d%s}`+"\n",
+		key, res.Accepted, res.Shed, res.Quarantined, owner)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -473,7 +506,35 @@ type statusz struct {
 	QuarantinedTCP   uint64           `json:"quarantined_tcp"`
 	StreamRejects    uint64           `json:"stream_rejects"`
 	Placement        placementz       `json:"placement"`
+	Cluster          *clusterz        `json:"cluster,omitempty"`
 	Streams          []streamSnapshot `json:"streams"`
+}
+
+// clusterz is the cluster section of /statusz: membership (peer states)
+// and this node's share of the fleet (owned streams, forwarding and
+// migration traffic).
+type clusterz struct {
+	ClusterStatus
+	OwnedStreams []string `json:"owned_streams"`
+}
+
+// clusterStatus assembles the cluster section; nil without a router.
+func (s *Server) clusterStatus() *clusterz {
+	r := s.router
+	if r == nil {
+		return nil
+	}
+	cs := r.Status()
+	cs.ForwardsOutItems = s.forwardedOut.Load()
+	cs.ForwardsInItems = s.forwardedIn.Load()
+	cs.ForwardFallbacks = s.forwardFallbacks.Load()
+	cs.MigrationsOut = s.migrationsOut.Load()
+	cs.MigrationsIn = s.migrationsIn.Load()
+	cs.MigratedItemsOut = s.migratedOutItems.Load()
+	cs.MigratedItemsIn = s.migratedInItems.Load()
+	keys := s.StreamKeys()
+	sort.Strings(keys)
+	return &clusterz{ClusterStatus: cs, OwnedStreams: keys}
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -493,6 +554,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		QuarantinedTCP:   s.quarantinedTCP.Load(),
 		StreamRejects:    s.streamRejects.Load(),
 		Placement:        s.placementStatus(),
+		Cluster:          s.clusterStatus(),
 		Streams:          s.snapshotStreams(),
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -3,10 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
-	"errors"
 	"net"
-
-	"repro"
 )
 
 // The raw-TCP line protocol: one item per line, `<key> <payload>\n`.
@@ -41,6 +38,9 @@ func (s *Server) acceptTCP(ln net.Listener) {
 }
 
 // serveTCP consumes one connection's lines until EOF, error, or drain.
+// In cluster mode each line rides the same routed ingest path as HTTP
+// (forwarded to its owner when the key hashes elsewhere); the lossy
+// contract is unchanged — the owner's sheds are its own accounting.
 func (s *Server) serveTCP(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), int(s.cfg.MaxBodyBytes))
@@ -55,24 +55,17 @@ func (s *Server) serveTCP(conn net.Conn) {
 			continue
 		}
 		key := string(line[:sp])
-		st, err := s.streamFor(key)
+		item := make([]byte, len(line)-sp-1)
+		copy(item, line[sp+1:])
+		res, route, err := s.routedIngest(key, [][]byte{item})
 		if err != nil {
 			// Pair table full: drop, already counted in streamRejects.
 			continue
 		}
-		item := make([]byte, len(line)-sp-1)
-		copy(item, line[sp+1:])
-		switch err := st.pair.Put(item); {
-		case err == nil:
-			s.ingestedTCP.Add(1)
-		case errors.Is(err, repro.ErrOverflow):
-			s.shedTCP.Add(1)
-		case errors.Is(err, repro.ErrQuarantined):
-			// Breaker open: drop and count, same lossy contract as
-			// overflow but attributed to the failing consumer.
-			s.quarantinedTCP.Add(1)
-		case errors.Is(err, repro.ErrClosed):
-			return
+		if route.Local {
+			s.ingestedTCP.Add(uint64(res.Accepted))
+			s.shedTCP.Add(uint64(res.Shed))
+			s.quarantinedTCP.Add(uint64(res.Quarantined))
 		}
 	}
 }

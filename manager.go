@@ -99,6 +99,7 @@ type pairState struct {
 	quarantines  atomic.Uint64
 	redeliveries atomic.Uint64
 	dropped      atomic.Uint64
+	handedOff    atomic.Uint64
 
 	// armed is true while the manager holds (or is about to compute) a
 	// reservation for this pair. Producers set it on the first item
@@ -188,6 +189,7 @@ func (st *pairState) pairStats() PairStats {
 		Quarantines:  st.quarantines.Load(),
 		Redeliveries: st.redeliveries.Load(),
 		Dropped:      st.dropped.Load(),
+		HandedOff:    st.handedOff.Load(),
 	}
 }
 

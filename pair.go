@@ -502,10 +502,14 @@ type PairStats struct {
 	Timeouts uint64
 	// Quarantines counts breaker-open transitions; Redeliveries counts
 	// re-offered failed batches; Dropped counts items discarded after
-	// redelivery exhaustion (ItemsIn == ItemsOut + Dropped once closed).
+	// redelivery exhaustion (ItemsIn == ItemsOut + Dropped + HandedOff
+	// once closed).
 	Quarantines  uint64
 	Redeliveries uint64
 	Dropped      uint64
+	// HandedOff counts items extracted unprocessed by Pair.Handoff for
+	// cross-process migration.
+	HandedOff uint64
 }
 
 // Stats returns a snapshot of the pair's counters.

@@ -46,11 +46,15 @@ type Stats struct {
 	// ItemsDropped counts items discarded after redelivery exhaustion
 	// or a failure during a final drain. Conservation: once every
 	// producer has returned and the runtime is closed,
-	// ItemsIn == ItemsOut + ItemsDropped.
+	// ItemsIn == ItemsOut + ItemsDropped + HandedOff.
 	ItemsDropped uint64
 	// Migrations counts pairs moved between managers by the placement
 	// controller (see WithConsolidation).
 	Migrations uint64
+	// HandedOff counts items extracted unprocessed by Pair.Handoff for
+	// cross-process migration; they re-enter some runtime's ItemsIn when
+	// the new owner ingests them.
+	HandedOff uint64
 }
 
 type counters struct {
@@ -68,6 +72,7 @@ type counters struct {
 	redeliveries    atomic.Uint64
 	itemsDropped    atomic.Uint64
 	migrations      atomic.Uint64
+	handedOff       atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -86,6 +91,7 @@ func (c *counters) snapshot() Stats {
 		Redeliveries:    c.redeliveries.Load(),
 		ItemsDropped:    c.itemsDropped.Load(),
 		Migrations:      c.migrations.Load(),
+		HandedOff:       c.handedOff.Load(),
 	}
 }
 
