@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify chaos lint bench fuzz cluster-smoke experiments figures examples clean
+.PHONY: all build test race verify chaos chaos-e2e lint bench fuzz cluster-smoke experiments figures examples clean
 
 all: build test
 
@@ -30,6 +30,16 @@ verify:
 # through final drains and mid-drain-panic migrations.
 chaos:
 	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Quarantine|Breaker' ./...
+
+# Black-box chaos oracle over real pcd processes (build-tagged so plain
+# `go test ./...` stays fast): checked-in regression seeds replay first,
+# then one seeded run of every failure class — kill -9 + restart,
+# SIGTERM mid-burst, asymmetric TCP partition, breaker-tripping
+# handlers, fleet-placement churn, flash-crowd shedding — each verdicted
+# against the fleet conservation ledger. A failing run prints the exact
+# CHAOS_SCENARIO/CHAOS_SEED command to replay it.
+chaos-e2e:
+	$(GO) test -tags chaos -timeout 15m -v ./test/e2e
 
 # Static analysis beyond vet. Skips (with a notice) when staticcheck is
 # not on PATH so offline checkouts still build; CI installs it.

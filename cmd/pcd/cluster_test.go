@@ -171,8 +171,8 @@ func TestClusterSmoke(t *testing.T) {
 // errors, not a half-started daemon.
 func TestClusterFlagValidation(t *testing.T) {
 	cases := [][]string{
-		{"-cluster-listen", "127.0.0.1:0"},                                      // missing -node-id
-		{"-cluster-listen", "127.0.0.1:0", "-node-id", "a", "-cluster-seed", "junk"}, // malformed seed
+		{"-cluster-listen", "127.0.0.1:0"},                                                            // missing -node-id
+		{"-cluster-listen", "127.0.0.1:0", "-node-id", "a", "-cluster-seed", "junk"},                  // malformed seed
 		{"-cluster-listen", "127.0.0.1:0", "-node-id", "a", "-fleet", "-fleet-node-budget", "b@zero"}, // bad budget
 	}
 	for _, args := range cases {

@@ -87,15 +87,19 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		histograms  = fs.Bool("histograms", false, "record sampled latency histograms, exported at /metrics and /debug/latency")
 		timelineCap = fs.Int("timeline", 0, "wakeup-timeline ring capacity served at /debug/timeline (0: disabled)")
 
-		nodeID        = fs.String("node-id", "", "this node's cluster id (required with -cluster-listen)")
-		clusterListen = fs.String("cluster-listen", "", "cluster wire listen address (empty: clustering disabled)")
-		clusterSeed   = fs.String("cluster-seed", "", "static peer seeds, comma-separated id@host:port")
-		clusterHB     = fs.Duration("cluster-heartbeat", 250*time.Millisecond, "peer heartbeat/probe period")
-		advertiseHTTP = fs.String("advertise-http", "", "HTTP ingest address advertised to peers for redirects (default: the bound -http address)")
-		fleetOn       = fs.Bool("fleet", false, "enable the fleet placement controller (leader packs streams onto the fewest nodes)")
-		fleetEvery    = fs.Duration("fleet-interval", 500*time.Millisecond, "fleet re-plan period (with -fleet)")
-		fleetBudget   = fs.Float64("fleet-budget", 0, "default per-node load budget, items/s (0: packer default)")
-		fleetBudgets  = fs.String("fleet-node-budget", "", "per-node budget overrides, comma-separated id@rate")
+		finalStatus     = fs.String("final-status", "", "write the final /statusz JSON here after the drain completes (chaos-oracle ledger testimony)")
+		chaosFailPrefix = fs.String("chaos-fail-prefix", "", "fault injection: handlers for streams with this key prefix always fail, tripping the circuit breaker (chaos harness only)")
+
+		nodeID           = fs.String("node-id", "", "this node's cluster id (required with -cluster-listen)")
+		clusterListen    = fs.String("cluster-listen", "", "cluster wire listen address (empty: clustering disabled)")
+		clusterSeed      = fs.String("cluster-seed", "", "static peer seeds, comma-separated id@host:port")
+		clusterHB        = fs.Duration("cluster-heartbeat", 250*time.Millisecond, "peer heartbeat/probe period")
+		advertiseHTTP    = fs.String("advertise-http", "", "HTTP ingest address advertised to peers for redirects (default: the bound -http address)")
+		advertiseCluster = fs.String("advertise-cluster", "", "cluster wire address advertised to peers (default: the bound -cluster-listen address); lets NAT'd deployments or chaos proxies interpose on peer traffic")
+		fleetOn          = fs.Bool("fleet", false, "enable the fleet placement controller (leader packs streams onto the fewest nodes)")
+		fleetEvery       = fs.Duration("fleet-interval", 500*time.Millisecond, "fleet re-plan period (with -fleet)")
+		fleetBudget      = fs.Float64("fleet-budget", 0, "default per-node load budget, items/s (0: packer default)")
+		fleetBudgets     = fs.String("fleet-node-budget", "", "per-node budget overrides, comma-separated id@rate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,6 +149,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 			}
 			return func(batch [][]byte) { spin(time.Duration(len(batch)) * *work) }
 		},
+		HandlerFuncFor: failingHandlers(*chaosFailPrefix, *work),
 		PairOptions: func(key string) []repro.PairOption {
 			return []repro.PairOption{
 				repro.PairWithHandlerTimeout(*handlerTimeout),
@@ -176,6 +181,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 			NodeID:         *nodeID,
 			ListenAddr:     *clusterListen,
 			HTTPAddr:       *advertiseHTTP,
+			AdvertiseAddr:  *advertiseCluster,
 			Seeds:          seeds,
 			HeartbeatEvery: *clusterHB,
 			Logf:           logf,
@@ -248,6 +254,14 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		logf("pcd: close: %v", err)
 		code = 1
 	}
+	if *finalStatus != "" {
+		// Post-drain ledger testimony for black-box harnesses: written
+		// atomically (tmp + rename) so a reader never sees a torn file.
+		if err := writeFinalStatus(srv, *finalStatus); err != nil {
+			logf("pcd: final-status: %v", err)
+			code = 1
+		}
+	}
 
 	st := rt.Stats()
 	elapsed := time.Since(start)
@@ -260,6 +274,44 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		"pcd: served %d items (%d shed as overflow, %d dropped) over %.1fs: %d wakeups (%d timer + %d forced), %.1f items/wakeup\n",
 		st.ItemsOut, st.Overflows, st.ItemsDropped, elapsed.Seconds(), wakes, st.TimerWakes, st.ForcedWakes, perWake)
 	return code
+}
+
+// writeFinalStatus writes the server's post-drain /statusz JSON to
+// path via tmp + rename.
+func writeFinalStatus(srv *server.Server, path string) error {
+	b, err := srv.StatusJSON()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// failingHandlers builds the -chaos-fail-prefix fault injector: streams
+// whose key carries the prefix get an error-returning handler (feeding
+// the breaker until quarantine), every other stream keeps the normal
+// spin-or-discard handler. With no prefix it returns nil so the plain
+// HandlerFor path stays in effect.
+func failingHandlers(prefix string, work time.Duration) func(string) func(context.Context, [][]byte) error {
+	if prefix == "" {
+		return nil
+	}
+	return func(key string) func(context.Context, [][]byte) error {
+		if strings.HasPrefix(key, prefix) {
+			return func(context.Context, [][]byte) error {
+				return fmt.Errorf("chaos: injected handler failure for %q", key)
+			}
+		}
+		return func(_ context.Context, batch [][]byte) error {
+			if work > 0 {
+				spin(time.Duration(len(batch)) * work)
+			}
+			return nil
+		}
+	}
 }
 
 // parseSeeds parses "-cluster-seed id@host:port,id@host:port".

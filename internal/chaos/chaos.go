@@ -1,0 +1,98 @@
+// Package chaos is the black-box chaos oracle for pcd cluster mode: it
+// compiles the real pcd binary, boots 1–3 node fleets on loopback
+// (every node's cluster wire fronted by a partitionable TCP proxy),
+// drives seeded sequences of failures — kill -9 and restart, SIGTERM
+// mid-burst, asymmetric TCP partitions, breaker-tripping handlers,
+// fleet-placement churn — under adversarial workloads from the
+// internal/trace scenario library, then scrapes /statusz + /metrics on
+// every node (and each node's post-drain -final-status testimony) and
+// verdicts the fleet conservation ledger:
+//
+//	accepted == Σ ItemsIn − Σ HandedOff + Σ migrate-shed + Σ migrate-quarantined
+//	            (± the bounded in-doubt / stash slack terms)
+//
+// plus per-node ItemsIn == ItemsOut + Dropped + HandedOff after every
+// clean drain, and exit code 0 on SIGTERM. Every run is fully
+// determined by a (scenario, seed) pair; failing pairs are checked into
+// test/e2e/testdata/regression_seeds.json and replayed first.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scenario names one chaos scenario class. Each class is a distinct
+// failure shape; the seed picks the workload realization, victim
+// choices, and fault timing within the class.
+type Scenario string
+
+const (
+	// ScenarioKill9 hard-kills one node (SIGKILL, no drain) at a
+	// quiesced point, restarts it, and keeps serving.
+	ScenarioKill9 Scenario = "kill9"
+	// ScenarioSigterm SIGTERMs one node in the middle of a flash-crowd
+	// burst; the node must drain clean (exit 0) while the survivors
+	// absorb its streams.
+	ScenarioSigterm Scenario = "sigterm"
+	// ScenarioPartition cuts one node's inbound cluster wire mid-run
+	// (asymmetric partition: peers cannot reach it, it can reach peers),
+	// then heals it.
+	ScenarioPartition Scenario = "partition"
+	// ScenarioBreaker injects always-failing handlers for a stream
+	// prefix, tripping circuit breakers into quarantine under load.
+	ScenarioBreaker Scenario = "breaker"
+	// ScenarioChurn runs the fleet placement controller under
+	// correlated load swings, forcing cross-node stream migrations.
+	ScenarioChurn Scenario = "churn"
+	// ScenarioFlashCrowd overloads a small fleet with a synchronized
+	// spike so admission control sheds; conservation must still hold.
+	ScenarioFlashCrowd Scenario = "flashcrowd"
+)
+
+// Scenarios lists every class, in regression-replay order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		ScenarioKill9, ScenarioSigterm, ScenarioPartition,
+		ScenarioBreaker, ScenarioChurn, ScenarioFlashCrowd,
+	}
+}
+
+// Seed is one replayable chaos run: a scenario class plus the 64-bit
+// seed that fixes its workload, victims, and fault timing. Failing
+// seeds are checked into regression_seeds.json with a note naming what
+// they caught.
+type Seed struct {
+	Scenario Scenario `json:"scenario"`
+	Seed     int64    `json:"seed"`
+	Note     string   `json:"note,omitempty"`
+}
+
+// Repro renders the one-command reproduction for a seed.
+func (s Seed) Repro() string {
+	return fmt.Sprintf("CHAOS_SCENARIO=%s CHAOS_SEED=%d go test -tags chaos -run TestChaosOne -v ./test/e2e",
+		s.Scenario, s.Seed)
+}
+
+// LoadSeeds reads a regression-seed file. A missing file is an empty
+// list, not an error, so fresh checkouts run with zero regressions.
+func LoadSeeds(path string) ([]Seed, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seeds []Seed
+	if err := json.Unmarshal(b, &seeds); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	for i, s := range seeds {
+		if _, err := scenarioRunner(s.Scenario); err != nil {
+			return nil, fmt.Errorf("chaos: %s entry %d: %w", path, i, err)
+		}
+	}
+	return seeds, nil
+}

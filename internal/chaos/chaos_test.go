@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// entry builds a LedgerEntry with the given runtime counters.
+func entry(node string, clean bool, in, out, dropped, handed uint64, mut func(*ClusterCounts)) LedgerEntry {
+	e := LedgerEntry{Node: node, Gen: 0, Clean: clean}
+	e.Status.Runtime = RuntimeCounts{ItemsIn: in, ItemsOut: out, ItemsDropped: dropped, HandedOff: handed}
+	e.Status.Cluster = &ClusterCounts{}
+	if mut != nil {
+		mut(e.Status.Cluster)
+	}
+	return e
+}
+
+func TestCheckConservationBalanced(t *testing.T) {
+	// n1 ingested 100 (40 handed to n2), n2 ingested 60 client + 40
+	// handed off. Client accepted 160; fleet in=200 − handed=40 == 160.
+	entries := []LedgerEntry{
+		entry("n1", true, 100, 60, 0, 40, nil),
+		entry("n2", true, 100, 100, 0, 0, nil),
+	}
+	if err := CheckConservation(DriveStats{Accepted: 160}, entries); err != nil {
+		t.Fatalf("balanced ledger rejected: %v", err)
+	}
+	if err := CheckNodeConservation(entries); err != nil {
+		t.Fatalf("balanced nodes rejected: %v", err)
+	}
+}
+
+func TestCheckConservationCatchesSilentLoss(t *testing.T) {
+	// Client accepted 160 but a node lost 10 items without declaring
+	// them in-doubt or stashed: the requeue-failure bug shape.
+	entries := []LedgerEntry{
+		entry("n1", true, 100, 60, 0, 40, nil),
+		entry("n2", true, 90, 90, 0, 0, nil),
+	}
+	err := CheckConservation(DriveStats{Accepted: 160}, entries)
+	if err == nil {
+		t.Fatal("silent loss of 10 items passed conservation")
+	}
+	if !strings.Contains(err.Error(), "deficit 10") {
+		t.Fatalf("error does not name the deficit: %v", err)
+	}
+}
+
+func TestCheckConservationCatchesDuplication(t *testing.T) {
+	// Fleet accounts for more than the client ever accepted, with no
+	// client in-doubt slack: the ack-loss re-send duplicate shape.
+	entries := []LedgerEntry{
+		entry("n1", true, 120, 80, 0, 40, nil),
+		entry("n2", true, 100, 100, 0, 0, nil),
+	}
+	if err := CheckConservation(DriveStats{Accepted: 160}, entries); err == nil {
+		t.Fatal("20 duplicated items passed conservation")
+	}
+	// The same surplus is legal when the client itself lost 20 verdicts.
+	if err := CheckConservation(DriveStats{Accepted: 160, InDoubt: 20}, entries); err != nil {
+		t.Fatalf("client in-doubt slack not honored: %v", err)
+	}
+}
+
+func TestCheckConservationInDoubtSlack(t *testing.T) {
+	// 10 items written to a peer whose ack vanished: accepted but not
+	// accounted, legal only because the sender declared them in doubt.
+	entries := []LedgerEntry{
+		entry("n1", true, 100, 60, 0, 40, func(c *ClusterCounts) {
+			c.ForwardInDoubtItems = 10
+		}),
+		entry("n2", true, 90, 90, 0, 0, nil),
+	}
+	if err := CheckConservation(DriveStats{Accepted: 160}, entries); err != nil {
+		t.Fatalf("declared in-doubt items rejected: %v", err)
+	}
+	// An 11th missing item is beyond the declared slack.
+	if err := CheckConservation(DriveStats{Accepted: 161}, entries); err == nil {
+		t.Fatal("loss beyond in-doubt slack passed conservation")
+	}
+}
+
+func TestCheckConservationMigrateShedAccounted(t *testing.T) {
+	// A migrated backlog the new owner shed at admission: those items
+	// left the fleet with a verdict, not silently.
+	entries := []LedgerEntry{
+		entry("n1", true, 100, 50, 0, 50, nil),
+		entry("n2", true, 40, 40, 0, 0, func(c *ClusterCounts) {
+			c.MigrateShedItems = 10
+		}),
+	}
+	if err := CheckConservation(DriveStats{Accepted: 100}, entries); err != nil {
+		t.Fatalf("migrate-shed items not credited: %v", err)
+	}
+}
+
+func TestCheckNodeConservationStuckItems(t *testing.T) {
+	entries := []LedgerEntry{entry("n1", true, 100, 90, 0, 0, nil)}
+	err := CheckNodeConservation(entries)
+	if err == nil {
+		t.Fatal("clean drain with 10 stuck items passed")
+	}
+	if !strings.Contains(err.Error(), "n1") {
+		t.Fatalf("error does not name the node: %v", err)
+	}
+	// The same ledger is legal for a SIGKILLed incarnation — it died
+	// with backlog — but impossible counts are not.
+	killed := []LedgerEntry{entry("n1", false, 100, 90, 0, 0, nil)}
+	if err := CheckNodeConservation(killed); err != nil {
+		t.Fatalf("killed incarnation backlog rejected: %v", err)
+	}
+	impossible := []LedgerEntry{entry("n1", false, 100, 110, 0, 0, nil)}
+	if err := CheckNodeConservation(impossible); err == nil {
+		t.Fatal("out > in passed for a killed incarnation")
+	}
+}
+
+func TestCheckMigrationCountsInflation(t *testing.T) {
+	// The per-frame counting regression: 2 chunked migrations land as 5
+	// frames, inflating migrations_in.
+	entries := []LedgerEntry{
+		entry("n1", true, 0, 0, 0, 0, func(c *ClusterCounts) { c.MigrationsOut = 2 }),
+		entry("n2", true, 0, 0, 0, 0, func(c *ClusterCounts) { c.MigrationsIn = 5 }),
+	}
+	if err := CheckMigrationCounts(entries); err == nil {
+		t.Fatal("frame-inflated migrations_in passed")
+	}
+	entries[1].Status.Cluster.MigrationsIn = 2
+	if err := CheckMigrationCounts(entries); err != nil {
+		t.Fatalf("balanced migration counts rejected: %v", err)
+	}
+}
+
+func TestSeedsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seeds.json")
+
+	if got, err := LoadSeeds(filepath.Join(dir, "missing.json")); err != nil || got != nil {
+		t.Fatalf("missing file: got %v, %v; want empty, nil", got, err)
+	}
+
+	const body = `[
+  {"scenario": "kill9", "seed": 42, "note": "lost requeue"},
+  {"scenario": "churn", "seed": 7}
+]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := LoadSeeds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0].Scenario != ScenarioKill9 || seeds[0].Seed != 42 || seeds[1].Scenario != ScenarioChurn {
+		t.Fatalf("bad parse: %+v", seeds)
+	}
+	if r := seeds[0].Repro(); !strings.Contains(r, "CHAOS_SCENARIO=kill9") || !strings.Contains(r, "CHAOS_SEED=42") {
+		t.Fatalf("repro command incomplete: %s", r)
+	}
+
+	if err := os.WriteFile(path, []byte(`[{"scenario": "meteor", "seed": 1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSeeds(path); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioRunnerCoversAllScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if _, err := scenarioRunner(sc); err != nil {
+			t.Errorf("scenario %s has no runner: %v", sc, err)
+		}
+	}
+}
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func roundTrip(c net.Conn, msg string) (string, error) {
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := io.ReadFull(c, buf)
+	return string(buf[:n]), err
+}
+
+func TestProxyPartitionHeal(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetTarget(ln.Addr().String())
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := roundTrip(c, "ping"); err != nil || got != "ping" {
+		t.Fatalf("healthy proxy: got %q, %v", got, err)
+	}
+
+	// Partition: the live connection dies and new dials get nowhere.
+	p.Partition()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadAll(c); err != nil {
+		t.Fatalf("expected clean EOF/reset on partitioned conn, got %v", err)
+	}
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if _, err := roundTrip(c2, "ping"); err == nil {
+			t.Fatal("partitioned proxy carried traffic")
+		}
+		c2.Close()
+	}
+
+	// Heal: new connections flow again.
+	p.Heal()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c3, err := net.Dial("tcp", p.Addr())
+		if err == nil {
+			got, rerr := roundTrip(c3, "pong")
+			c3.Close()
+			if rerr == nil && got == "pong" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed proxy never carried traffic")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

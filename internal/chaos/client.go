@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// DriveStats is the client-side half of the conservation ledger: what
+// the workload driver can testify about every item it tried to send.
+type DriveStats struct {
+	Accepted    int // items a node acknowledged into a pair buffer
+	Shed        int // items refused by admission control (429)
+	Quarantined int // items refused by an open breaker (503)
+	Rejected    int // items that definitively never entered (conn refused, draining, non-JSON errors)
+	InDoubt     int // items whose request died without a verdict — the node MAY have ingested them
+}
+
+// Add folds another batch verdict in.
+func (d *DriveStats) Add(o DriveStats) {
+	d.Accepted += o.Accepted
+	d.Shed += o.Shed
+	d.Quarantined += o.Quarantined
+	d.Rejected += o.Rejected
+	d.InDoubt += o.InDoubt
+}
+
+func (d DriveStats) String() string {
+	return fmt.Sprintf("accepted=%d shed=%d quarantined=%d rejected=%d indoubt=%d",
+		d.Accepted, d.Shed, d.Quarantined, d.Rejected, d.InDoubt)
+}
+
+// Driver replays trace scenarios against a fleet as real HTTP ingest
+// traffic, counting every item's fate. Target choice per batch is
+// seeded, so half the traffic enters the "wrong" node and crosses the
+// forwarding path deterministically.
+type Driver struct {
+	Targets []string
+	Logf    func(string, ...any)
+
+	client *http.Client
+
+	mu    sync.Mutex
+	stats DriveStats
+}
+
+// NewDriver builds a driver spraying the given HTTP bases.
+func NewDriver(targets []string, logf func(string, ...any)) *Driver {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Driver{
+		Targets: targets,
+		Logf:    logf,
+		client: &http.Client{
+			Timeout: 10 * time.Second,
+			// No redirect following: the driver never opts into 307s.
+		},
+	}
+}
+
+// Stats returns the accumulated client ledger.
+func (d *Driver) Stats() DriveStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// batchWindow groups arrivals into one POST per window per stream: the
+// wire-level batching any real producer does.
+const batchWindow = 20 * time.Millisecond
+
+// Replay streams the scenario's arrivals in wall time (virtual seconds
+// == wall seconds), one goroutine per stream, until the trace ends or
+// ctx is cancelled. It returns the stats delta for this replay.
+func (d *Driver) Replay(ctx context.Context, sc trace.Scenario, seed int64) DriveStats {
+	before := d.Stats()
+	var wg sync.WaitGroup
+	for si, st := range sc.Streams {
+		wg.Add(1)
+		go func(si int, st trace.StreamTrace) {
+			defer wg.Done()
+			d.replayStream(ctx, st, rand.New(rand.NewSource(seed^int64(si)<<17)))
+		}(si, st)
+	}
+	wg.Wait()
+	after := d.Stats()
+	return DriveStats{
+		Accepted:    after.Accepted - before.Accepted,
+		Shed:        after.Shed - before.Shed,
+		Quarantined: after.Quarantined - before.Quarantined,
+		Rejected:    after.Rejected - before.Rejected,
+		InDoubt:     after.InDoubt - before.InDoubt,
+	}
+}
+
+func (d *Driver) replayStream(ctx context.Context, st trace.StreamTrace, rng *rand.Rand) {
+	start := time.Now()
+	arr := st.Trace.Arrivals
+	seq := 0
+	for off := 0; off < len(arr); {
+		// Collect the batch landing in this window.
+		winEnd := arr[off].Add(simtime.DurationOfSeconds(batchWindow.Seconds()))
+		end := off
+		for end < len(arr) && arr[end] < winEnd {
+			end++
+		}
+		var b strings.Builder
+		for i := off; i < end; i++ {
+			fmt.Fprintf(&b, "%s/%06d\n", st.Key, seq)
+			seq++
+		}
+		// Pace: wait until the window's first arrival is due.
+		due := start.Add(time.Duration(float64(time.Second) * simtime.Time(arr[off]).Seconds()))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		target := d.Targets[rng.Intn(len(d.Targets))]
+		res := d.post(target, st.Key, b.String(), end-off)
+		d.mu.Lock()
+		d.stats.Add(res)
+		d.mu.Unlock()
+		off = end
+	}
+}
+
+// post sends one batch and classifies the verdict for every item in it.
+func (d *Driver) post(base, key, body string, items int) DriveStats {
+	resp, err := d.client.Post(base+"/ingest/"+key, "text/plain", strings.NewReader(body))
+	if err != nil {
+		// Refused connections never reached a server: definitive reject.
+		// Anything after the request started writing is in doubt — the
+		// node may have ingested the batch before dying mid-response.
+		if strings.Contains(err.Error(), "connection refused") {
+			return DriveStats{Rejected: items}
+		}
+		return DriveStats{InDoubt: items}
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Accepted    int `json:"accepted"`
+		Shed        int `json:"shed"`
+		Quarantined int `json:"quarantined"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			// A 2xx whose body we could not read: the verdict is lost.
+			return DriveStats{InDoubt: items}
+		}
+		// Plain-text refusals ("draining", bad key, overload): nothing
+		// entered a pair buffer.
+		return DriveStats{Rejected: items}
+	}
+	res := DriveStats{Accepted: v.Accepted, Shed: v.Shed, Quarantined: v.Quarantined}
+	if rest := items - v.Accepted - v.Shed - v.Quarantined; rest > 0 {
+		res.Rejected += rest
+	}
+	return res
+}

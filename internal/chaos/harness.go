@@ -1,0 +1,336 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Fleet is a running loopback cluster of real pcd processes, each with
+// a partitionable proxy in front of its cluster wire, plus the ledger
+// bookkeeping the oracle needs: every incarnation that ever lived must
+// testify (final-status file for clean exits, last scrape for kill -9
+// victims) or the conservation verdict is meaningless.
+type Fleet struct {
+	Dir     string
+	Bins    Binaries
+	Logf    func(string, ...any)
+	Nodes   []*Node  // current incarnation per slot; nil after unclean death
+	Proxies []*Proxy // proxy i fronts slot i's cluster listener
+
+	ids       []string
+	baseArgs  []string
+	retired   []LedgerEntry // testimony of dead incarnations
+	drainWait time.Duration
+}
+
+// FleetOpts shapes a fleet boot.
+type FleetOpts struct {
+	Nodes int
+	// ExtraArgs are appended to every node's pcd argv (fault-injection
+	// flags, buffer sizes, fleet mode).
+	ExtraArgs []string
+	Logf      func(string, ...any)
+}
+
+// StartFleet boots n pcd nodes sequentially on loopback. Node i seeds
+// to every earlier node's proxy address and advertises its own proxy,
+// so all peer traffic crosses the partitionable layer.
+func StartFleet(dir string, bins Binaries, opts FleetOpts) (*Fleet, error) {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	f := &Fleet{
+		Dir: dir, Bins: bins, Logf: opts.Logf,
+		drainWait: 30 * time.Second,
+		baseArgs: append([]string{
+			"-http", "127.0.0.1:0",
+			"-cluster-listen", "127.0.0.1:0",
+			"-cluster-heartbeat", "50ms",
+			"-slot", "5ms", "-latency", "50ms",
+			"-drain", "20s",
+		}, opts.ExtraArgs...),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		f.ids = append(f.ids, fmt.Sprintf("n%d", i+1))
+		p, err := NewProxy()
+		if err != nil {
+			f.Destroy()
+			return nil, err
+		}
+		f.Proxies = append(f.Proxies, p)
+	}
+	for i := range f.ids {
+		if err := f.startSlot(i, 0); err != nil {
+			f.Destroy()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// slotArgs assembles slot i's argv: identity, advertised proxy address,
+// and seeds naming every other slot's proxy.
+func (f *Fleet) slotArgs(i int) []string {
+	args := append([]string{}, f.baseArgs...)
+	args = append(args,
+		"-node-id", f.ids[i],
+		"-advertise-cluster", f.Proxies[i].Addr(),
+	)
+	seeds := ""
+	for j := range f.ids {
+		if j == i {
+			continue
+		}
+		if seeds != "" {
+			seeds += ","
+		}
+		seeds += f.ids[j] + "@" + f.Proxies[j].Addr()
+	}
+	if seeds != "" {
+		args = append(args, "-cluster-seed", seeds)
+	}
+	return args
+}
+
+func (f *Fleet) startSlot(i, gen int) error {
+	n, err := startNode(f.ids[i], gen, f.Dir, f.Bins.PCD, f.slotArgs(i), f.Logf)
+	if err != nil {
+		return err
+	}
+	f.Proxies[i].SetTarget(n.ClusterAddr)
+	for len(f.Nodes) <= i {
+		f.Nodes = append(f.Nodes, nil)
+	}
+	f.Nodes[i] = n
+	f.Logf("chaos: slot %d (%s gen %d) up: http=%s cluster=%s proxy=%s",
+		i, n.ID, gen, n.HTTPAddr, n.ClusterAddr, f.Proxies[i].Addr())
+	return nil
+}
+
+// Live returns the currently running nodes.
+func (f *Fleet) Live() []*Node {
+	var live []*Node
+	for _, n := range f.Nodes {
+		if n != nil && n.Alive() {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// Targets returns the HTTP bases clients should spray, dead or alive —
+// mid-burst scenarios intentionally keep posting at a dying node.
+func (f *Fleet) Targets() []string {
+	var t []string
+	for _, n := range f.Nodes {
+		if n != nil {
+			t = append(t, n.Base())
+		}
+	}
+	return t
+}
+
+// Kill9 scrapes slot i's last testimony, then SIGKILLs it. The scrape
+// must happen while quiesced or the unscraped window becomes silent
+// ledger loss — callers use QuiesceThen around it.
+func (f *Fleet) Kill9(i int) error {
+	n := f.Nodes[i]
+	st, err := n.Scrape()
+	if err != nil {
+		return fmt.Errorf("chaos: pre-kill scrape of %s: %w", n.ID, err)
+	}
+	f.retired = append(f.retired, LedgerEntry{Node: n.ID, Gen: n.Gen, Clean: false, Status: st})
+	f.Logf("chaos: kill -9 %s (gen %d)", n.ID, n.Gen)
+	n.Kill9()
+	f.Nodes[i] = nil
+	return nil
+}
+
+// Restart boots a fresh incarnation in slot i (same id, same proxy).
+func (f *Fleet) Restart(i int) error {
+	gen := 0
+	if f.Nodes[i] != nil {
+		gen = f.Nodes[i].Gen + 1
+	} else {
+		for _, e := range f.retired {
+			if e.Node == f.ids[i] && e.Gen >= gen {
+				gen = e.Gen + 1
+			}
+		}
+	}
+	return f.startSlot(i, gen)
+}
+
+// Terminate SIGTERMs slot i, requires a clean drain, and records the
+// post-drain final-status testimony.
+func (f *Fleet) Terminate(i int) error {
+	n := f.Nodes[i]
+	if err := n.Terminate(f.drainWait); err != nil {
+		return err
+	}
+	st, err := n.FinalStatus()
+	if err != nil {
+		return err
+	}
+	f.retired = append(f.retired, LedgerEntry{Node: n.ID, Gen: n.Gen, Clean: true, Status: st})
+	f.Nodes[i] = nil
+	f.Logf("chaos: %s drained clean (in=%d out=%d dropped=%d handedoff=%d)",
+		n.ID, st.Runtime.ItemsIn, st.Runtime.ItemsOut, st.Runtime.ItemsDropped, st.Runtime.HandedOff)
+	return nil
+}
+
+// DrainAll cleanly terminates every surviving node and returns the full
+// ledger testimony: every incarnation that ever ran.
+func (f *Fleet) DrainAll() ([]LedgerEntry, error) {
+	for i, n := range f.Nodes {
+		if n == nil {
+			continue
+		}
+		if err := f.Terminate(i); err != nil {
+			return nil, err
+		}
+	}
+	return append([]LedgerEntry(nil), f.retired...), nil
+}
+
+// WaitConverged blocks until every live node's membership view lists
+// all other live nodes alive (and dead slots not alive).
+func (f *Fleet) WaitConverged(timeout time.Duration) error {
+	live := f.Live()
+	want := make(map[string]bool)
+	for _, n := range live {
+		want[n.ID] = true
+	}
+	return waitFor("membership convergence", timeout, func() (bool, error) {
+		for _, n := range live {
+			st, err := n.Scrape()
+			if err != nil || st.Cluster == nil {
+				return false, nil
+			}
+			alive := map[string]bool{n.ID: true}
+			for _, p := range st.Cluster.Peers {
+				if p.State == "alive" {
+					alive[p.ID] = true
+				}
+			}
+			for id := range want {
+				if !alive[id] {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	})
+}
+
+// Quiesce blocks until, twice in a row, every live node's ledger is
+// internally settled (ItemsIn == ItemsOut + Dropped + HandedOff,
+// nothing stashed) AND the fleet's migration item flow has closed
+// (Σ shipped == Σ landed + shed + quarantined + in-doubt). The second
+// condition matters because a detached backlog mid-ship balances both
+// nodes' runtime ledgers while the items are still on the wire; with
+// client traffic paused, both holding means no item is in flight
+// anywhere — the only safe moment to scrape a node that is about to be
+// SIGKILLed.
+func (f *Fleet) Quiesce(timeout time.Duration) error {
+	stable := 0
+	return waitFor("fleet quiesce", timeout, func() (bool, error) {
+		var migOut, migIn, migShed, migQuar, migDoubt uint64
+		for _, n := range f.Live() {
+			st, err := n.Scrape()
+			if err != nil {
+				stable = 0
+				return false, nil
+			}
+			r := st.Runtime
+			if r.ItemsIn != r.ItemsOut+r.ItemsDropped+r.HandedOff {
+				stable = 0
+				return false, nil
+			}
+			if st.Cluster != nil {
+				if st.Cluster.StashedItems != 0 {
+					stable = 0
+					return false, nil
+				}
+				migOut += st.Cluster.MigratedItemsOut
+				migIn += st.Cluster.MigratedItemsIn
+				migShed += st.Cluster.MigrateShedItems
+				migQuar += st.Cluster.MigrateQuarantinedItems
+				migDoubt += st.Cluster.MigrateInDoubtItems
+			}
+		}
+		// Dead incarnations' shipped-but-unscraped items can keep this
+		// from ever closing exactly; fold their testimony in.
+		for _, e := range f.retired {
+			if e.Status.Cluster != nil {
+				migOut += e.Status.Cluster.MigratedItemsOut
+				migIn += e.Status.Cluster.MigratedItemsIn
+				migShed += e.Status.Cluster.MigrateShedItems
+				migQuar += e.Status.Cluster.MigrateQuarantinedItems
+				migDoubt += e.Status.Cluster.MigrateInDoubtItems
+			}
+		}
+		if migOut > migIn+migShed+migQuar+migDoubt {
+			stable = 0
+			return false, nil
+		}
+		stable++
+		return stable >= 2, nil
+	})
+}
+
+// Destroy force-kills everything left; used on harness-internal errors.
+func (f *Fleet) Destroy() {
+	for _, n := range f.Nodes {
+		if n != nil && n.Alive() {
+			n.Kill9()
+		}
+	}
+	for _, p := range f.Proxies {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// DumpLogs returns the tail of every incarnation's log for failure
+// reports.
+func (f *Fleet) DumpLogs(maxBytes int64) string {
+	out := ""
+	for _, n := range f.Nodes {
+		if n != nil {
+			out += tailFile(n.LogPath, maxBytes)
+		}
+	}
+	return out
+}
+
+func tailFile(path string, maxBytes int64) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Sprintf("--- %s: %v\n", path, err)
+	}
+	if int64(len(b)) > maxBytes {
+		b = b[int64(len(b))-maxBytes:]
+	}
+	return fmt.Sprintf("--- %s ---\n%s\n", path, b)
+}
+
+// waitFor polls cond until true, error, or timeout.
+func waitFor(what string, timeout time.Duration, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok, err := cond()
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: timed out waiting for %s (%v)", what, timeout)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+}

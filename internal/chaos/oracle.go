@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LedgerEntry is one pcd incarnation's final testimony: the post-drain
+// -final-status document for clean exits (Clean=true), or the last
+// quiesced scrape taken right before a SIGKILL (Clean=false).
+type LedgerEntry struct {
+	Node   string
+	Gen    int
+	Clean  bool
+	Status NodeStatus
+}
+
+// Ledger aggregates every incarnation's counters into the fleet
+// conservation identity the oracle verdicts.
+type Ledger struct {
+	In, Out, Dropped, HandedOff       uint64
+	MigShed, MigQuarantined           uint64
+	ForwardInDoubt, MigrateInDoubt    uint64
+	Stashed, RequeueFailed            uint64
+	MigrationsOut, MigrationsIn       uint64
+	MigratedItemsOut, MigratedItemsIn uint64
+	ForwardsOutItems, ForwardsInItems uint64
+	Quarantines, Overflows            uint64
+}
+
+// Sum folds the entries into one fleet ledger.
+func Sum(entries []LedgerEntry) Ledger {
+	var l Ledger
+	for _, e := range entries {
+		r := e.Status.Runtime
+		l.In += r.ItemsIn
+		l.Out += r.ItemsOut
+		l.Dropped += r.ItemsDropped
+		l.HandedOff += r.HandedOff
+		l.Quarantines += r.Quarantines
+		l.Overflows += r.Overflows
+		if c := e.Status.Cluster; c != nil {
+			l.MigShed += c.MigrateShedItems
+			l.MigQuarantined += c.MigrateQuarantinedItems
+			l.ForwardInDoubt += c.ForwardInDoubtItems
+			l.MigrateInDoubt += c.MigrateInDoubtItems
+			l.Stashed += c.StashedItems
+			l.RequeueFailed += c.RequeueFailedItems
+			l.MigrationsOut += c.MigrationsOut
+			l.MigrationsIn += c.MigrationsIn
+			l.MigratedItemsOut += c.MigratedItemsOut
+			l.MigratedItemsIn += c.MigratedItemsIn
+			l.ForwardsOutItems += c.ForwardsOutItems
+			l.ForwardsInItems += c.ForwardsInItems
+		}
+	}
+	return l
+}
+
+// CheckConservation verdicts the fleet conservation ledger against the
+// client's testimony.
+//
+// Accounted entries: every client-accepted item should appear exactly
+// once in Σ ItemsIn, except items handed off between nodes (counted at
+// both, cancelled by Σ HandedOff) and hand-off items the new owner
+// refused (counted in the migrate-shed / migrate-quarantined terms).
+//
+//	accounted := Σ In − Σ HandedOff + Σ MigShed + Σ MigQuarantined
+//	deficit   := accepted − accounted
+//
+// Slack: a positive deficit (accepted but unaccounted) is legal only up
+// to the declared in-doubt and stash terms — items written to a peer
+// whose ack vanished, or still stashed at exit. A negative deficit
+// (accounted but not client-counted) is legal only up to the client's
+// own in-doubt items (requests that died without a verdict). Anything
+// beyond either bound is silent loss or duplication — the bugs this
+// oracle exists to catch.
+func CheckConservation(client DriveStats, entries []LedgerEntry) error {
+	l := Sum(entries)
+	accounted := int64(l.In) - int64(l.HandedOff) + int64(l.MigShed) + int64(l.MigQuarantined)
+	deficit := int64(client.Accepted) - accounted
+	hi := int64(l.ForwardInDoubt + l.MigrateInDoubt + l.Stashed)
+	lo := -int64(client.InDoubt)
+	if deficit < lo || deficit > hi {
+		return fmt.Errorf(
+			"fleet conservation broken: client accepted %d but fleet accounts for %d "+
+				"(deficit %d outside [%d, %d]; in=%d handedoff=%d migshed=%d migquar=%d "+
+				"fwd-indoubt=%d mig-indoubt=%d stashed=%d client-indoubt=%d)",
+			client.Accepted, accounted, deficit, lo, hi,
+			l.In, l.HandedOff, l.MigShed, l.MigQuarantined,
+			l.ForwardInDoubt, l.MigrateInDoubt, l.Stashed, client.InDoubt)
+	}
+	return nil
+}
+
+// CheckNodeConservation verdicts each clean incarnation's local
+// identity: after a full drain, every item that entered was consumed,
+// dropped, or handed off — nothing stuck in a pair buffer.
+func CheckNodeConservation(entries []LedgerEntry) error {
+	var bad []string
+	for _, e := range entries {
+		r := e.Status.Runtime
+		if !e.Clean {
+			// A SIGKILLed incarnation legitimately died with backlog;
+			// its In still funds the fleet ledger. Only impossible
+			// counts (more out than in) are an error.
+			if r.ItemsOut+r.ItemsDropped+r.HandedOff > r.ItemsIn {
+				bad = append(bad, fmt.Sprintf(
+					"%s gen %d (killed): out+dropped+handedoff %d exceeds in %d",
+					e.Node, e.Gen, r.ItemsOut+r.ItemsDropped+r.HandedOff, r.ItemsIn))
+			}
+			continue
+		}
+		if r.ItemsIn != r.ItemsOut+r.ItemsDropped+r.HandedOff {
+			bad = append(bad, fmt.Sprintf(
+				"%s gen %d: in %d != out %d + dropped %d + handedoff %d (stuck or lost items after clean drain)",
+				e.Node, e.Gen, r.ItemsIn, r.ItemsOut, r.ItemsDropped, r.HandedOff))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("per-node conservation broken:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// CheckMigrationCounts verdicts the stream-level migration counters:
+// with no faults injected, every DetachStream on one node must land as
+// exactly one migration on another — the counter-inflation regression
+// (counting frames instead of streams) shows up here as in > out.
+func CheckMigrationCounts(entries []LedgerEntry) error {
+	l := Sum(entries)
+	if l.MigrationsOut != l.MigrationsIn {
+		return fmt.Errorf(
+			"migration stream counts disagree: Σ migrations_out %d != Σ migrations_in %d (items out=%d in=%d)",
+			l.MigrationsOut, l.MigrationsIn, l.MigratedItemsOut, l.MigratedItemsIn)
+	}
+	return nil
+}

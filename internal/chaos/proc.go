@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Binaries holds the compiled artifacts under test. The oracle is
+// black-box: it only ever talks to these over sockets and signals.
+type Binaries struct {
+	PCD string
+}
+
+// Build compiles pcd into dir from the enclosing module. moduleRoot is
+// the repo root (where go.mod lives); tests derive it from their own
+// source location.
+func Build(moduleRoot, dir string) (Binaries, error) {
+	out := filepath.Join(dir, "pcd")
+	cmd := exec.Command("go", "build", "-o", out, "./cmd/pcd")
+	cmd.Dir = moduleRoot
+	if b, err := cmd.CombinedOutput(); err != nil {
+		return Binaries{}, fmt.Errorf("chaos: go build ./cmd/pcd: %v\n%s", err, b)
+	}
+	return Binaries{PCD: out}, nil
+}
+
+// NodeStatus is the slice of /statusz the oracle reads: the runtime
+// conservation counters and the cluster ledger section.
+type NodeStatus struct {
+	Draining bool           `json:"draining"`
+	Runtime  RuntimeCounts  `json:"runtime"`
+	Cluster  *ClusterCounts `json:"cluster"`
+}
+
+// RuntimeCounts mirrors the repro.Stats fields the ledger needs (the
+// runtime section marshals Go field names — no tags).
+type RuntimeCounts struct {
+	ItemsIn      uint64
+	ItemsOut     uint64
+	ItemsDropped uint64
+	HandedOff    uint64
+	Overflows    uint64
+	Quarantines  uint64
+}
+
+// ClusterCounts is the statusz cluster section.
+type ClusterCounts struct {
+	server.ClusterStatus
+	OwnedStreams []string `json:"owned_streams"`
+}
+
+// Node is one pcd process incarnation plus its observability handles.
+type Node struct {
+	ID     string
+	Gen    int // incarnation number (bumped by restarts)
+	Dir    string
+	Bin    string
+	Args   []string // full argv minus the binary
+	Logf   func(string, ...any)
+	client *http.Client
+
+	HTTPAddr    string
+	ClusterAddr string
+	FinalPath   string
+	LogPath     string
+
+	cmd  *exec.Cmd
+	done chan struct{} // closed when Wait returns
+	werr error         // Wait's result
+}
+
+// startNode launches one pcd incarnation and waits for its addr-file.
+func startNode(id string, gen int, dir, bin string, args []string, logf func(string, ...any)) (*Node, error) {
+	n := &Node{
+		ID: id, Gen: gen, Dir: dir, Bin: bin, Args: args, Logf: logf,
+		client:    &http.Client{Timeout: 5 * time.Second},
+		FinalPath: filepath.Join(dir, fmt.Sprintf("%s.%d.final.json", id, gen)),
+		LogPath:   filepath.Join(dir, fmt.Sprintf("%s.%d.log", id, gen)),
+	}
+	addrFile := filepath.Join(dir, fmt.Sprintf("%s.%d.addr", id, gen))
+	argv := append([]string{
+		"-addr-file", addrFile,
+		"-final-status", n.FinalPath,
+	}, args...)
+	logFile, err := os.Create(n.LogPath)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, argv...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, fmt.Errorf("chaos: start %s: %w", id, err)
+	}
+	n.cmd = cmd
+	n.done = make(chan struct{})
+	go func() {
+		n.werr = cmd.Wait()
+		logFile.Close()
+		close(n.done)
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && strings.Contains(string(b), "cluster=") {
+			for _, line := range strings.Split(string(b), "\n") {
+				if v, ok := strings.CutPrefix(line, "http="); ok {
+					n.HTTPAddr = v
+				}
+				if v, ok := strings.CutPrefix(line, "cluster="); ok {
+					n.ClusterAddr = v
+				}
+			}
+			if n.HTTPAddr != "" && n.ClusterAddr != "" {
+				return n, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			n.Kill9()
+			return nil, fmt.Errorf("chaos: node %s never published addresses (log: %s)", id, n.LogPath)
+		}
+		select {
+		case <-n.done:
+			return nil, fmt.Errorf("chaos: node %s exited during boot: %v (log: %s)", id, n.werr, n.LogPath)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// Base is the node's HTTP base URL.
+func (n *Node) Base() string { return "http://" + n.HTTPAddr }
+
+// Alive reports whether the process is still running.
+func (n *Node) Alive() bool {
+	select {
+	case <-n.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Scrape fetches and parses /statusz.
+func (n *Node) Scrape() (NodeStatus, error) {
+	var st NodeStatus
+	resp, err := n.client.Get(n.Base() + "/statusz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("chaos: node %s statusz: %w", n.ID, err)
+	}
+	return st, nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (n *Node) Metrics() (string, error) {
+	resp, err := n.client.Get(n.Base() + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Kill9 SIGKILLs the process — no drain, no final status. The caller
+// should have scraped first if it wants this incarnation in the ledger.
+func (n *Node) Kill9() {
+	if n.cmd.Process != nil {
+		n.cmd.Process.Kill()
+	}
+	<-n.done
+}
+
+// Terminate SIGTERMs the process and waits for the drain to finish,
+// returning an error on timeout or a non-zero exit.
+func (n *Node) Terminate(timeout time.Duration) error {
+	if n.cmd.Process == nil {
+		return fmt.Errorf("chaos: node %s never started", n.ID)
+	}
+	n.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-n.done:
+	case <-time.After(timeout):
+		n.Kill9()
+		return fmt.Errorf("chaos: node %s did not drain within %v (log: %s)", n.ID, timeout, n.LogPath)
+	}
+	if n.werr != nil {
+		return fmt.Errorf("chaos: node %s drain exited dirty: %v (log: %s)", n.ID, n.werr, n.LogPath)
+	}
+	return nil
+}
+
+// FinalStatus reads the post-drain -final-status testimony written by a
+// cleanly terminated incarnation.
+func (n *Node) FinalStatus() (NodeStatus, error) {
+	var st NodeStatus
+	b, err := os.ReadFile(n.FinalPath)
+	if err != nil {
+		return st, fmt.Errorf("chaos: node %s final status: %w", n.ID, err)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return st, fmt.Errorf("chaos: node %s final status: %w", n.ID, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a partitionable TCP forwarder. It sits in front of one
+// node's cluster wire listener; peers are seeded (and the node
+// advertises) the proxy address, so cutting the proxy severs every
+// inbound peer connection — heartbeats, forwards, and migrations — the
+// way a real network partition would, while the node process itself
+// stays healthy.
+type Proxy struct {
+	ln net.Listener
+
+	mu          sync.Mutex
+	target      string
+	conns       map[net.Conn]struct{}
+	partitioned atomic.Bool
+	closed      atomic.Bool
+	wg          sync.WaitGroup
+}
+
+// NewProxy listens on a loopback port. The backend target may be set
+// later (SetTarget) — nodes bind :0, so their real address is known
+// only after boot, while peers need the proxy address up front.
+func NewProxy() (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address peers should dial (and the node advertise).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget points the proxy at the node's real cluster listener.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+}
+
+// Partition drops every live proxied connection and refuses new ones
+// until Heal. Connections die mid-frame — exactly the ack-loss shape
+// the in-doubt ledger terms exist for.
+func (p *Proxy) Partition() {
+	p.partitioned.Store(true)
+	p.dropAll()
+}
+
+// Heal lets new connections through again.
+func (p *Proxy) Heal() { p.partitioned.Store(false) }
+
+// Close shuts the proxy down for good.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.dropAll()
+	p.wg.Wait()
+}
+
+func (p *Proxy) dropAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.partitioned.Load() || p.closed.Load() {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		target := p.target
+		p.mu.Unlock()
+		if target == "" {
+			c.Close()
+			continue
+		}
+		back, err := net.Dial("tcp", target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		if !p.track(c) || !p.track(back) {
+			c.Close()
+			back.Close()
+			continue
+		}
+		p.wg.Add(2)
+		go p.pipe(c, back)
+		go p.pipe(back, c)
+	}
+}
+
+// pipe copies one direction, closing both ends when it stops so the
+// peer sees the cut immediately.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	io.Copy(dst, src)
+	p.untrack(src)
+	p.untrack(dst)
+}

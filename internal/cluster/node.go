@@ -15,14 +15,19 @@ import (
 // maxChunkItems bounds the items in one outbound forward/migrate frame;
 // larger batches are split so every frame stays within the decoder's
 // limits. A hand-off split across frames still lands in order: the
-// chunks travel back-to-back on one mutex-held connection.
-const maxChunkItems = 4096
+// chunks travel back-to-back on one mutex-held connection. A variable
+// so chunk-boundary failure tests can shrink it.
+var maxChunkItems = 4096
 
 // Backend is the node-local ingest surface the cluster drives — the
 // slice of *server.Server the subsystem needs. Tests substitute fakes.
 type Backend interface {
 	IngestForwarded(key string, items [][]byte) (server.IngestResult, error)
-	IngestHandoff(key string, items [][]byte) (server.IngestResult, error)
+	// IngestHandoff admits migrated items. cont marks a continuation of
+	// a hand-off already under way (a later chunk, or a requeue retry of
+	// a previously failed ship) so stream-level migration counters are
+	// bumped once per hand-off, not once per frame.
+	IngestHandoff(key string, items [][]byte, cont bool) (server.IngestResult, error)
 	DetachStream(key string) ([][]byte, bool)
 	StreamKeys() []string
 	StreamLoads() map[string]float64
@@ -38,6 +43,11 @@ type Config struct {
 	// HTTPAddr is the HTTP ingest address advertised to peers, used by
 	// them to answer client redirects toward this node.
 	HTTPAddr string
+	// AdvertiseAddr is the cluster wire address peers should dial back,
+	// when it differs from the bound ListenAddr — NAT'd deployments, or
+	// chaos harnesses that interpose a partitionable proxy in front of
+	// every node. Empty: advertise the bound listener address.
+	AdvertiseAddr string
 	// Seeds is the static peer list: node id → cluster wire address.
 	Seeds map[string]string
 	// HeartbeatEvery is the probe period. Zero defaults to 250ms.
@@ -98,11 +108,26 @@ type Node struct {
 
 	httpAddr atomic.Value // string; advertised HTTP ingest address
 
-	connMu sync.Mutex
-	conns  map[string]*peerConn
+	connMu  sync.Mutex
+	conns   map[string]*peerConn // data path: forwards + migrations
+	hbConns map[string]*peerConn // probe path: heartbeats only
 
 	inMu    sync.Mutex
 	inConns map[net.Conn]struct{}
+
+	// stash holds items owed to a stream after a failed hand-off whose
+	// local re-admission also failed (drain race) — and forwarded items
+	// whose local fallback failed the same way. The sweep retries them
+	// until the owner (or the local backend) takes them back, so the
+	// conservation ledger never silently loses an item.
+	stashMu sync.Mutex
+	stash   map[string][][]byte
+
+	// Conservation-ledger failure counters, exported via Status.
+	forwardInDoubt  atomic.Uint64 // items written to the owner whose ack was lost
+	migrateInDoubt  atomic.Uint64 // hand-off items written whose ack was lost
+	requeueFailed   atomic.Uint64 // items whose local re-admission failed (stashed)
+	sweepInProgress atomic.Bool
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -130,7 +155,9 @@ func NewNode(cfg Config, backend Backend) (*Node, error) {
 		router:  NewRouter(cfg.NodeID),
 		ln:      ln,
 		conns:   make(map[string]*peerConn),
+		hbConns: make(map[string]*peerConn),
 		inConns: make(map[net.Conn]struct{}),
+		stash:   make(map[string][][]byte),
 		stop:    make(chan struct{}),
 	}
 	n.httpAddr.Store(cfg.HTTPAddr)
@@ -169,11 +196,15 @@ func (n *Node) Close() error {
 	}
 	n.inMu.Unlock()
 	n.connMu.Lock()
-	conns := make([]*peerConn, 0, len(n.conns))
+	conns := make([]*peerConn, 0, len(n.conns)+len(n.hbConns))
 	for _, pc := range n.conns {
 		conns = append(conns, pc)
 	}
+	for _, pc := range n.hbConns {
+		conns = append(conns, pc)
+	}
 	n.conns = make(map[string]*peerConn)
+	n.hbConns = make(map[string]*peerConn)
 	n.connMu.Unlock()
 	for _, pc := range conns {
 		pc.mu.Lock()
@@ -184,7 +215,75 @@ func (n *Node) Close() error {
 		pc.mu.Unlock()
 	}
 	n.wg.Wait()
+	// Hand any still-stashed items back to the local backend before the
+	// server's drain, so a hand-off that failed right before shutdown
+	// still reaches a consumer instead of dying with the process.
+	n.stashMu.Lock()
+	stash := n.stash
+	n.stash = make(map[string][][]byte)
+	n.stashMu.Unlock()
+	for key, items := range stash {
+		if _, err := n.backend.IngestHandoff(key, items, true); err != nil {
+			n.requeueFailed.Add(uint64(len(items)))
+			n.putStash(key, items)
+			n.cfg.Logf("cluster: node %s could not requeue %d stashed items for %q at close: %v",
+				n.cfg.NodeID, len(items), key, err)
+		}
+	}
 	return nil
+}
+
+// advertiseAddr is the cluster wire address told to peers.
+func (n *Node) advertiseAddr() string {
+	if n.cfg.AdvertiseAddr != "" {
+		return n.cfg.AdvertiseAddr
+	}
+	return n.Addr()
+}
+
+// ---- hand-off stash ----
+
+// putStash appends items owed to a stream for a later sweep retry.
+func (n *Node) putStash(key string, items [][]byte) {
+	if len(items) == 0 {
+		return
+	}
+	n.stashMu.Lock()
+	n.stash[key] = append(n.stash[key], items...)
+	n.stashMu.Unlock()
+}
+
+// takeStash removes and returns everything stashed for a stream.
+func (n *Node) takeStash(key string) [][]byte {
+	n.stashMu.Lock()
+	defer n.stashMu.Unlock()
+	items := n.stash[key]
+	if items != nil {
+		delete(n.stash, key)
+	}
+	return items
+}
+
+// stashKeys lists streams with stashed items.
+func (n *Node) stashKeys() []string {
+	n.stashMu.Lock()
+	defer n.stashMu.Unlock()
+	keys := make([]string, 0, len(n.stash))
+	for k := range n.stash {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// stashedItems counts items currently stashed across all streams.
+func (n *Node) stashedItems() int {
+	n.stashMu.Lock()
+	defer n.stashMu.Unlock()
+	total := 0
+	for _, items := range n.stash {
+		total += len(items)
+	}
+	return total
 }
 
 // Leader returns the fleet leader's node id: the lowest routable member
@@ -207,9 +306,19 @@ func (n *Node) Resolve(key string) server.Route {
 }
 
 // Forward ships items for a remotely-owned stream to its owner. Large
-// batches are chunked; if a later chunk fails after an earlier one was
-// delivered, the remainder is admitted locally (never re-sent, so no
-// duplicates) and the call still succeeds.
+// batches are chunked; when a chunk fails the failure mode decides what
+// is safe to re-admit locally:
+//
+//   - Write failure or definitive rejection: the owner never ingested
+//     the chunk, so it and the remainder are admitted locally.
+//   - Ack loss (the write succeeded but no ack came back): the owner
+//     may have ingested the chunk. Re-admitting it could duplicate
+//     every item in it, so the chunk is counted in the forward_indoubt
+//     ledger term (optimistically reported accepted) and only the
+//     never-written remainder is admitted locally.
+//
+// Either way the call succeeds once anything was delivered or safely
+// re-admitted; an error means nothing left this node.
 func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) {
 	owner := n.router.Owner(key)
 	if owner == n.cfg.NodeID {
@@ -222,32 +331,59 @@ func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) 
 			end = len(items)
 		}
 		chunk := items[off:end]
-		resp, err := n.call(owner, Frame{
+		resp, wrote, err := n.call(owner, Frame{
 			Type: FrameForward, From: n.cfg.NodeID,
 			Key: key, Items: EncodeItems(chunk),
 		})
 		if err == nil && resp.Type != FrameForwardAck {
+			// The owner answered and refused: definitively not ingested.
 			err = fmt.Errorf("cluster: forward rejected: %s", resp.Error)
+			wrote = false
 		}
-		if err != nil {
-			if off == 0 {
-				return server.IngestResult{}, err
-			}
-			// Partial delivery: keep the rest here rather than lose or
-			// duplicate it. Forwarded-ingest is the right local path —
-			// these items must not bounce back out.
-			rest, lerr := n.backend.IngestForwarded(key, items[off:])
-			if lerr != nil {
-				return server.IngestResult{}, lerr
-			}
-			res.Accepted += rest.Accepted
-			res.Shed += rest.Shed
-			res.Quarantined += rest.Quarantined
+		if err == nil {
+			res.Accepted += resp.Accepted
+			res.Shed += resp.Shed
+			res.Quarantined += resp.Quarantined
+			continue
+		}
+		rest := items[off:]
+		if wrote {
+			// In doubt: the chunk reached the wire but its verdict was
+			// lost. Count it accepted — the ledger carries the slack.
+			n.forwardInDoubt.Add(uint64(len(chunk)))
+			res.Accepted += len(chunk)
+			rest = items[end:]
+			n.cfg.Logf("cluster: node %s forward to %s: %d items of %q in doubt (ack lost: %v)",
+				n.cfg.NodeID, owner, len(chunk), key, err)
+		}
+		if off == 0 && !wrote {
+			// Nothing delivered and nothing in doubt: let the caller's
+			// local-ingest fallback handle the whole batch.
+			return server.IngestResult{}, err
+		}
+		if len(rest) == 0 {
 			return res, nil
 		}
-		res.Accepted += resp.Accepted
-		res.Shed += resp.Shed
-		res.Quarantined += resp.Quarantined
+		// Partial delivery: keep the rest here rather than lose or
+		// duplicate it. Forwarded-ingest is the right local path —
+		// these items must not bounce back out.
+		local, lerr := n.backend.IngestForwarded(key, rest)
+		if lerr != nil {
+			// Local re-admission failed too (drain race). Earlier chunks
+			// were already delivered, so an error here would make the
+			// caller re-ingest them: stash the remainder for the sweep
+			// instead and report it accepted-in-flight.
+			n.requeueFailed.Add(uint64(len(rest)))
+			n.putStash(key, rest)
+			n.cfg.Logf("cluster: node %s stashed %d undeliverable forwarded items for %q: %v",
+				n.cfg.NodeID, len(rest), key, lerr)
+			res.Accepted += len(rest)
+			return res, nil
+		}
+		res.Accepted += local.Accepted
+		res.Shed += local.Shed
+		res.Quarantined += local.Quarantined
+		return res, nil
 	}
 	return res, nil
 }
@@ -257,12 +393,16 @@ func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) 
 func (n *Node) Status() server.ClusterStatus {
 	gen, table := n.router.Overrides()
 	cs := server.ClusterStatus{
-		Enabled:   true,
-		NodeID:    n.cfg.NodeID,
-		Epoch:     n.router.Epoch(),
-		RouteGen:  gen,
-		Leader:    n.Leader(),
-		Overrides: len(table),
+		Enabled:             true,
+		NodeID:              n.cfg.NodeID,
+		Epoch:               n.router.Epoch(),
+		RouteGen:            gen,
+		Leader:              n.Leader(),
+		Overrides:           len(table),
+		ForwardInDoubtItems: n.forwardInDoubt.Load(),
+		MigrateInDoubtItems: n.migrateInDoubt.Load(),
+		RequeueFailedItems:  n.requeueFailed.Load(),
+		StashedItems:        uint64(n.stashedItems()),
 	}
 	for _, p := range n.mem.Snapshot() {
 		ps := server.PeerStatus{
@@ -329,6 +469,14 @@ func (n *Node) handleConn(c net.Conn) {
 			return
 		}
 	}
+	// Surface why the inbound stream ended: a frame over MaxFrameBytes
+	// (bufio.ErrTooLong) or a mid-frame transport error reads completely
+	// differently from a peer hanging up, and chaos runs need to tell a
+	// partition from a protocol violation.
+	if err := sc.Err(); err != nil {
+		n.cfg.Logf("cluster: node %s: inbound connection from %s failed: %v",
+			n.cfg.NodeID, c.RemoteAddr(), err)
+	}
 }
 
 func (n *Node) handleFrame(f Frame) Frame {
@@ -355,12 +503,12 @@ func (n *Node) handleFrame(f Frame) Frame {
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
-		res, err := n.backend.IngestHandoff(f.Key, items)
+		res, err := n.backend.IngestHandoff(f.Key, items, f.Seq > 0)
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
-		n.cfg.Logf("cluster: node %s adopted stream %q (%d items, %d shed)",
-			n.cfg.NodeID, f.Key, res.Accepted, res.Shed)
+		n.cfg.Logf("cluster: node %s adopted stream %q chunk %d (%d items, %d shed)",
+			n.cfg.NodeID, f.Key, f.Seq, res.Accepted, res.Shed)
 		return Frame{
 			Type: FrameMigrateAck, From: n.cfg.NodeID, Key: f.Key,
 			Accepted: res.Accepted, Shed: res.Shed, Quarantined: res.Quarantined,
@@ -378,7 +526,7 @@ func (n *Node) viewFrame(typ string) Frame {
 	http, _ := n.httpAddr.Load().(string)
 	return Frame{
 		Type: typ, From: n.cfg.NodeID,
-		Addr: n.Addr(), HTTP: http,
+		Addr: n.advertiseAddr(), HTTP: http,
 		Epoch: n.router.Epoch(), Gen: gen, Routes: table,
 		Loads: n.backend.StreamLoads(),
 	}
@@ -397,14 +545,28 @@ func (n *Node) adoptView(f Frame) {
 
 // ---- outbound wire protocol ----
 
-// peerConnFor returns the persistent connection to a peer, dialing on
-// first use.
+// peerConnFor returns the persistent data connection (forwards and
+// migrations) to a peer, dialing on first use. Heartbeats travel on a
+// separate connection (hbConnFor): a migration holds the data
+// connection's mutex for its whole chunk sequence, and probing must
+// never queue behind it — a node mid-migration that stops heartbeating
+// gets marked suspect by its peers, churning the routing it is busy
+// repairing.
 func (n *Node) peerConnFor(id string) (*peerConn, error) {
+	return n.connFor(n.conns, id)
+}
+
+// hbConnFor returns the probe connection to a peer; see peerConnFor.
+func (n *Node) hbConnFor(id string) (*peerConn, error) {
+	return n.connFor(n.hbConns, id)
+}
+
+func (n *Node) connFor(conns map[string]*peerConn, id string) (*peerConn, error) {
 	n.connMu.Lock()
-	pc, ok := n.conns[id]
+	pc, ok := conns[id]
 	if !ok {
 		pc = &peerConn{}
-		n.conns[id] = pc
+		conns[id] = pc
 	}
 	n.connMu.Unlock()
 	pc.mu.Lock()
@@ -428,17 +590,21 @@ func (n *Node) peerConnFor(id string) (*peerConn, error) {
 
 // exchange performs one request/response on a held connection. The
 // caller holds pc.mu. On any error the connection is torn down so the
-// next call redials.
-func (n *Node) exchange(pc *peerConn, f Frame) (Frame, error) {
+// next call redials. wrote reports whether the request frame was fully
+// written before the failure: a false means the peer cannot have acted
+// on it (safe to retry or re-admit elsewhere), a true with a non-nil
+// error means the outcome is in doubt — the peer may have processed the
+// frame even though its ack never arrived.
+func (n *Node) exchange(pc *peerConn, f Frame) (resp Frame, wrote bool, err error) {
 	b, err := EncodeFrame(f)
 	if err != nil {
-		return Frame{}, err
+		return Frame{}, false, err
 	}
 	pc.c.SetDeadline(time.Now().Add(n.cfg.CallTimeout))
 	if _, err := pc.c.Write(b); err != nil {
 		pc.c.Close()
 		pc.c = nil
-		return Frame{}, err
+		return Frame{}, false, err
 	}
 	if !pc.sc.Scan() {
 		err := pc.sc.Err()
@@ -447,35 +613,50 @@ func (n *Node) exchange(pc *peerConn, f Frame) (Frame, error) {
 		}
 		pc.c.Close()
 		pc.c = nil
-		return Frame{}, err
+		return Frame{}, true, err
 	}
-	resp, err := DecodeFrame(pc.sc.Bytes())
+	resp, err = DecodeFrame(pc.sc.Bytes())
 	if err != nil {
 		pc.c.Close()
 		pc.c = nil
-		return Frame{}, err
+		return Frame{}, true, err
 	}
-	return resp, nil
+	return resp, true, nil
 }
 
-// call performs one request/response exchange with a peer, serialized
-// against other calls to the same peer.
-func (n *Node) call(id string, f Frame) (Frame, error) {
+// call performs one request/response exchange on a peer's data
+// connection, serialized against other data calls to the same peer.
+// wrote is exchange's in-doubt discriminator.
+func (n *Node) call(id string, f Frame) (Frame, bool, error) {
 	pc, err := n.peerConnFor(id)
 	if err != nil {
-		return Frame{}, err
+		return Frame{}, false, err
 	}
+	return n.callOn(pc, id, f)
+}
+
+// callHB is call on the peer's probe connection, so heartbeats never
+// wait behind a long data exchange.
+func (n *Node) callHB(id string, f Frame) (Frame, bool, error) {
+	pc, err := n.hbConnFor(id)
+	if err != nil {
+		return Frame{}, false, err
+	}
+	return n.callOn(pc, id, f)
+}
+
+func (n *Node) callOn(pc *peerConn, id string, f Frame) (Frame, bool, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.c == nil {
 		// Torn down between peerConnFor and lock; redial inline.
 		addr := n.mem.PeerAddr(id)
 		if addr == "" {
-			return Frame{}, fmt.Errorf("cluster: no address for peer %s", id)
+			return Frame{}, false, fmt.Errorf("cluster: no address for peer %s", id)
 		}
 		c, derr := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 		if derr != nil {
-			return Frame{}, derr
+			return Frame{}, false, derr
 		}
 		pc.c = c
 		pc.sc = bufio.NewScanner(c)
@@ -501,7 +682,18 @@ func (n *Node) probeLoop() {
 		if n.fleet != nil {
 			n.fleet.tick()
 		}
-		n.sweep()
+		// Sweep on its own goroutine, single-flight: a large backlog
+		// migration is many CallTimeout-bounded chunk exchanges, and
+		// running it inline would starve heartbeats long enough for
+		// peers to mark this node suspect mid-migration.
+		if !n.sweepInProgress.Swap(true) {
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				defer n.sweepInProgress.Store(false)
+				n.sweep()
+			}()
+		}
 	}
 }
 
@@ -509,7 +701,7 @@ func (n *Node) probeLoop() {
 // membership and routing and counting misses against health.
 func (n *Node) probeOnce() {
 	for _, id := range n.mem.PeerIDs() {
-		resp, err := n.call(id, n.viewFrame(FrameHeartbeat))
+		resp, _, err := n.callHB(id, n.viewFrame(FrameHeartbeat))
 		if err != nil || resp.Type != FrameAck {
 			if n.mem.ObserveMiss(id) {
 				n.cfg.Logf("cluster: node %s marks peer %s unhealthy", n.cfg.NodeID, id)
@@ -526,17 +718,53 @@ func (n *Node) probeOnce() {
 // backlog in mig frames on the owner's mutex-held connection, so later
 // forwards for the same stream queue behind the hand-off and the new
 // owner sees the items in order. Each node heals its own misplacements,
-// so the fleet leader only ever edits the override table.
+// so the fleet leader only ever edits the override table. Stashed items
+// from earlier failed hand-offs ride along: re-shipped with their
+// stream when the owner is remote, requeued into the local backend when
+// the stream routed back here.
 func (n *Node) sweep() {
-	for _, key := range n.backend.StreamKeys() {
+	keys := n.backend.StreamKeys()
+	seen := make(map[string]struct{}, len(keys))
+	for _, key := range keys {
+		seen[key] = struct{}{}
+	}
+	for _, key := range n.stashKeys() {
+		if _, ok := seen[key]; !ok {
+			keys = append(keys, key)
+		}
+	}
+	for _, key := range keys {
 		owner := n.router.Owner(key)
 		if owner == n.cfg.NodeID {
+			n.requeueStash(key)
 			continue
 		}
 		n.migrateStream(key, owner)
 	}
 }
 
+// requeueStash re-admits a locally-owned stream's stashed items into
+// the backend, keeping them stashed (and counted) if admission fails
+// again.
+func (n *Node) requeueStash(key string) {
+	items := n.takeStash(key)
+	if len(items) == 0 {
+		return
+	}
+	if _, err := n.backend.IngestHandoff(key, items, true); err != nil {
+		n.requeueFailed.Add(uint64(len(items)))
+		n.putStash(key, items)
+		n.cfg.Logf("cluster: node %s could not requeue %d stashed items for %q: %v",
+			n.cfg.NodeID, len(items), key, err)
+	}
+}
+
+// migrateStream ships one stream's backlog — any stashed remainder from
+// earlier failed attempts, plus a fresh detach — to its owner. A chunk
+// sequence that includes freshly detached items starts at Seq 0 so the
+// receiver counts the migration once per stream; a stash-only re-ship
+// continues at Seq 1, because the stream was already counted when its
+// first chunk landed (or never detached at all).
 func (n *Node) migrateStream(key, owner string) {
 	pc, err := n.peerConnFor(owner)
 	if err != nil {
@@ -547,29 +775,60 @@ func (n *Node) migrateStream(key, owner string) {
 	if pc.c == nil {
 		return
 	}
-	items, ok := n.backend.DetachStream(key)
-	if !ok {
+	stashed := n.takeStash(key)
+	items, detached := n.backend.DetachStream(key)
+	if !detached && len(stashed) == 0 {
 		return
 	}
+	items = append(stashed, items...)
+	firstSeq := 0
+	if !detached {
+		firstSeq = 1
+	}
 	sent := 0
-	for off := 0; off < len(items) || off == 0; off += maxChunkItems {
+	for off, seq := 0, firstSeq; off < len(items) || off == 0; off, seq = off+maxChunkItems, seq+1 {
 		end := off + maxChunkItems
 		if end > len(items) {
 			end = len(items)
 		}
-		resp, err := n.exchange(pc, Frame{
+		chunk := items[off:end]
+		resp, wrote, err := n.exchange(pc, Frame{
 			Type: FrameMigrate, From: n.cfg.NodeID,
-			Key: key, Items: EncodeItems(items[off:end]),
+			Key: key, Items: EncodeItems(chunk), Seq: seq,
 		})
 		if err == nil && resp.Type != FrameMigrateAck {
+			// The owner answered and refused: definitively not ingested.
 			err = fmt.Errorf("cluster: migrate rejected: %s", resp.Error)
+			wrote = false
 		}
 		if err != nil {
-			// Hand-off failed mid-flight: re-admit the unsent remainder
-			// locally so no item is lost. The sweep retries next tick.
+			rest := items[off:]
+			if wrote {
+				// Ack lost after a successful write: the owner may hold
+				// the chunk. Re-shipping it could duplicate every item in
+				// it, so count it into the migrate_indoubt ledger term and
+				// keep only the never-written remainder.
+				n.migrateInDoubt.Add(uint64(len(chunk)))
+				rest = items[end:]
+				n.cfg.Logf("cluster: node %s migrate of %q to %s: %d items in doubt (ack lost: %v)",
+					n.cfg.NodeID, key, owner, len(chunk), err)
+			}
 			n.cfg.Logf("cluster: node %s failed to ship stream %q to %s: %v",
 				n.cfg.NodeID, key, owner, err)
-			n.backend.IngestHandoff(key, items[off:])
+			if len(rest) == 0 {
+				return
+			}
+			// Re-admit the remainder locally so no item is lost; the
+			// sweep retries next tick. If the local backend refuses too
+			// (drain race), stash the items and count them — silently
+			// dropping them here is exactly the ledger leak the chaos
+			// oracle exists to catch.
+			if _, rerr := n.backend.IngestHandoff(key, rest, true); rerr != nil {
+				n.requeueFailed.Add(uint64(len(rest)))
+				n.putStash(key, rest)
+				n.cfg.Logf("cluster: node %s could not requeue %d items for %q after failed hand-off: %v",
+					n.cfg.NodeID, len(rest), key, rerr)
+			}
 			return
 		}
 		sent = end

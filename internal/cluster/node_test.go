@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -12,11 +15,14 @@ import (
 
 // fakeBackend is an in-memory Backend: streams are just item slices.
 type fakeBackend struct {
-	mu       sync.Mutex
-	streams  map[string][][]byte
-	loads    map[string]float64
-	forwards int
-	handoffs int
+	mu        sync.Mutex
+	streams   map[string][][]byte
+	loads     map[string]float64
+	forwards  int
+	handoffs  int
+	contFlags []bool // cont argument of each IngestHandoff call, in order
+	// failHandoffs makes the next N IngestHandoff calls fail.
+	failHandoffs int
 }
 
 func newFakeBackend() *fakeBackend {
@@ -50,10 +56,15 @@ func (f *fakeBackend) IngestForwarded(key string, items [][]byte) (server.Ingest
 	return server.IngestResult{Accepted: len(items)}, nil
 }
 
-func (f *fakeBackend) IngestHandoff(key string, items [][]byte) (server.IngestResult, error) {
+func (f *fakeBackend) IngestHandoff(key string, items [][]byte, cont bool) (server.IngestResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.handoffs++
+	f.contFlags = append(f.contFlags, cont)
+	if f.failHandoffs > 0 {
+		f.failHandoffs--
+		return server.IngestResult{}, fmt.Errorf("injected handoff failure")
+	}
 	if _, ok := f.streams[key]; !ok {
 		f.streams[key] = nil
 		f.loads[key] = 0
@@ -219,4 +230,252 @@ func TestSweepShipsMisplacedStream(t *testing.T) {
 	if handoffs == 0 {
 		t.Fatal("migration did not use the hand-off path")
 	}
+}
+
+// flakyPeer is a raw TCP endpoint that reads one frame per connection
+// and closes without answering: the exact ack-loss failure a partition
+// or crash produces after the request bytes reached the peer.
+type flakyPeer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	frames []Frame // every frame it managed to read
+}
+
+func newFlakyPeer(t *testing.T) *flakyPeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyPeer{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+				if sc.Scan() {
+					if f, err := DecodeFrame(sc.Bytes()); err == nil {
+						p.mu.Lock()
+						p.frames = append(p.frames, f)
+						p.mu.Unlock()
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *flakyPeer) framesOf(typ string) []Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Frame
+	for _, f := range p.frames {
+		if f.Type == typ {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// soloNodeWithPeer boots one real node that believes a peer exists at
+// the given address, with the probe/sweep loop effectively off so the
+// test drives every exchange by hand.
+func soloNodeWithPeer(t *testing.T, peerID, peerAddr string) (*Node, *fakeBackend) {
+	t.Helper()
+	f := newFakeBackend()
+	cfg := testNodeConfig("n1", map[string]string{peerID: peerAddr})
+	cfg.HeartbeatEvery = time.Hour // no probes, no background sweeps
+	cfg.CallTimeout = time.Second
+	n, err := NewNode(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	n.mem.Observe(Frame{From: peerID, Addr: peerAddr})
+	n.router.SetMembers(n.mem.Routable())
+	return n, f
+}
+
+// TestForwardAckLossReadmitsOnlyUnwrittenTail is the regression for the
+// ack-loss duplication bug: when a forward chunk was written but its
+// ack never arrived, the old code re-admitted the whole remaining batch
+// locally — including the chunk the owner may well have ingested,
+// duplicating every item in it. Only the never-written tail may be
+// re-admitted; the written chunk must be counted in doubt instead.
+func TestForwardAckLossReadmitsOnlyUnwrittenTail(t *testing.T) {
+	old := maxChunkItems
+	maxChunkItems = 2
+	defer func() { maxChunkItems = old }()
+
+	peer := newFlakyPeer(t)
+	n1, f1 := soloNodeWithPeer(t, "n2", peer.ln.Addr().String())
+	key := keyOwnedBy(n1.router, "n2")
+
+	items := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	res, err := n1.Forward(key, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five items have a home: two in doubt at the peer, three local.
+	if res.Accepted != 5 {
+		t.Fatalf("accepted %d want 5", res.Accepted)
+	}
+	if got := n1.forwardInDoubt.Load(); got != 2 {
+		t.Fatalf("forwardInDoubt %d want 2 (the written chunk)", got)
+	}
+	got := f1.items(key)
+	if len(got) != 3 || !bytes.Equal(got[0], []byte("c")) || !bytes.Equal(got[2], []byte("e")) {
+		t.Fatalf("locally re-admitted %q; want only the unwritten tail [c d e]", got)
+	}
+	// The in-doubt chunk must never have been re-sent.
+	fwd := peer.framesOf(FrameForward)
+	if len(fwd) != 1 {
+		t.Fatalf("peer saw %d forward frames, want exactly 1 (no re-send of in-doubt items)", len(fwd))
+	}
+	if sent, err := DecodeItems(fwd[0].Items); err != nil || len(sent) != 2 {
+		t.Fatalf("peer saw chunk of %d items (%v), want the first 2", len(sent), err)
+	}
+}
+
+// TestMigrateRequeueFailureStashesAndSweepRetries is the regression for
+// the silent-loss bug: a failed hand-off whose local re-admission also
+// failed (drain race) used to drop the items on the floor. They must be
+// stashed, counted, and retried by the sweep until they land.
+func TestMigrateRequeueFailureStashesAndSweepRetries(t *testing.T) {
+	old := maxChunkItems
+	maxChunkItems = 2
+	defer func() { maxChunkItems = old }()
+
+	peer := newFlakyPeer(t)
+	n1, f1 := soloNodeWithPeer(t, "n2", peer.ln.Addr().String())
+	key := keyOwnedBy(n1.router, "n2")
+
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		want = append(want, []byte(fmt.Sprintf("item-%d", i)))
+	}
+	f1.add(key, 1, want...)
+	f1.mu.Lock()
+	f1.failHandoffs = 1 // the re-admission of the unshipped remainder fails too
+	f1.mu.Unlock()
+
+	n1.migrateStream(key, "n2")
+
+	// Chunk 1 (2 items) is in doubt at the peer; the remainder (3 items)
+	// failed local re-admission and must be stashed, not lost.
+	if got := n1.migrateInDoubt.Load(); got != 2 {
+		t.Fatalf("migrateInDoubt %d want 2", got)
+	}
+	if got := n1.requeueFailed.Load(); got != 3 {
+		t.Fatalf("requeueFailed %d want 3", got)
+	}
+	if got := n1.stashedItems(); got != 3 {
+		t.Fatalf("stashed %d items, want 3 (silent loss regression)", got)
+	}
+	if got := f1.items(key); len(got) != 0 {
+		t.Fatalf("backend should be empty after detach, has %q", got)
+	}
+
+	// Recovery: the stream routes back here (peer died), and the next
+	// sweep must requeue the stash into the local backend as a
+	// continuation — never inflating stream-level migration counters.
+	n1.router.SetMembers([]string{"n1"})
+	n1.sweep()
+	if got := n1.stashedItems(); got != 0 {
+		t.Fatalf("stash still holds %d items after sweep", got)
+	}
+	got := f1.items(key)
+	if len(got) != 3 || !bytes.Equal(got[0], want[2]) || !bytes.Equal(got[2], want[4]) {
+		t.Fatalf("requeued %q, want the stashed remainder %q", got, want[2:])
+	}
+	f1.mu.Lock()
+	flags := append([]bool(nil), f1.contFlags...)
+	f1.mu.Unlock()
+	if n := len(flags); n == 0 || !flags[n-1] {
+		t.Fatalf("stash requeue must be a continuation (cont=true), got flags %v", flags)
+	}
+}
+
+// TestHeartbeatsNotStarvedByBusyDataConnection is the regression for
+// heartbeat starvation: probes used to share the data connection, so a
+// long migration (many CallTimeout-bounded chunk exchanges under the
+// connection mutex) blocked heartbeats until peers marked the busy node
+// suspect. Probes must complete while the data connection is held.
+func TestHeartbeatsNotStarvedByBusyDataConnection(t *testing.T) {
+	n1, n2 := twoNodes(t, newFakeBackend(), newFakeBackend(), nil, nil)
+	waitFor(t, "mutual membership", func() bool {
+		return len(n1.router.Members()) == 2 && len(n2.router.Members()) == 2
+	})
+	pc, err := n1.peerConnFor("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a migration mid-flight: the data connection's mutex is
+	// held for the whole chunk sequence.
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		n1.probeOnce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("probeOnce blocked behind the held data connection (heartbeat starvation)")
+	}
+	for _, p := range n1.mem.Snapshot() {
+		if p.ID == "n2" && p.State != StateAlive {
+			t.Fatalf("peer n2 went %v during a data-path stall", p.State)
+		}
+	}
+}
+
+// TestHandleConnLogsOversizedFrame: an inbound frame over MaxFrameBytes
+// kills the connection via the scanner; the reason used to vanish,
+// making a protocol violation indistinguishable from a hangup.
+func TestHandleConnLogsOversizedFrame(t *testing.T) {
+	var logMu sync.Mutex
+	var logs []string
+	cfg := testNodeConfig("n1", nil)
+	cfg.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	n1, err := NewNode(cfg, newFakeBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n1.Close() })
+
+	c, err := net.Dial("tcp", n1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One "frame" over the limit, no newline in sight.
+	junk := bytes.Repeat([]byte("x"), MaxFrameBytes+1)
+	if _, err := c.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "oversized frame to be logged", func() bool {
+		logMu.Lock()
+		defer logMu.Unlock()
+		for _, l := range logs {
+			if strings.Contains(l, "inbound connection") && strings.Contains(l, "too long") {
+				return true
+			}
+		}
+		return false
+	})
 }

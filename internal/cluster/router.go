@@ -135,13 +135,25 @@ func (r *Router) Epoch() uint64 {
 }
 
 // rendezvousWeight is the highest-random-weight score of (node, key):
-// FNV-1a over node ⊕ key with a separator so ("ab","c") ≠ ("a","bc").
+// FNV-1a over node ⊕ key with a separator so ("ab","c") ≠ ("a","bc"),
+// pushed through a 64-bit finalizer. Raw FNV-1a is not enough here:
+// its final bytes barely avalanche, so key families sharing a long
+// prefix ("stream-00" … "stream-07") keep the per-node ordering of the
+// prefix hash and all elect the same owner — every stream of a
+// workload piling onto one node. The multiply-xor-shift finalizer
+// (splitmix64's mix) restores independence between similar keys.
 func rendezvousWeight(node, key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(node))
 	h.Write([]byte{0})
 	h.Write([]byte(key))
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func copyTable(t map[string]string) map[string]string {

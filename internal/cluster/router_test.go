@@ -32,6 +32,25 @@ func TestOwnerSpreadsAcrossMembers(t *testing.T) {
 	}
 }
 
+// TestOwnerSpreadsSimilarKeys is the regression for the FNV clumping
+// bug the chaos oracle caught: short zero-padded key families like
+// "corrburst-00" … "corrburst-07" — every workload generator's naming
+// shape — all resolved to the same owner because raw FNV-1a barely
+// avalanches its final bytes. Similar keys must spread like random ones.
+func TestOwnerSpreadsSimilarKeys(t *testing.T) {
+	r := NewRouter("n1")
+	r.SetMembers([]string{"n1", "n2", "n3"})
+	for _, prefix := range []string{"corrburst", "zipf", "flashcrowd", "diurnal", "stream"} {
+		count := map[string]int{}
+		for i := 0; i < 8; i++ {
+			count[r.Owner(fmt.Sprintf("%s-%02d", prefix, i))]++
+		}
+		if len(count) < 2 {
+			t.Errorf("all 8 %q-prefixed keys elected a single owner: %v", prefix, count)
+		}
+	}
+}
+
 func TestRemovingMemberOnlyRemapsItsStreams(t *testing.T) {
 	r := NewRouter("a")
 	r.SetMembers([]string{"a", "b", "c"})

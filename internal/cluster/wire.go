@@ -62,15 +62,21 @@ type Frame struct {
 	Type string `json:"t"`
 	From string `json:"from,omitempty"` // sender node id
 	// Heartbeat payload: the sender's listen addresses and routing view.
-	Addr  string             `json:"addr,omitempty"`  // cluster wire address
-	HTTP  string             `json:"http,omitempty"`  // HTTP ingest address (redirect target)
-	Epoch uint64             `json:"epoch,omitempty"` // routing epoch
-	Gen   uint64             `json:"gen,omitempty"`   // override-table generation
+	Addr   string             `json:"addr,omitempty"`   // cluster wire address
+	HTTP   string             `json:"http,omitempty"`   // HTTP ingest address (redirect target)
+	Epoch  uint64             `json:"epoch,omitempty"`  // routing epoch
+	Gen    uint64             `json:"gen,omitempty"`    // override-table generation
 	Routes map[string]string  `json:"routes,omitempty"` // stream key → owner overrides
 	Loads  map[string]float64 `json:"loads,omitempty"`  // owned stream → items/s
 	// Forward / migrate payload.
 	Key   string   `json:"key,omitempty"`
 	Items []string `json:"items,omitempty"` // base64(std) item payloads
+	// Seq is the chunk index within one migration hand-off sequence: a
+	// backlog split across mig frames carries Seq 0,1,2,… so the receiver
+	// counts one migration per stream, not per chunk. Requeue re-ships
+	// (retrying a previously failed hand-off) send Seq ≥ 1 — the stream
+	// was already counted when its first chunk landed.
+	Seq int `json:"seq,omitempty"`
 	// Verdicts (fok / mok).
 	Accepted    int `json:"accepted,omitempty"`
 	Shed        int `json:"shed,omitempty"`
@@ -132,6 +138,9 @@ func DecodeFrame(line []byte) (Frame, error) {
 	}
 	if f.Accepted < 0 || f.Shed < 0 || f.Quarantined < 0 {
 		return Frame{}, fmt.Errorf("%w: negative verdict", errFrame)
+	}
+	if f.Seq < 0 {
+		return Frame{}, fmt.Errorf("%w: negative seq", errFrame)
 	}
 	switch f.Type {
 	case FrameForward, FrameMigrate:

@@ -144,6 +144,11 @@ func (s *Server) clusterMetrics(p *metrics.Prom) {
 	p.Counter("pcd_cluster_migrated_items_total", "Items shipped in stream hand-offs, by direction.", float64(s.migratedOutItems.Load()), "dir", "out")
 	p.Counter("pcd_cluster_migrated_items_total", "Items shipped in stream hand-offs, by direction.", float64(s.migratedInItems.Load()), "dir", "in")
 	p.Counter("pcd_cluster_migrate_shed_total", "Migrated items shed at the new owner after the hand-off wait.", float64(s.shedMigrate.Load()))
+	p.Counter("pcd_cluster_migrate_quarantined_total", "Migrated items rejected at the new owner because the pair was quarantined.", float64(s.quarantinedMigrate.Load()))
+	p.Counter("pcd_cluster_forward_indoubt_items_total", "Forwarded items written to the owner whose ack was lost; possibly ingested, never re-sent (bounded ledger slack).", float64(cs.ForwardInDoubtItems))
+	p.Counter("pcd_cluster_migrate_indoubt_items_total", "Hand-off items written to the owner whose ack was lost; possibly ingested, never re-sent (bounded ledger slack).", float64(cs.MigrateInDoubtItems))
+	p.Counter("pcd_cluster_migrate_requeue_failed_items_total", "Hand-off items whose local re-admission failed after a failed ship; stashed and retried by the sweep.", float64(cs.RequeueFailedItems))
+	p.Gauge("pcd_cluster_stashed_items", "Items currently stashed awaiting a sweep retry after failed hand-off and re-admission.", float64(cs.StashedItems))
 }
 
 // histogramMetrics exports the WithHistograms latency distributions as

@@ -82,6 +82,19 @@ type ClusterStatus struct {
 	MigrationsIn     uint64 `json:"migrations_in"`  // streams received
 	MigratedItemsOut uint64 `json:"migrated_items_out"`
 	MigratedItemsIn  uint64 `json:"migrated_items_in"`
+	// Conservation-ledger slack and failure terms. In-doubt items were
+	// written to a peer whose ack never arrived — they may or may not
+	// have been ingested, and are never re-sent, so the fleet ledger
+	// tolerates them as bounded slack rather than exact loss. Requeue
+	// failures and the stash gauge track items owed to streams after a
+	// failed hand-off whose local re-admission also failed; the sweep
+	// retries them until they land.
+	ForwardInDoubtItems     uint64 `json:"forward_indoubt_items"`
+	MigrateInDoubtItems     uint64 `json:"migrate_indoubt_items"`
+	RequeueFailedItems      uint64 `json:"migrate_requeue_failed_items"`
+	StashedItems            uint64 `json:"stashed_items"`
+	MigrateShedItems        uint64 `json:"migrate_shed_items"`
+	MigrateQuarantinedItems uint64 `json:"migrate_quarantined_items"`
 }
 
 // SetRouter plugs a cluster router into the ingest path. It must be
@@ -214,9 +227,16 @@ func (s *Server) IngestForwarded(key string, items [][]byte) (IngestResult, erro
 // Unlike the forwarding path it retries briefly on quota overflow
 // (PutWait): migrated items already survived one node, shedding them at
 // the door would turn every migration into item loss. Items still shed
-// after the wait are counted in the verdict (the conservation ledger's
-// Shed term).
-func (s *Server) IngestHandoff(key string, items [][]byte) (IngestResult, error) {
+// after the wait — or rejected because the pair is quarantined or
+// draining — are classified in the verdict exactly as putAll would,
+// so the conservation ledger's Shed and Quarantined terms stay honest.
+//
+// cont marks a continuation chunk of a hand-off already under way (a
+// later mig frame in one chunked ship, or a requeue retry of a
+// previously failed one): the stream-level migrations_in counter is
+// bumped only on the first chunk, matching the sender's once-per-stream
+// migrations_out count regardless of backlog size.
+func (s *Server) IngestHandoff(key string, items [][]byte, cont bool) (IngestResult, error) {
 	if !s.validKey(key) {
 		return IngestResult{}, errors.New("bad stream key")
 	}
@@ -236,6 +256,12 @@ func (s *Server) IngestHandoff(key string, items [][]byte) (IngestResult, error)
 				switch err := st.pair.PutWait(item, 250*time.Millisecond); {
 				case err == nil:
 					res.Accepted++
+				case errors.Is(err, repro.ErrQuarantined):
+					res.Quarantined++
+				case errors.Is(err, repro.ErrClosed):
+					// Draining: remaining items count as shed.
+					res.Shed += len(items) - res.Accepted - res.Shed - res.Quarantined
+					return res, true
 				default:
 					res.Shed++
 				}
@@ -244,8 +270,11 @@ func (s *Server) IngestHandoff(key string, items [][]byte) (IngestResult, error)
 		}()
 		if ok {
 			s.migratedInItems.Add(uint64(res.Accepted))
-			s.migrationsIn.Add(1)
+			if !cont {
+				s.migrationsIn.Add(1)
+			}
 			s.shedMigrate.Add(uint64(res.Shed))
+			s.quarantinedMigrate.Add(uint64(res.Quarantined))
 			return res, nil
 		}
 		if attempt >= 3 {

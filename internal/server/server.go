@@ -151,15 +151,16 @@ type Server struct {
 	streamRejects   atomic.Uint64
 
 	// Cluster-path accounting (all zero on a clusterless server).
-	forwardedOut     atomic.Uint64 // items shipped to their owner
-	forwardedIn      atomic.Uint64 // items accepted off peer forwards
-	forwardFallbacks atomic.Uint64 // forwards that fell back to local ingest
-	redirects        atomic.Uint64 // smart-client 307 answers
-	migrationsOut    atomic.Uint64 // streams detached and shipped away
-	migrationsIn     atomic.Uint64 // stream hand-offs received
-	migratedOutItems atomic.Uint64
-	migratedInItems  atomic.Uint64
-	shedMigrate      atomic.Uint64 // migrated items shed at the new owner
+	forwardedOut       atomic.Uint64 // items shipped to their owner
+	forwardedIn        atomic.Uint64 // items accepted off peer forwards
+	forwardFallbacks   atomic.Uint64 // forwards that fell back to local ingest
+	redirects          atomic.Uint64 // smart-client 307 answers
+	migrationsOut      atomic.Uint64 // streams detached and shipped away
+	migrationsIn       atomic.Uint64 // stream hand-offs received
+	migratedOutItems   atomic.Uint64
+	migratedInItems    atomic.Uint64
+	shedMigrate        atomic.Uint64 // migrated items shed at the new owner
+	quarantinedMigrate atomic.Uint64 // migrated items rejected by quarantine
 }
 
 // New validates the config and builds a stopped server.
@@ -532,15 +533,21 @@ func (s *Server) clusterStatus() *clusterz {
 	cs.MigrationsIn = s.migrationsIn.Load()
 	cs.MigratedItemsOut = s.migratedOutItems.Load()
 	cs.MigratedItemsIn = s.migratedInItems.Load()
+	cs.MigrateShedItems = s.shedMigrate.Load()
+	cs.MigrateQuarantinedItems = s.quarantinedMigrate.Load()
 	keys := s.StreamKeys()
 	sort.Strings(keys)
 	return &clusterz{ClusterStatus: cs, OwnedStreams: keys}
 }
 
-func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+// statusSnapshot assembles the full /statusz document. The chaos
+// oracle also reads it post-drain (via StatusJSON) as a node's final
+// conservation-ledger testimony, so it must stay safe to call after
+// Shutdown.
+func (s *Server) statusSnapshot() statusz {
 	stats := s.rt.Stats()
 	elapsed := time.Since(s.start)
-	st := statusz{
+	return statusz{
 		UptimeSeconds:    elapsed.Seconds(),
 		Draining:         s.draining.Load(),
 		Runtime:          stats,
@@ -557,6 +564,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Cluster:          s.clusterStatus(),
 		Streams:          s.snapshotStreams(),
 	}
+}
+
+// StatusJSON renders the /statusz document. pcd's -final-status flag
+// uses it to leave a node's post-drain ledger on disk for the chaos
+// oracle after the process (and its HTTP listener) are gone.
+func (s *Server) StatusJSON() ([]byte, error) {
+	return json.MarshalIndent(s.statusSnapshot(), "", "  ")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := s.statusSnapshot()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Scenario is a named, seeded multi-stream workload: one realized
+// arrival trace per stream key. It is the chaos oracle's workload
+// library — the diverse adversarial shapes (heavy-tail, flash-crowd,
+// correlated-burst, à la Conoci et al.'s diverse-scalability traces)
+// that make black-box conservation verdicts meaningful beyond the
+// single World Cup trace. Everything is deterministic in
+// (name, seed, streams, dur, rate): the same seed replays the exact
+// same arrival sequence on every run.
+type Scenario struct {
+	Name    string
+	Seed    int64
+	Streams []StreamTrace
+}
+
+// StreamTrace binds one stream key to its arrival trace.
+type StreamTrace struct {
+	Key   string
+	Trace Trace
+}
+
+// TotalItems sums arrivals across all streams.
+func (s Scenario) TotalItems() int {
+	total := 0
+	for _, st := range s.Streams {
+		total += st.Trace.Count()
+	}
+	return total
+}
+
+// streamSeed derives a per-stream generator seed from the scenario
+// seed, decorrelating streams without sharing math/rand state.
+func streamSeed(seed int64, i int) int64 {
+	return int64(splitmix(uint64(seed) ^ (uint64(i)+1)*0x9e3779b97f4a7c15))
+}
+
+// streamKey names stream i of a scenario. The scenario name rides in
+// the key so runs of different classes never collide on a pcd fleet.
+func streamKey(name string, i int) string {
+	return fmt.Sprintf("%s-%02d", name, i)
+}
+
+// unitFloat derives a deterministic float in [0,1) from (seed, i, salt).
+func unitFloat(seed int64, i int, salt uint64) float64 {
+	u := splitmix(uint64(seed) ^ salt ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
+	return float64(u>>11) / float64(1<<53)
+}
+
+// Diurnal is the steady-state shape: every stream carries a sinusoidal
+// day/night swell around rate items/s, phase-shifted per stream the way
+// the paper decorrelates producers (§VI-A).
+func Diurnal(seed int64, streams int, dur simtime.Duration, rate float64) Scenario {
+	s := Scenario{Name: "diurnal", Seed: seed}
+	for i := 0; i < streams; i++ {
+		r := Sinusoid{
+			Base:   rate,
+			Depth:  0.6,
+			Period: dur,
+			Phase:  2 * math.Pi * float64(i) / float64(max(streams, 1)),
+		}
+		s.Streams = append(s.Streams, StreamTrace{
+			Key:   streamKey("diurnal", i),
+			Trace: Generate(r, dur, streamSeed(seed, i)),
+		})
+	}
+	return s
+}
+
+// ZipfHeavyTail skews the aggregate rate across streams by a Zipf law
+// (stream i carries weight 1/(i+1)^skew): a few whale streams dominate
+// while a long tail of minnows keeps every node's stream table busy.
+// total is the aggregate items/s across all streams.
+func ZipfHeavyTail(seed int64, streams int, dur simtime.Duration, total, skew float64) Scenario {
+	if skew <= 0 {
+		skew = 1.2
+	}
+	weights := make([]float64, streams)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), skew)
+		sum += weights[i]
+	}
+	s := Scenario{Name: "zipf", Seed: seed}
+	for i := 0; i < streams; i++ {
+		r := Constant(total * weights[i] / sum)
+		s.Streams = append(s.Streams, StreamTrace{
+			Key:   streamKey("zipf", i),
+			Trace: Generate(r, dur, streamSeed(seed, i)),
+		})
+	}
+	return s
+}
+
+// FlashCrowd idles every stream at base items/s, then slams all of them
+// with a spike of spikeFactor×base at a seeded moment in the middle
+// half of the run — the World Cup match-start shape, aimed at the
+// admission-control and forwarding paths at once.
+func FlashCrowd(seed int64, streams int, dur simtime.Duration, base, spikeFactor float64) Scenario {
+	s := Scenario{Name: "flashcrowd", Seed: seed}
+	start := simtime.Time(float64(dur) * (0.25 + 0.5*unitFloat(seed, 0, 0xD1B54A32D192ED03)))
+	for i := 0; i < streams; i++ {
+		r := Sum{
+			Constant(base),
+			Burst{
+				Start: start,
+				Peak:  base * spikeFactor,
+				Rise:  dur / 20,
+				Decay: dur / 10,
+			},
+		}
+		s.Streams = append(s.Streams, StreamTrace{
+			Key:   streamKey("flashcrowd", i),
+			Trace: Generate(r, dur, streamSeed(seed, i)),
+		})
+	}
+	return s
+}
+
+// CorrelatedBurst gives each stream a low base rate plus bursts whose
+// start times are shared across a randomly chosen half of the streams —
+// correlated load swings that defeat per-stream smoothing and force the
+// fleet placement controller to re-plan (the churn driver).
+func CorrelatedBurst(seed int64, streams int, dur simtime.Duration, base, peak float64) Scenario {
+	s := Scenario{Name: "corrburst", Seed: seed}
+	const bursts = 3
+	starts := make([]simtime.Time, bursts)
+	for b := range starts {
+		starts[b] = simtime.Time(float64(dur) * (0.1 + 0.8*unitFloat(seed, b, 0x2545F4914F6CDD1D)))
+	}
+	for i := 0; i < streams; i++ {
+		r := Sum{Constant(base)}
+		for b := 0; b < bursts; b++ {
+			// Half the streams, chosen per (seed, burst), join each burst.
+			if unitFloat(seed, i, uint64(b)*0x9E3779B97F4A7C15+0x853C49E6748FEA9B) < 0.5 {
+				r = append(r, Burst{
+					Start: starts[b],
+					Peak:  peak,
+					Rise:  dur / 30,
+					Decay: dur / 12,
+				})
+			}
+		}
+		s.Streams = append(s.Streams, StreamTrace{
+			Key:   streamKey("corrburst", i),
+			Trace: Generate(r, dur, streamSeed(seed, i)),
+		})
+	}
+	return s
+}
+
+// ScenarioNames lists the library's generator names for ByName.
+func ScenarioNames() []string {
+	return []string{"diurnal", "zipf", "flashcrowd", "corrburst"}
+}
+
+// ByName builds a scenario from the library by generator name with
+// default shape parameters scaled off rate (aggregate items/s). It is
+// the chaos driver's entry point: a (name, seed) pair fully determines
+// the workload.
+func ByName(name string, seed int64, streams int, dur simtime.Duration, rate float64) (Scenario, error) {
+	switch name {
+	case "diurnal":
+		return Diurnal(seed, streams, dur, rate/float64(max(streams, 1))), nil
+	case "zipf":
+		return ZipfHeavyTail(seed, streams, dur, rate, 1.2), nil
+	case "flashcrowd":
+		return FlashCrowd(seed, streams, dur, rate/float64(max(streams, 1))/4, 8), nil
+	case "corrburst":
+		return CorrelatedBurst(seed, streams, dur, rate/float64(max(streams, 1))/4, rate/float64(max(streams, 1))), nil
+	default:
+		return Scenario{}, fmt.Errorf("trace: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+}

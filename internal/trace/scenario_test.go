@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestScenarioDeterministicBySeed(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		a, err := ByName(name, 42, 4, 2*simtime.Second, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := ByName(name, 42, 4, 2*simtime.Second, 1000)
+		if len(a.Streams) != 4 || len(b.Streams) != 4 {
+			t.Fatalf("%s: want 4 streams, got %d/%d", name, len(a.Streams), len(b.Streams))
+		}
+		for i := range a.Streams {
+			sa, sb := a.Streams[i], b.Streams[i]
+			if sa.Key != sb.Key {
+				t.Fatalf("%s stream %d: keys %q vs %q", name, i, sa.Key, sb.Key)
+			}
+			if err := sa.Trace.Validate(); err != nil {
+				t.Fatalf("%s stream %d: %v", name, i, err)
+			}
+			if len(sa.Trace.Arrivals) != len(sb.Trace.Arrivals) {
+				t.Fatalf("%s stream %d: same seed produced %d vs %d arrivals",
+					name, i, len(sa.Trace.Arrivals), len(sb.Trace.Arrivals))
+			}
+			for j := range sa.Trace.Arrivals {
+				if sa.Trace.Arrivals[j] != sb.Trace.Arrivals[j] {
+					t.Fatalf("%s stream %d arrival %d: %v vs %v",
+						name, i, j, sa.Trace.Arrivals[j], sb.Trace.Arrivals[j])
+				}
+			}
+		}
+		// A different seed must realize a different arrival sequence.
+		c, _ := ByName(name, 43, 4, 2*simtime.Second, 1000)
+		same := c.TotalItems() == a.TotalItems()
+		if same && a.TotalItems() > 0 {
+			for i := range a.Streams {
+				for j := range a.Streams[i].Trace.Arrivals {
+					if a.Streams[i].Trace.Arrivals[j] != c.Streams[i].Trace.Arrivals[j] {
+						same = false
+					}
+				}
+			}
+		}
+		if same && a.TotalItems() > 0 {
+			t.Fatalf("%s: seeds 42 and 43 realized identical traces", name)
+		}
+	}
+}
+
+func TestZipfHeavyTailSkews(t *testing.T) {
+	s := ZipfHeavyTail(7, 8, 4*simtime.Second, 2000, 1.2)
+	head := s.Streams[0].Trace.Count()
+	tail := s.Streams[len(s.Streams)-1].Trace.Count()
+	if head <= 3*tail {
+		t.Fatalf("zipf head %d not heavy vs tail %d", head, tail)
+	}
+	// The aggregate should land near the requested total rate.
+	got := float64(s.TotalItems()) / 4
+	if got < 1000 || got > 3000 {
+		t.Fatalf("zipf aggregate %.0f items/s, want ≈2000", got)
+	}
+}
+
+func TestFlashCrowdSpikes(t *testing.T) {
+	s := FlashCrowd(11, 3, 4*simtime.Second, 50, 8)
+	for _, st := range s.Streams {
+		peak := st.Trace.PeakRate(200 * simtime.Millisecond)
+		mean := st.Trace.MeanRate()
+		if peak < 3*mean {
+			t.Fatalf("stream %s: peak %.0f/s not a spike over mean %.0f/s", st.Key, peak, mean)
+		}
+	}
+}
+
+func TestCorrelatedBurstSharesStarts(t *testing.T) {
+	s := CorrelatedBurst(5, 8, 4*simtime.Second, 20, 400)
+	// At least two streams must spike in the same window for the shape
+	// to count as correlated: find the globally busiest window and count
+	// streams elevated there.
+	window := 250 * simtime.Millisecond
+	n := int(4 * simtime.Second / window)
+	perStream := make([][]float64, len(s.Streams))
+	for i, st := range s.Streams {
+		perStream[i] = st.Trace.RateSeries(window)
+	}
+	bestWin, bestSum := 0, 0.0
+	for w := 0; w < n; w++ {
+		sum := 0.0
+		for i := range perStream {
+			if w < len(perStream[i]) {
+				sum += perStream[i][w]
+			}
+		}
+		if sum > bestSum {
+			bestSum, bestWin = sum, w
+		}
+	}
+	elevated := 0
+	for i := range perStream {
+		if bestWin < len(perStream[i]) && perStream[i][bestWin] > 3*20 {
+			elevated++
+		}
+	}
+	if elevated < 2 {
+		t.Fatalf("only %d streams elevated in the busiest window; bursts not correlated", elevated)
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1, 1, simtime.Second, 100); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}

@@ -1,0 +1,112 @@
+//go:build chaos
+
+// Package e2e is the black-box chaos driver: it compiles the real pcd
+// binary once, then runs seeded failure scenarios from internal/chaos
+// against live loopback fleets. Build-tagged so `go test ./...` stays
+// fast; run it with:
+//
+//	go test -tags chaos -v ./test/e2e
+//
+// A failing run prints a one-command reproduction; check the seed into
+// testdata/regression_seeds.json (with a note naming what it caught)
+// and it replays before the randomized sweep forever after.
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+var bins chaos.Binaries
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "pcd-chaos-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	root, err := filepath.Abs("../..")
+	if err == nil {
+		bins, err = chaos.Build(root, dir)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runSeed(t *testing.T, s chaos.Seed) {
+	t.Helper()
+	err := chaos.Run(s, chaos.RunOpts{
+		Dir:  t.TempDir(),
+		Bins: bins,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Errorf("%v\n\nreproduce with:\n  %s\n\nif this is a real regression, add the seed to "+
+			"test/e2e/testdata/regression_seeds.json with a note", err, s.Repro())
+	}
+}
+
+// TestChaosRegressionSeeds replays every checked-in failing seed first.
+// These are the exact (scenario, seed) pairs that caught past
+// conservation bugs; they must stay green forever.
+func TestChaosRegressionSeeds(t *testing.T) {
+	seeds, err := chaos.LoadSeeds(filepath.Join("testdata", "regression_seeds.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		s := s
+		t.Run(fmt.Sprintf("%s-%d", s.Scenario, s.Seed), func(t *testing.T) {
+			if s.Note != "" {
+				t.Logf("regression: %s", s.Note)
+			}
+			runSeed(t, s)
+		})
+	}
+}
+
+// TestChaosSweep runs one seeded instance of every scenario class. The
+// base seed defaults to a fixed value (deterministic CI) and can be
+// overridden for exploration:
+//
+//	CHAOS_BASE_SEED=$RANDOM go test -tags chaos -run TestChaosSweep -v ./test/e2e
+func TestChaosSweep(t *testing.T) {
+	base := int64(20260808)
+	if v := os.Getenv("CHAOS_BASE_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_BASE_SEED: %v", err)
+		}
+		base = n
+	}
+	for i, sc := range chaos.Scenarios() {
+		s := chaos.Seed{Scenario: sc, Seed: base + int64(i)}
+		t.Run(string(sc), func(t *testing.T) { runSeed(t, s) })
+	}
+}
+
+// TestChaosOne replays exactly one (scenario, seed) pair from the
+// environment — the reproduction entry point printed by failing runs.
+func TestChaosOne(t *testing.T) {
+	scen := os.Getenv("CHAOS_SCENARIO")
+	seedStr := os.Getenv("CHAOS_SEED")
+	if scen == "" || seedStr == "" {
+		t.Skip("set CHAOS_SCENARIO and CHAOS_SEED to replay a single run")
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED: %v", err)
+	}
+	runSeed(t, chaos.Seed{Scenario: chaos.Scenario(scen), Seed: seed})
+}
