@@ -1,0 +1,466 @@
+// Package client is the Go SDK for pcd's HTTP ingest: a streaming
+// producer that batches items into ingest requests over persistent
+// connections, follows cluster ownership redirects, authenticates with
+// a tenant API key, and retries transport failures and full sheds with
+// jittered exponential backoff — honoring the daemon's backpressure
+// (429/503) instead of hammering it.
+//
+// Two write paths:
+//
+//   - PutBatch sends one batch synchronously and returns the daemon's
+//     admission verdict (accepted / shed / quarantined).
+//   - Put enqueues one item into a per-stream buffer that a background
+//     flusher coalesces into PutBatch calls; a full buffer returns
+//     ErrQueueFull immediately, surfacing backpressure to the producer
+//     instead of buffering unboundedly (the paper's admission-control
+//     contract, client-side).
+//
+// Shed items are not retried by Put's flusher: shedding is the
+// daemon's verdict under quota, and re-sending would defeat it. Only
+// full sheds (nothing admitted, HTTP 429 with accepted 0) and
+// transport-level failures back off and retry.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Terminal request errors: retrying cannot help.
+var (
+	// ErrUnauthorized reports an API key the daemon does not know.
+	ErrUnauthorized = errors.New("client: unauthorized (unknown API key)")
+	// ErrForbidden reports a stream key owned by another tenant.
+	ErrForbidden = errors.New("client: forbidden (stream owned by another tenant)")
+	// ErrQueueFull reports Put backpressure: the stream's buffer is at
+	// QueueDepth and the producer should slow down or shed.
+	ErrQueueFull = errors.New("client: stream queue full")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("client: closed")
+)
+
+// Config configures a Client. Zero values take the documented defaults.
+type Config struct {
+	// Targets are pcd base URLs ("http://host:8080"). With several, a
+	// stream starts on a hash-picked node and follows the cluster's
+	// ownership redirects from there; transport errors rotate to the
+	// next target.
+	Targets []string
+	// APIKey authenticates every request ("Authorization: Bearer").
+	// Empty is fine against a daemon without -tenants.
+	APIKey string
+	// BatchSize bounds items coalesced into one request. Default 64.
+	BatchSize int
+	// FlushInterval is how long a Put-buffered item may wait before the
+	// flusher sends a partial batch. Default 50ms.
+	FlushInterval time.Duration
+	// QueueDepth bounds each stream's Put buffer; a full buffer makes
+	// Put return ErrQueueFull. Default 1024.
+	QueueDepth int
+	// MaxAttempts bounds tries per batch (first send + retries).
+	// Default 4.
+	MaxAttempts int
+	// RetryBase seeds the exponential backoff (doubled per attempt,
+	// ±50% jitter). Default 25ms.
+	RetryBase time.Duration
+	// HTTPClient overrides the transport. The client sets CheckRedirect
+	// to handle ownership redirects itself; a supplied client is used
+	// as-is except for that hook.
+	HTTPClient *http.Client
+}
+
+func (c *Config) defaults() error {
+	if len(c.Targets) == 0 {
+		return errors.New("client: no targets")
+	}
+	for i, t := range c.Targets {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t == "" {
+			return fmt.Errorf("client: empty target %d", i)
+		}
+		c.Targets[i] = t
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	return nil
+}
+
+// Result is the daemon's admission verdict for one batch.
+type Result struct {
+	Accepted    int `json:"accepted"`
+	Shed        int `json:"shed"`
+	Quarantined int `json:"quarantined"`
+}
+
+// Stats is the client's cumulative accounting.
+type Stats struct {
+	Sent        int64 // items handed to PutBatch (including via Put)
+	Accepted    int64
+	Shed        int64
+	Quarantined int64
+	Retries     int64 // request re-sends (backoff or target rotation)
+	Redirects   int64 // ownership redirects followed
+	Dropped     int64 // Put items dropped after exhausting attempts
+}
+
+// Client is a streaming pcd producer. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu      sync.Mutex
+	owners  map[string]string // stream → base URL learned from redirects
+	queues  map[string]*queue // stream → Put buffer
+	closed  bool
+	flushed chan struct{} // nudges the flusher for full batches
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type queue struct {
+	items [][]byte
+}
+
+// New builds a Client and starts its background flusher.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	// Ownership redirects are followed manually so the Location can be
+	// remembered and later requests for the stream go straight to the
+	// owner.
+	hc.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	c := &Client{
+		cfg:     cfg,
+		http:    hc,
+		owners:  make(map[string]string),
+		queues:  make(map[string]*queue),
+		flushed: make(chan struct{}, 1),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.flusher()
+	return c, nil
+}
+
+// Put enqueues one item on stream's batch buffer. It never blocks: a
+// buffer already holding QueueDepth items returns ErrQueueFull.
+func (c *Client) Put(stream string, item []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	q := c.queues[stream]
+	if q == nil {
+		q = &queue{}
+		c.queues[stream] = q
+	}
+	if len(q.items) >= c.cfg.QueueDepth {
+		c.mu.Unlock()
+		return ErrQueueFull
+	}
+	q.items = append(q.items, item)
+	full := len(q.items) >= c.cfg.BatchSize
+	c.mu.Unlock()
+	if full {
+		select {
+		case c.flushed <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Flush synchronously drains every Put buffer. Items a flush cannot
+// deliver within the retry budget are dropped and counted
+// (Stats.Dropped); the first such error is returned.
+func (c *Client) Flush(ctx context.Context) error {
+	var firstErr error
+	for {
+		stream, batch := c.take()
+		if stream == "" {
+			return firstErr
+		}
+		if _, err := c.PutBatch(ctx, stream, batch); err != nil {
+			c.count(func(s *Stats) { s.Dropped += int64(len(batch)) })
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+}
+
+// Close flushes pending items, stops the flusher, and makes further
+// calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return c.Flush(ctx)
+}
+
+// Stats returns the cumulative client-side accounting.
+func (c *Client) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// take pops one stream's pending batch (up to BatchSize items), or
+// ("", nil) when every buffer is empty.
+func (c *Client) take() (string, [][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for stream, q := range c.queues {
+		if len(q.items) == 0 {
+			continue
+		}
+		n := len(q.items)
+		if n > c.cfg.BatchSize {
+			n = c.cfg.BatchSize
+		}
+		batch := q.items[:n:n]
+		q.items = append([][]byte(nil), q.items[n:]...)
+		return stream, batch
+	}
+	return "", nil
+}
+
+// flusher drains Put buffers on FlushInterval ticks and full-batch
+// nudges until Close.
+func (c *Client) flusher() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		case <-c.flushed:
+		}
+		for {
+			stream, batch := c.take()
+			if stream == "" {
+				break
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if _, err := c.PutBatch(ctx, stream, batch); err != nil {
+				// The retry budget is spent: drop, count, move on —
+				// blocking the flusher would stall every other stream.
+				c.count(func(s *Stats) { s.Dropped += int64(len(batch)) })
+			}
+			cancel()
+		}
+	}
+}
+
+// PutBatch sends one batch on stream and returns the daemon's verdict.
+// Transport errors rotate targets; full sheds (429, nothing admitted)
+// and 503s back off with jitter; partial sheds return immediately —
+// the daemon shed those items deliberately. 401/403 are terminal.
+//
+// Items must not contain newline bytes (the ingest framing); items
+// that do are rejected up front.
+func (c *Client) PutBatch(ctx context.Context, stream string, items [][]byte) (Result, error) {
+	if len(items) == 0 {
+		return Result{}, nil
+	}
+	for _, it := range items {
+		if bytes.IndexByte(it, '\n') >= 0 {
+			return Result{}, errors.New("client: item contains newline")
+		}
+	}
+	c.count(func(s *Stats) { s.Sent += int64(len(items)) })
+	body := bytes.Join(items, []byte("\n"))
+
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.count(func(s *Stats) { s.Retries++ })
+			if err := c.sleep(ctx, attempt); err != nil {
+				return Result{}, err
+			}
+		}
+		res, retry, err := c.send(ctx, stream, c.target(stream, attempt), body)
+		if err == nil {
+			c.count(func(s *Stats) {
+				s.Accepted += int64(res.Accepted)
+				s.Shed += int64(res.Shed)
+				s.Quarantined += int64(res.Quarantined)
+			})
+			return res, nil
+		}
+		if !retry {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("client: %d attempts exhausted for stream %q: %w",
+		c.cfg.MaxAttempts, stream, lastErr)
+}
+
+// target picks the base URL for a stream: its learned owner first,
+// otherwise the target list rotated by attempt (and seeded by a stream
+// hash so independent streams spread over the cluster).
+func (c *Client) target(stream string, attempt int) string {
+	c.mu.Lock()
+	owner := c.owners[stream]
+	c.mu.Unlock()
+	if owner != "" && attempt == 0 {
+		return owner
+	}
+	h := 0
+	for i := 0; i < len(stream); i++ {
+		h = h*131 + int(stream[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return c.cfg.Targets[(h+attempt)%len(c.cfg.Targets)]
+}
+
+// send performs one ingest exchange against base, following at most
+// one ownership redirect. retry reports whether the failure is worth
+// another attempt.
+func (c *Client) send(ctx context.Context, stream, base string, body []byte) (res Result, retry bool, err error) {
+	url := base + "/ingest/" + stream
+	for hop := 0; hop < 2; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return Result{}, false, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		req.Header.Set("X-Pcd-Redirect", "1")
+		if c.cfg.APIKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			// Transport failure: the next attempt rotates targets and
+			// forgets any stale owner pin.
+			c.mu.Lock()
+			delete(c.owners, stream)
+			c.mu.Unlock()
+			return Result{}, true, err
+		}
+		switch resp.StatusCode {
+		case http.StatusTemporaryRedirect:
+			loc := resp.Header.Get("Location")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if loc == "" || hop > 0 {
+				return Result{}, true, errors.New("client: redirect loop")
+			}
+			// Pin the stream to its owner for future batches.
+			if i := strings.Index(loc, "/ingest/"); i > 0 {
+				c.mu.Lock()
+				c.owners[stream] = loc[:i]
+				c.mu.Unlock()
+			}
+			c.count(func(s *Stats) { s.Redirects++ })
+			url = loc
+			continue
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					// A draining/unreachable node answers 503 without a
+					// verdict body: rotate and retry.
+					return Result{}, true, errors.New("client: service unavailable")
+				}
+				return Result{}, false, fmt.Errorf("client: verdict decode: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && res.Accepted == 0 && res.Quarantined == 0 {
+				// Full shed: honor the backpressure, then try again.
+				return Result{}, true, errors.New("client: batch fully shed")
+			}
+			// Partial (or no) shed is a verdict, not an error: the
+			// daemon's admission control dropped those items on purpose.
+			return res, false, nil
+		case http.StatusUnauthorized:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return Result{}, false, ErrUnauthorized
+		case http.StatusForbidden:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return Result{}, false, ErrForbidden
+		default:
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return Result{}, false, fmt.Errorf("client: ingest status %d: %s",
+				resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+	}
+	return Result{}, true, errors.New("client: redirect not resolved")
+}
+
+// sleep blocks for the attempt's jittered exponential backoff.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << (attempt - 1)
+	c.rngMu.Lock()
+	// ±50% jitter decorrelates a fleet of producers retrying at once.
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d)))
+	c.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}

@@ -1,0 +1,314 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/tenant"
+)
+
+func verdict(w http.ResponseWriter, status, accepted, shed int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"accepted":%d,"shed":%d,"quarantined":0}`, accepted, shed)
+}
+
+func TestPutBatchVerdict(t *testing.T) {
+	var gotAuth atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth.Store(r.Header.Get("Authorization"))
+		verdict(w, http.StatusOK, 3, 0)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{Targets: []string{srv.URL}, APIKey: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil || res.Accepted != 3 {
+		t.Fatalf("PutBatch = %+v, %v", res, err)
+	}
+	if gotAuth.Load() != "Bearer k1" {
+		t.Fatalf("auth header = %q", gotAuth.Load())
+	}
+	if st := c.Stats(); st.Sent != 3 || st.Accepted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutBatchRejectsNewlines(t *testing.T) {
+	c, err := New(Config{Targets: []string{"http://127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("a\nb")}); err == nil {
+		t.Fatal("newline item accepted")
+	}
+}
+
+func TestFullShedRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			verdict(w, http.StatusTooManyRequests, 0, 2) // full shed twice
+			return
+		}
+		verdict(w, http.StatusOK, 2, 0)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{Targets: []string{srv.URL}, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("a"), []byte("b")})
+	if err != nil || res.Accepted != 2 {
+		t.Fatalf("PutBatch = %+v, %v", res, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server calls = %d, want 3", got)
+	}
+	if st := c.Stats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestPartialShedIsVerdictNotError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		verdict(w, http.StatusTooManyRequests, 1, 1)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{Targets: []string{srv.URL}, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("a"), []byte("b")})
+	if err != nil || res.Accepted != 1 || res.Shed != 1 {
+		t.Fatalf("PutBatch = %+v, %v", res, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server calls = %d, want 1 (no retry on partial shed)", got)
+	}
+}
+
+func TestUnauthorizedTerminal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{Targets: []string{srv.URL}, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("a")}); err != ErrUnauthorized {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server calls = %d, want 1", got)
+	}
+}
+
+func TestRedirectFollowedAndPinned(t *testing.T) {
+	var ownerCalls atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerCalls.Add(1)
+		verdict(w, http.StatusOK, 1, 0)
+	}))
+	defer owner.Close()
+	var frontCalls atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		frontCalls.Add(1)
+		http.Redirect(w, r, owner.URL+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c, err := New(Config{Targets: []string{front.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the first batch touches the front node: the redirect pins the
+	// stream to its owner.
+	if f, o := frontCalls.Load(), ownerCalls.Load(); f != 1 || o != 3 {
+		t.Fatalf("front/owner calls = %d/%d, want 1/3", f, o)
+	}
+	if st := c.Stats(); st.Redirects != 1 {
+		t.Fatalf("redirects = %d, want 1", st.Redirects)
+	}
+}
+
+func TestTransportErrorRotatesTargets(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		verdict(w, http.StatusOK, 1, 0)
+	}))
+	defer good.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuse connections
+
+	c, err := New(Config{Targets: []string{dead.URL, good.URL}, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Whichever target the stream hashes to, within two attempts the
+	// rotation reaches the live node.
+	res, err := c.PutBatch(context.Background(), "s", [][]byte{[]byte("x")})
+	if err != nil || res.Accepted != 1 {
+		t.Fatalf("PutBatch = %+v, %v", res, err)
+	}
+}
+
+func TestPutBatchingAndBackpressure(t *testing.T) {
+	var items atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		lines := strings.Count(string(body), "\n") + 1
+		items.Add(int64(lines))
+		verdict(w, http.StatusOK, lines, 0)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		Targets:       []string{srv.URL},
+		BatchSize:     8,
+		QueueDepth:    16,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	sent := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for sent < n {
+		err := c.Put("s", []byte(fmt.Sprintf("item-%d", sent)))
+		switch err {
+		case nil:
+			sent++
+		case ErrQueueFull:
+			// Backpressure: the producer waits for the flusher.
+			if time.Now().After(deadline) {
+				t.Fatal("queue never drained")
+			}
+			time.Sleep(time.Millisecond)
+		default:
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := items.Load(); got != n {
+		t.Fatalf("server saw %d items, want %d", got, n)
+	}
+	if st := c.Stats(); st.Accepted != n || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAgainstRealServer drives the SDK end to end against an in-process
+// pcd ingest server with a tenant registry: authenticated batched
+// puts land, a wrong key is terminal, and the daemon's accounting
+// matches the client's.
+func TestAgainstRealServer(t *testing.T) {
+	reg, err := tenant.NewRegistry(tenant.File{
+		GlobalBuffer: 1024,
+		Tenants: []tenant.Spec{
+			{ID: "acme", Keys: []string{"key-acme"}, Buffer: 1024},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := repro.New(
+		repro.WithSlotSize(2*time.Millisecond),
+		repro.WithMaxLatency(10*time.Millisecond),
+		repro.WithBuffer(1024),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Runtime: rt, Tenants: reg})
+	if err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		rt.Close()
+	})
+
+	c, err := New(Config{
+		Targets:       []string{"http://" + s.Addr()},
+		APIKey:        "key-acme",
+		BatchSize:     16,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		for {
+			if err := c.Put("sdk-stream", []byte(fmt.Sprintf("item-%d", i))); err != ErrQueueFull {
+				if err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Accepted+st.Shed != n || st.Dropped != 0 {
+		t.Fatalf("client stats = %+v, want %d accounted", st, n)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Tenants) != 1 || snap.Tenants[0].Accepted != st.Accepted {
+		t.Fatalf("daemon attributed %+v, client accepted %d", snap.Tenants, st.Accepted)
+	}
+
+	bad, err := New(Config{Targets: []string{"http://" + s.Addr()}, APIKey: "wrong"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.PutBatch(context.Background(), "sdk-stream", [][]byte{[]byte("x")}); err != ErrUnauthorized {
+		t.Fatalf("bad key err = %v, want ErrUnauthorized", err)
+	}
+}

@@ -1,0 +1,46 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/client"
+)
+
+// Example shows the two write paths: synchronous PutBatch for a
+// producer that wants the admission verdict per batch, and buffered
+// Put for a streaming producer that lets the SDK coalesce batches.
+func Example() {
+	c, err := client.New(client.Config{
+		Targets: []string{"http://localhost:8080"},
+		APIKey:  "key-acme", // daemon started with -tenants
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Synchronous: one batch, one verdict.
+	res, err := c.PutBatch(context.Background(), "audit",
+		[][]byte{[]byte("login alice"), []byte("login bob")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted %d, shed %d\n", res.Accepted, res.Shed)
+
+	// Streaming: Put buffers; the background flusher batches. A full
+	// queue surfaces backpressure instead of buffering without bound.
+	for i := 0; i < 1000; i++ {
+		item := []byte(fmt.Sprintf("event-%d", i))
+		for c.Put("analytics", item) == client.ErrQueueFull {
+			time.Sleep(time.Millisecond) // daemon is shedding: slow down
+		}
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("sent %d, accepted %d\n", st.Sent, st.Accepted)
+}

@@ -9,9 +9,10 @@
 //	pcbench -markdown                # emit GitHub markdown (EXPERIMENTS.md sections)
 //	pcbench -json                    # write BENCH_PBPL.json (FIG9/FIG10 headline numbers)
 //	pcbench -fig faults              # fault scenario: broken consumer, breaker off vs on
+//	pcbench -fig tenants             # noisy neighbor: shared buffer vs per-tenant quotas
 //
 // Ids: 3, 4, corr, 9, 10, 11, wakeups, buffer, ablation, place,
-// faults, all.
+// faults, tenants, all.
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,place,faults,all; 6 renders a timeline)")
+		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,place,faults,tenants,all; 6 renders a timeline)")
 		duration = flag.Duration("duration", 10*time.Second, "virtual run duration per replicate")
 		reps     = flag.Int("reps", 3, "replicates per configuration")
 		seed     = flag.Int64("seed", 1998, "base workload seed")

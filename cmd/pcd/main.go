@@ -16,6 +16,18 @@
 //	                                         # (/metrics, /debug/latency, /debug/timeline)
 //	pcd -node-id a -cluster-listen :7100 \
 //	    -cluster-seed b@host2:7100 -fleet    # shard streams across a pcd fleet
+//	pcd -tenants tenants.json                # multi-tenant: API-key auth +
+//	                                         # per-tenant quotas (SIGHUP reloads)
+//
+// Multi-tenant mode (-tenants) loads a JSON registry of tenants — API
+// keys, per-tenant rate limits, and elastic buffer budgets — and turns
+// on authentication: HTTP ingest requires "Authorization: Bearer <key>"
+// (401 otherwise) and the raw-TCP protocol an initial "auth <key>"
+// line. SIGHUP re-reads the file and applies it atomically: keys
+// rotate, budgets resize, and revoked tenants drain without restarting
+// the daemon or dropping buffered items. An invalid file is rejected
+// (counted in pcd_tenant_reload_errors_total) and the running registry
+// stays in effect.
 //
 // Cluster mode (-cluster-listen) shards streams across pcd nodes:
 // rendezvous hashing assigns each stream an owner, non-owners forward
@@ -53,6 +65,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/power"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -100,6 +113,8 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		fleetEvery       = fs.Duration("fleet-interval", 500*time.Millisecond, "fleet re-plan period (with -fleet)")
 		fleetBudget      = fs.Float64("fleet-budget", 0, "default per-node load budget, items/s (0: packer default)")
 		fleetBudgets     = fs.String("fleet-node-budget", "", "per-node budget overrides, comma-separated id@rate")
+
+		tenantsPath = fs.String("tenants", "", "tenant registry JSON (enables API-key auth + per-tenant quotas; SIGHUP reloads)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,7 +148,22 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(stderr, format+"\n", a...)
 	}
+	var reg *tenant.Registry
+	if *tenantsPath != "" {
+		f, err := tenant.Load(*tenantsPath)
+		if err != nil {
+			rt.Close()
+			fmt.Fprintln(stderr, "pcd:", err)
+			return 2
+		}
+		if reg, err = tenant.NewRegistry(f); err != nil {
+			rt.Close()
+			fmt.Fprintln(stderr, "pcd:", err)
+			return 2
+		}
+	}
 	srv, err := server.New(server.Config{
+		Tenants:  reg,
 		Runtime:  rt,
 		HTTPAddr: *httpAddr,
 		TCPAddr:  *tcpAddr,
@@ -232,10 +262,32 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 	if sig == nil {
 		sig = make(chan os.Signal, 1)
 	}
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	defer signal.Stop(sig)
 	start := time.Now()
-	got := <-sig
+	var got os.Signal
+	for got = range sig {
+		if got != syscall.SIGHUP {
+			break
+		}
+		// SIGHUP: hot-reload the tenant registry in place. A reload
+		// failure keeps the running registry; only counters move.
+		if reg == nil {
+			logf("pcd: SIGHUP ignored (no -tenants registry)")
+			continue
+		}
+		f, err := tenant.Load(*tenantsPath)
+		if err != nil {
+			reg.CountReloadError()
+			logf("pcd: tenants reload: %v", err)
+			continue
+		}
+		if err := reg.Apply(f); err != nil {
+			logf("pcd: tenants reload: %v", err)
+			continue
+		}
+		logf("pcd: tenants reloaded from %s (%d tenants)", *tenantsPath, len(f.Tenants))
+	}
 	logf("pcd: %v, draining (deadline %v)", got, *drain)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

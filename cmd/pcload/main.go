@@ -9,6 +9,15 @@
 //	pcload -target http://localhost:8080 -trace real.pctr -speed 5
 //	pcload -tcp localhost:8081 -streams 8 -rate 5000
 //	pcload -targets http://host1:8080,http://host2:8080   # pcd cluster
+//	pcload -api-key k1                                    # authenticated daemon
+//	pcload -tenant-keys k1,k2,k3                          # N tenants, distinct keys
+//
+// Against a daemon running with -tenants, -api-key authenticates every
+// stream with one key (HTTP "Authorization: Bearer", or the raw-TCP
+// "auth" preamble), while -tenant-keys round-robins a key list across
+// the producer streams so one pcload process exercises several tenants
+// at once — the multi-tenant load shape the noisy-neighbor experiments
+// use.
 //
 // With -targets (comma-separated base URLs) streams round-robin across
 // the cluster's nodes and every request carries "X-Pcd-Redirect: 1", so
@@ -49,6 +58,28 @@ type loadConfig struct {
 	speed     float64
 	batch     int
 	prefix    string
+	apiKey    string // one API key for every stream ("" disables auth)
+	keyList   string // comma-separated keys round-robined across streams
+}
+
+// streamKeys resolves the per-stream API keys: -tenant-keys wins, then
+// -api-key, then unauthenticated.
+func (cfg loadConfig) streamKeys() []string {
+	if cfg.keyList != "" {
+		var keys []string
+		for _, k := range strings.Split(cfg.keyList, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) > 0 {
+			return keys
+		}
+	}
+	if cfg.apiKey != "" {
+		return []string{cfg.apiKey}
+	}
+	return nil
 }
 
 type summary struct {
@@ -72,6 +103,8 @@ func main() {
 	flag.Float64Var(&cfg.speed, "speed", 1, "replay speed multiplier")
 	flag.IntVar(&cfg.batch, "batch", 16, "max items coalesced into one HTTP request")
 	flag.StringVar(&cfg.prefix, "stream-prefix", "load-", "stream key prefix")
+	flag.StringVar(&cfg.apiKey, "api-key", "", "API key for every stream (daemon running with -tenants)")
+	flag.StringVar(&cfg.keyList, "tenant-keys", "", "comma-separated API keys round-robined across streams (overrides -api-key)")
 	flag.Parse()
 
 	sum, err := runLoad(context.Background(), cfg, os.Stdout)
@@ -130,13 +163,18 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 		clustered = true
 	}
 
+	keys := cfg.streamKeys()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, sh := range shards {
 		key := fmt.Sprintf("%s%d", cfg.prefix, i)
 		base := bases[i%len(bases)]
+		apiKey := ""
+		if len(keys) > 0 {
+			apiKey = keys[i%len(keys)]
+		}
 		wg.Add(1)
-		go func(key, base string, sh trace.Trace) {
+		go func(key, base, apiKey string, sh trace.Trace) {
 			defer wg.Done()
 			var send func(items []string)
 			if cfg.tcpTarget != "" {
@@ -146,6 +184,13 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 					return
 				}
 				defer conn.Close()
+				if apiKey != "" {
+					// Authenticated raw-TCP: the auth preamble line.
+					if _, err := fmt.Fprintf(conn, "auth %s\n", apiKey); err != nil {
+						errs.Add(int64(sh.Count()))
+						return
+					}
+				}
 				send = func(items []string) {
 					var b strings.Builder
 					for _, it := range items {
@@ -161,7 +206,7 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 				url := strings.TrimRight(base, "/") + "/ingest/" + key
 				send = func(items []string) {
 					sent.Add(int64(len(items)))
-					a, s, err := postBatch(client, url, items, clustered)
+					a, s, err := postBatch(client, url, apiKey, items, clustered)
 					if err != nil {
 						errs.Add(int64(len(items)))
 						return
@@ -185,7 +230,7 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout io.Writer) (summary, er
 			if err != nil && ctx.Err() == nil {
 				errs.Add(1)
 			}
-		}(key, base, sh)
+		}(key, base, apiKey, sh)
 	}
 	wg.Wait()
 	sum.Elapsed = time.Since(start)
@@ -219,12 +264,15 @@ func loadTrace(cfg loadConfig) (trace.Trace, error) {
 // so a cluster node that does not own the stream answers 307 to the
 // owner; the client follows it transparently (the request body is
 // replayable via GetBody).
-func postBatch(client *http.Client, url string, items []string, redirect bool) (accepted, shed int, err error) {
+func postBatch(client *http.Client, url, apiKey string, items []string, redirect bool) (accepted, shed int, err error) {
 	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(strings.Join(items, "\n")))
 	if err != nil {
 		return 0, 0, err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
 	if redirect {
 		req.Header.Set("X-Pcd-Redirect", "1")
 	}

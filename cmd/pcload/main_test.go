@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func startServer(t *testing.T) (*server.Server, *repro.Runtime) {
@@ -112,5 +113,72 @@ func TestRunLoadTCP(t *testing.T) {
 func TestRunLoadValidation(t *testing.T) {
 	if _, err := runLoad(context.Background(), loadConfig{streams: 0}, io.Discard); err == nil {
 		t.Fatal("streams=0 should error")
+	}
+}
+
+// TestRunLoadTenantKeys drives an authenticated daemon with two tenant
+// keys round-robined across four streams: every item lands and the
+// per-tenant counters attribute the split.
+func TestRunLoadTenantKeys(t *testing.T) {
+	reg, err := tenant.NewRegistry(tenant.File{
+		GlobalBuffer: 2048,
+		Tenants: []tenant.Spec{
+			{ID: "t1", Keys: []string{"k1"}, Buffer: 1024},
+			{ID: "t2", Keys: []string{"k2"}, Buffer: 1024},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := repro.New(
+		repro.WithSlotSize(2*time.Millisecond),
+		repro.WithMaxLatency(10*time.Millisecond),
+		repro.WithBuffer(2048),
+		repro.WithMaxPairs(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Runtime: rt, Tenants: reg})
+	if err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		rt.Close()
+	})
+
+	sum, err := runLoad(context.Background(), loadConfig{
+		target:   "http://" + s.Addr(),
+		streams:  4,
+		duration: 100 * time.Millisecond,
+		rate:     1000,
+		speed:    4,
+		batch:    16,
+		prefix:   "t-",
+		keyList:  "k1, k2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sent == 0 || sum.Errors != 0 {
+		t.Fatalf("authenticated load: %+v", sum)
+	}
+	var got int64
+	for _, row := range reg.Snapshot().Tenants {
+		if row.Accepted == 0 {
+			t.Fatalf("tenant %s accepted nothing", row.ID)
+		}
+		got += row.Accepted
+	}
+	if got != sum.Accepted {
+		t.Fatalf("tenant-attributed accepted %d != client accepted %d", got, sum.Accepted)
 	}
 }

@@ -49,6 +49,11 @@ const (
 	// ScenarioFlashCrowd overloads a small fleet with a synchronized
 	// spike so admission control sheds; conservation must still hold.
 	ScenarioFlashCrowd Scenario = "flashcrowd"
+	// ScenarioNoisyTenant runs an authenticated fleet where one tenant
+	// drives an adversarial anti-predictor load far over its quotas
+	// while a well-behaved tenant's diurnal traffic must keep flowing:
+	// the hot tenant must shed at its own walls, the victim within 5%.
+	ScenarioNoisyTenant Scenario = "noisytenant"
 )
 
 // Scenarios lists every class, in regression-replay order.
@@ -56,6 +61,7 @@ func Scenarios() []Scenario {
 	return []Scenario{
 		ScenarioKill9, ScenarioSigterm, ScenarioPartition,
 		ScenarioBreaker, ScenarioChurn, ScenarioFlashCrowd,
+		ScenarioNoisyTenant,
 	}
 }
 

@@ -44,12 +44,16 @@ func (d DriveStats) String() string {
 // forwarding path deterministically.
 type Driver struct {
 	Targets []string
-	Logf    func(string, ...any)
+	// Keys maps stream key → tenant API key for fleets running with
+	// -tenants (nil or a missing entry sends unauthenticated).
+	Keys map[string]string
+	Logf func(string, ...any)
 
 	client *http.Client
 
-	mu    sync.Mutex
-	stats DriveStats
+	mu        sync.Mutex
+	stats     DriveStats
+	perStream map[string]DriveStats
 }
 
 // NewDriver builds a driver spraying the given HTTP bases.
@@ -72,6 +76,14 @@ func (d *Driver) Stats() DriveStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// StreamStats returns the accumulated ledger for one stream key — the
+// per-victim / per-aggressor split the fairness verdicts need.
+func (d *Driver) StreamStats(key string) DriveStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.perStream[key]
 }
 
 // batchWindow groups arrivals into one POST per window per stream: the
@@ -134,6 +146,12 @@ func (d *Driver) replayStream(ctx context.Context, st trace.StreamTrace, rng *ra
 		res := d.post(target, st.Key, b.String(), end-off)
 		d.mu.Lock()
 		d.stats.Add(res)
+		if d.perStream == nil {
+			d.perStream = make(map[string]DriveStats)
+		}
+		ps := d.perStream[st.Key]
+		ps.Add(res)
+		d.perStream[st.Key] = ps
 		d.mu.Unlock()
 		off = end
 	}
@@ -141,7 +159,15 @@ func (d *Driver) replayStream(ctx context.Context, st trace.StreamTrace, rng *ra
 
 // post sends one batch and classifies the verdict for every item in it.
 func (d *Driver) post(base, key, body string, items int) DriveStats {
-	resp, err := d.client.Post(base+"/ingest/"+key, "text/plain", strings.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, base+"/ingest/"+key, strings.NewReader(body))
+	if err != nil {
+		return DriveStats{Rejected: items}
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if k := d.Keys[key]; k != "" {
+		req.Header.Set("Authorization", "Bearer "+k)
+	}
+	resp, err := d.client.Do(req)
 	if err != nil {
 		// Refused connections never reached a server: definitive reject.
 		// Anything after the request started writing is in doubt — the

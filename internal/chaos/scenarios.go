@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/simtime"
@@ -63,6 +66,8 @@ func scenarioRunner(sc Scenario) (func(*runCtx) error, error) {
 		return (*runCtx).runChurn, nil
 	case ScenarioFlashCrowd:
 		return (*runCtx).runFlashCrowd, nil
+	case ScenarioNoisyTenant:
+		return (*runCtx).runNoisyTenant, nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", sc, Scenarios())
 	}
@@ -285,6 +290,66 @@ func (rc *runCtx) runChurn() error {
 		}
 		return nil
 	})
+}
+
+// runNoisyTenant: an authenticated two-node fleet hosts two tenants.
+// "hot" drives the anti-predictor square wave far over its rate quota;
+// "victim" runs a modest diurnal workload well inside its budgets. The
+// hot tenant must shed at its own walls (rate/buffer, > 0 sheds), the
+// victim's traffic must land nearly untouched (≤ 5% shed), and the
+// black-box conservation ledger must still close — multi-tenant
+// fairness as an oracle verdict, not just an in-process test.
+func (rc *runCtx) runNoisyTenant() error {
+	tenants := filepath.Join(rc.opts.Dir, "tenants.json")
+	spec := `{"global_buffer": 8192, "tenants": [
+		{"id": "victim", "keys": ["chaos-victim-key"], "buffer": 6144},
+		{"id": "hot", "keys": ["chaos-hot-key"], "rate": 300, "burst": 150, "buffer": 2048}
+	]}`
+	if err := os.WriteFile(tenants, []byte(spec), 0o644); err != nil {
+		return err
+	}
+	if err := rc.boot(2, "-buffer", "8192", "-tenants", tenants); err != nil {
+		return err
+	}
+	victim, err := trace.ByName("diurnal", rc.seed, 4, 4*simtime.Second, 400)
+	if err != nil {
+		return err
+	}
+	hot, err := trace.ByName("antipred", rc.seed+1, 2, 4*simtime.Second, 1600)
+	if err != nil {
+		return err
+	}
+	rc.driver.Keys = make(map[string]string)
+	for _, st := range victim.Streams {
+		rc.driver.Keys[st.Key] = "chaos-victim-key"
+	}
+	for _, st := range hot.Streams {
+		rc.driver.Keys[st.Key] = "chaos-hot-key"
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); rc.drive(victim) }()
+	go func() { defer wg.Done(); rc.drive(hot) }()
+	wg.Wait()
+
+	sumStreams := func(sc trace.Scenario) DriveStats {
+		var s DriveStats
+		for _, st := range sc.Streams {
+			s.Add(rc.driver.StreamStats(st.Key))
+		}
+		return s
+	}
+	vs, hs := sumStreams(victim), sumStreams(hot)
+	rc.opts.Logf("chaos: victim %s; hot %s", vs, hs)
+	if hs.Shed == 0 {
+		return fmt.Errorf("hot tenant never shed (%s): quota walls not engaged", hs)
+	}
+	if sent := vs.Accepted + vs.Shed + vs.Quarantined + vs.Rejected + vs.InDoubt; sent > 0 {
+		if frac := float64(sent-vs.Accepted) / float64(sent); frac > 0.05 {
+			return fmt.Errorf("victim tenant lost %.1f%% of its traffic to the noisy neighbor (%s)", 100*frac, vs)
+		}
+	}
+	return rc.finish(true)
 }
 
 // runFlashCrowd: a synchronized spike over small buffers must shed at

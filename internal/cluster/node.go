@@ -21,14 +21,19 @@ var maxChunkItems = 4096
 
 // Backend is the node-local ingest surface the cluster drives — the
 // slice of *server.Server the subsystem needs. Tests substitute fakes.
+// The tenant parameter carries the entry node's authenticated tenant id
+// across the fleet ("" on an open fleet) so the owning node charges the
+// right buffer budget.
 type Backend interface {
-	IngestForwarded(key string, items [][]byte) (server.IngestResult, error)
+	IngestForwarded(tenant, key string, items [][]byte) (server.IngestResult, error)
 	// IngestHandoff admits migrated items. cont marks a continuation of
 	// a hand-off already under way (a later chunk, or a requeue retry of
 	// a previously failed ship) so stream-level migration counters are
 	// bumped once per hand-off, not once per frame.
-	IngestHandoff(key string, items [][]byte, cont bool) (server.IngestResult, error)
-	DetachStream(key string) ([][]byte, bool)
+	IngestHandoff(tenant, key string, items [][]byte, cont bool) (server.IngestResult, error)
+	// DetachStream also reports the tenant the stream was bound to, so
+	// the hand-off keeps its attribution at the new owner.
+	DetachStream(key string) (items [][]byte, tenant string, ok bool)
 	StreamKeys() []string
 	StreamLoads() map[string]float64
 }
@@ -119,9 +124,11 @@ type Node struct {
 	// local re-admission also failed (drain race) — and forwarded items
 	// whose local fallback failed the same way. The sweep retries them
 	// until the owner (or the local backend) takes them back, so the
-	// conservation ledger never silently loses an item.
+	// conservation ledger never silently loses an item. Each entry
+	// remembers the stream's tenant so a retried ship keeps its
+	// attribution.
 	stashMu sync.Mutex
-	stash   map[string][][]byte
+	stash   map[string]*stashEntry
 
 	// Conservation-ledger failure counters, exported via Status.
 	forwardInDoubt  atomic.Uint64 // items written to the owner whose ack was lost
@@ -157,7 +164,7 @@ func NewNode(cfg Config, backend Backend) (*Node, error) {
 		conns:   make(map[string]*peerConn),
 		hbConns: make(map[string]*peerConn),
 		inConns: make(map[net.Conn]struct{}),
-		stash:   make(map[string][][]byte),
+		stash:   make(map[string]*stashEntry),
 		stop:    make(chan struct{}),
 	}
 	n.httpAddr.Store(cfg.HTTPAddr)
@@ -220,14 +227,14 @@ func (n *Node) Close() error {
 	// still reaches a consumer instead of dying with the process.
 	n.stashMu.Lock()
 	stash := n.stash
-	n.stash = make(map[string][][]byte)
+	n.stash = make(map[string]*stashEntry)
 	n.stashMu.Unlock()
-	for key, items := range stash {
-		if _, err := n.backend.IngestHandoff(key, items, true); err != nil {
-			n.requeueFailed.Add(uint64(len(items)))
-			n.putStash(key, items)
+	for key, e := range stash {
+		if _, err := n.backend.IngestHandoff(e.tenant, key, e.items, true); err != nil {
+			n.requeueFailed.Add(uint64(len(e.items)))
+			n.putStash(key, e.tenant, e.items)
 			n.cfg.Logf("cluster: node %s could not requeue %d stashed items for %q at close: %v",
-				n.cfg.NodeID, len(items), key, err)
+				n.cfg.NodeID, len(e.items), key, err)
 		}
 	}
 	return nil
@@ -243,25 +250,37 @@ func (n *Node) advertiseAddr() string {
 
 // ---- hand-off stash ----
 
+// stashEntry is one stream's owed items plus the tenant they were
+// admitted under.
+type stashEntry struct {
+	tenant string
+	items  [][]byte
+}
+
 // putStash appends items owed to a stream for a later sweep retry.
-func (n *Node) putStash(key string, items [][]byte) {
+func (n *Node) putStash(key, tenant string, items [][]byte) {
 	if len(items) == 0 {
 		return
 	}
 	n.stashMu.Lock()
-	n.stash[key] = append(n.stash[key], items...)
+	if e, ok := n.stash[key]; ok {
+		e.items = append(e.items, items...)
+	} else {
+		n.stash[key] = &stashEntry{tenant: tenant, items: items}
+	}
 	n.stashMu.Unlock()
 }
 
 // takeStash removes and returns everything stashed for a stream.
-func (n *Node) takeStash(key string) [][]byte {
+func (n *Node) takeStash(key string) (tenant string, items [][]byte) {
 	n.stashMu.Lock()
 	defer n.stashMu.Unlock()
-	items := n.stash[key]
-	if items != nil {
-		delete(n.stash, key)
+	e, ok := n.stash[key]
+	if !ok {
+		return "", nil
 	}
-	return items
+	delete(n.stash, key)
+	return e.tenant, e.items
 }
 
 // stashKeys lists streams with stashed items.
@@ -280,8 +299,8 @@ func (n *Node) stashedItems() int {
 	n.stashMu.Lock()
 	defer n.stashMu.Unlock()
 	total := 0
-	for _, items := range n.stash {
-		total += len(items)
+	for _, e := range n.stash {
+		total += len(e.items)
 	}
 	return total
 }
@@ -319,7 +338,7 @@ func (n *Node) Resolve(key string) server.Route {
 //
 // Either way the call succeeds once anything was delivered or safely
 // re-admitted; an error means nothing left this node.
-func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) {
+func (n *Node) Forward(tenant, key string, items [][]byte) (server.IngestResult, error) {
 	owner := n.router.Owner(key)
 	if owner == n.cfg.NodeID {
 		return server.IngestResult{}, errors.New("cluster: forward to self")
@@ -333,7 +352,7 @@ func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) 
 		chunk := items[off:end]
 		resp, wrote, err := n.call(owner, Frame{
 			Type: FrameForward, From: n.cfg.NodeID,
-			Key: key, Items: EncodeItems(chunk),
+			Key: key, Items: EncodeItems(chunk), Tenant: tenant,
 		})
 		if err == nil && resp.Type != FrameForwardAck {
 			// The owner answered and refused: definitively not ingested.
@@ -367,14 +386,14 @@ func (n *Node) Forward(key string, items [][]byte) (server.IngestResult, error) 
 		// Partial delivery: keep the rest here rather than lose or
 		// duplicate it. Forwarded-ingest is the right local path —
 		// these items must not bounce back out.
-		local, lerr := n.backend.IngestForwarded(key, rest)
+		local, lerr := n.backend.IngestForwarded(tenant, key, rest)
 		if lerr != nil {
 			// Local re-admission failed too (drain race). Earlier chunks
 			// were already delivered, so an error here would make the
 			// caller re-ingest them: stash the remainder for the sweep
 			// instead and report it accepted-in-flight.
 			n.requeueFailed.Add(uint64(len(rest)))
-			n.putStash(key, rest)
+			n.putStash(key, tenant, rest)
 			n.cfg.Logf("cluster: node %s stashed %d undeliverable forwarded items for %q: %v",
 				n.cfg.NodeID, len(rest), key, lerr)
 			res.Accepted += len(rest)
@@ -490,7 +509,7 @@ func (n *Node) handleFrame(f Frame) Frame {
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
-		res, err := n.backend.IngestForwarded(f.Key, items)
+		res, err := n.backend.IngestForwarded(f.Tenant, f.Key, items)
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
@@ -503,7 +522,7 @@ func (n *Node) handleFrame(f Frame) Frame {
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
-		res, err := n.backend.IngestHandoff(f.Key, items, f.Seq > 0)
+		res, err := n.backend.IngestHandoff(f.Tenant, f.Key, items, f.Seq > 0)
 		if err != nil {
 			return Frame{Type: FrameError, From: n.cfg.NodeID, Error: err.Error()}
 		}
@@ -747,13 +766,13 @@ func (n *Node) sweep() {
 // the backend, keeping them stashed (and counted) if admission fails
 // again.
 func (n *Node) requeueStash(key string) {
-	items := n.takeStash(key)
+	tenant, items := n.takeStash(key)
 	if len(items) == 0 {
 		return
 	}
-	if _, err := n.backend.IngestHandoff(key, items, true); err != nil {
+	if _, err := n.backend.IngestHandoff(tenant, key, items, true); err != nil {
 		n.requeueFailed.Add(uint64(len(items)))
-		n.putStash(key, items)
+		n.putStash(key, tenant, items)
 		n.cfg.Logf("cluster: node %s could not requeue %d stashed items for %q: %v",
 			n.cfg.NodeID, len(items), key, err)
 	}
@@ -775,10 +794,13 @@ func (n *Node) migrateStream(key, owner string) {
 	if pc.c == nil {
 		return
 	}
-	stashed := n.takeStash(key)
-	items, detached := n.backend.DetachStream(key)
+	stashTenant, stashed := n.takeStash(key)
+	items, tenant, detached := n.backend.DetachStream(key)
 	if !detached && len(stashed) == 0 {
 		return
+	}
+	if !detached {
+		tenant = stashTenant
 	}
 	items = append(stashed, items...)
 	firstSeq := 0
@@ -794,7 +816,7 @@ func (n *Node) migrateStream(key, owner string) {
 		chunk := items[off:end]
 		resp, wrote, err := n.exchange(pc, Frame{
 			Type: FrameMigrate, From: n.cfg.NodeID,
-			Key: key, Items: EncodeItems(chunk), Seq: seq,
+			Key: key, Items: EncodeItems(chunk), Seq: seq, Tenant: tenant,
 		})
 		if err == nil && resp.Type != FrameMigrateAck {
 			// The owner answered and refused: definitively not ingested.
@@ -823,9 +845,9 @@ func (n *Node) migrateStream(key, owner string) {
 			// (drain race), stash the items and count them — silently
 			// dropping them here is exactly the ledger leak the chaos
 			// oracle exists to catch.
-			if _, rerr := n.backend.IngestHandoff(key, rest, true); rerr != nil {
+			if _, rerr := n.backend.IngestHandoff(tenant, key, rest, true); rerr != nil {
 				n.requeueFailed.Add(uint64(len(rest)))
-				n.putStash(key, rest)
+				n.putStash(key, tenant, rest)
 				n.cfg.Logf("cluster: node %s could not requeue %d items for %q after failed hand-off: %v",
 					n.cfg.NodeID, len(rest), key, rerr)
 			}

@@ -44,7 +44,7 @@ func (f *fakeBackend) items(key string) [][]byte {
 	return out
 }
 
-func (f *fakeBackend) IngestForwarded(key string, items [][]byte) (server.IngestResult, error) {
+func (f *fakeBackend) IngestForwarded(tenant, key string, items [][]byte) (server.IngestResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.forwards++
@@ -56,7 +56,7 @@ func (f *fakeBackend) IngestForwarded(key string, items [][]byte) (server.Ingest
 	return server.IngestResult{Accepted: len(items)}, nil
 }
 
-func (f *fakeBackend) IngestHandoff(key string, items [][]byte, cont bool) (server.IngestResult, error) {
+func (f *fakeBackend) IngestHandoff(tenant, key string, items [][]byte, cont bool) (server.IngestResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.handoffs++
@@ -73,16 +73,16 @@ func (f *fakeBackend) IngestHandoff(key string, items [][]byte, cont bool) (serv
 	return server.IngestResult{Accepted: len(items)}, nil
 }
 
-func (f *fakeBackend) DetachStream(key string) ([][]byte, bool) {
+func (f *fakeBackend) DetachStream(key string) ([][]byte, string, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	items, ok := f.streams[key]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	delete(f.streams, key)
 	delete(f.loads, key)
-	return items, true
+	return items, "", true
 }
 
 func (f *fakeBackend) StreamKeys() []string {
@@ -185,7 +185,7 @@ func TestForwardDeliversToOwner(t *testing.T) {
 		t.Fatalf("route %+v want owner n2", route)
 	}
 	items := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
-	res, err := n1.Forward(key, items)
+	res, err := n1.Forward("", key, items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestForwardAckLossReadmitsOnlyUnwrittenTail(t *testing.T) {
 	key := keyOwnedBy(n1.router, "n2")
 
 	items := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
-	res, err := n1.Forward(key, items)
+	res, err := n1.Forward("", key, items)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,6 +71,9 @@ type Frame struct {
 	// Forward / migrate payload.
 	Key   string   `json:"key,omitempty"`
 	Items []string `json:"items,omitempty"` // base64(std) item payloads
+	// Tenant carries the authenticated tenant id on fwd/mig frames so
+	// the owning node charges the right budget ("" on an open fleet).
+	Tenant string `json:"ten,omitempty"`
 	// Seq is the chunk index within one migration hand-off sequence: a
 	// backlog split across mig frames carries Seq 0,1,2,… so the receiver
 	// counts one migration per stream, not per chunk. Requeue re-ships
@@ -117,7 +120,8 @@ func DecodeFrame(line []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: unknown type %q", errFrame, f.Type)
 	}
 	if len(f.From) > maxKeyLen || len(f.Key) > maxKeyLen ||
-		len(f.Addr) > maxKeyLen || len(f.HTTP) > maxKeyLen {
+		len(f.Addr) > maxKeyLen || len(f.HTTP) > maxKeyLen ||
+		len(f.Tenant) > maxKeyLen {
 		return Frame{}, fmt.Errorf("%w: oversized field", errFrame)
 	}
 	if len(f.Items) > maxItems {

@@ -37,6 +37,8 @@ func ByID(id string, cfg Config) (Table, error) {
 		return Place(cfg)
 	case "faults":
 		return Faults(cfg)
+	case "tenants":
+		return Tenants(cfg)
 	default:
 		return Table{}, fmt.Errorf("exp: unknown figure id %q", id)
 	}
@@ -47,6 +49,6 @@ func IDs() []string {
 	return []string{
 		"fig3", "fig4", "corr", "fig9", "fig10", "fig11",
 		"wakeups", "buffer", "ablation", "latency", "predictors",
-		"racetoidle", "alignment", "place", "faults",
+		"racetoidle", "alignment", "place", "faults", "tenants",
 	}
 }

@@ -1,0 +1,59 @@
+package exp
+
+import "testing"
+
+// TestTenantsQuotasProtectVictim is the TENANTS acceptance criterion:
+// under the 10× anti-predictor flood, the shared buffer starves the
+// victim while per-tenant quotas keep it admitting near-solo — at
+// least 95% of offered, and at least 1.5× the shared-mode admission —
+// with the hot tenant pinned at its rate wall (admitting well under
+// half of what it offers) rather than shedding the victim.
+func TestTenantsQuotasProtectVictim(t *testing.T) {
+	tb, err := Tenants(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedV := tb.MustValue("shared", KeyVictimAdmit)
+	quotaV := tb.MustValue("tenant-quotas", KeyVictimAdmit)
+	if quotaV < 95 {
+		t.Errorf("quota-mode victim admission = %.1f%%, want ≥ 95%%", quotaV)
+	}
+	if quotaV < 1.5*sharedV {
+		t.Errorf("quota-mode victim admission %.1f%% not ≥ 1.5× shared %.1f%% — no noisy-neighbor effect to protect against",
+			quotaV, sharedV)
+	}
+	if hot := tb.MustValue("tenant-quotas", KeyHotAdmit); hot > 50 {
+		t.Errorf("quota-mode hot admission = %.1f%%, want ≤ 50%% (rate wall should bind)", hot)
+	}
+	if shed := tb.MustValue("tenant-quotas", KeyHotShed); shed < 1 {
+		t.Errorf("quota-mode hot shed = %.0f, want ≥ 1 (flood never hit a wall)", shed)
+	}
+	if peak := tb.MustValue("shared", KeyPeakBuffer); peak > 512 {
+		t.Errorf("shared peak occupancy %.0f exceeds the 512 buffer", peak)
+	}
+	if peak := tb.MustValue("tenant-quotas", KeyPeakBuffer); peak > 512 {
+		t.Errorf("quota peak occupancy %.0f exceeds the 512 global", peak)
+	}
+}
+
+// TestTenantsDeterministic pins replayability: the same Config must
+// reproduce every value exactly (the registry runs on a virtual clock,
+// so nothing depends on wall time).
+func TestTenantsDeterministic(t *testing.T) {
+	a, err := Tenants(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tenants(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ra := range a.Rows {
+		rb := b.Rows[i]
+		for k, v := range ra.Values {
+			if rb.Values[k] != v {
+				t.Errorf("row %s key %s: %v then %v — nondeterministic", ra.Label, k, v, rb.Values[k])
+			}
+		}
+	}
+}

@@ -108,11 +108,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("pcd_stream_dropped_total", "Items dropped on this stream after redelivery exhaustion.", float64(st.Dropped), "stream", st.Key, "pair", id)
 	}
 
+	s.tenantMetrics(p)
 	s.clusterMetrics(p)
 	s.histogramMetrics(p)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
+}
+
+// tenantMetrics exports the pcd_tenant_* families: per-tenant
+// admission outcomes, elastic buffer state, and the registry's auth
+// and reload counters. Silent without a tenant registry.
+func (s *Server) tenantMetrics(p *metrics.Prom) {
+	reg := s.cfg.Tenants
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	p.Gauge("pcd_tenant_global_buffer_items", "Global buffered-item capacity shared by all tenants.", float64(snap.GlobalBuffer))
+	p.Gauge("pcd_tenant_global_usage_items", "Buffered items currently charged across all tenants.", float64(snap.GlobalUsage))
+	p.Counter("pcd_auth_failures_total", "Requests rejected for an unknown API key (HTTP 401 / TCP close).", float64(snap.AuthFailures))
+	p.Counter("pcd_tenant_reloads_total", "Registry hot reloads applied (SIGHUP).", float64(snap.Reloads))
+	p.Counter("pcd_tenant_reload_errors_total", "Registry reloads rejected (invalid or unreadable file).", float64(snap.ReloadErrors))
+	p.Counter("pcd_tenant_reclaim_denied_total", "Borrow attempts refused to protect active tenants' budgets.", float64(snap.ReclaimDenied))
+	for _, t := range snap.Tenants {
+		p.Counter("pcd_tenant_accepted_total", "Items accepted into pair buffers, by tenant.", float64(t.Accepted), "tenant", t.ID)
+		p.Counter("pcd_tenant_shed_total", "Items shed by tenant admission control, by budget.", float64(t.ShedRate), "tenant", t.ID, "reason", "rate")
+		p.Counter("pcd_tenant_shed_total", "Items shed by tenant admission control, by budget.", float64(t.ShedBuffer), "tenant", t.ID, "reason", "buffer")
+		p.Counter("pcd_tenant_quarantined_total", "Items rejected on quarantined pairs, by tenant.", float64(t.Quarantined), "tenant", t.ID)
+		p.Gauge("pcd_tenant_buffer_usage_items", "Buffered items currently charged to this tenant.", float64(t.BufferUsage), "tenant", t.ID)
+		p.Gauge("pcd_tenant_buffer_budget_items", "This tenant's guaranteed buffer budget.", float64(t.Budget), "tenant", t.ID)
+		p.Gauge("pcd_tenant_buffer_borrowed_items", "Usage beyond budget, borrowed from idle tenants' slack.", float64(t.Borrowed), "tenant", t.ID)
+		p.Gauge("pcd_tenant_rate_limit", "This tenant's rate budget in items/s (0 = unlimited).", t.Rate, "tenant", t.ID)
+		p.Gauge("pcd_tenant_revoked", "1 while the tenant's keys are revoked but buffered items still drain.", boolGauge(t.Revoked), "tenant", t.ID)
+	}
 }
 
 // clusterMetrics exports the pcd_cluster_* families: membership by

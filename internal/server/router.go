@@ -44,10 +44,12 @@ type Router interface {
 	// Resolve maps a stream key to its current owner.
 	Resolve(key string) Route
 	// Forward ships items for a remotely-owned stream to its owner and
-	// returns the owner's admission verdict. An error means the items
-	// were NOT delivered (the caller falls back to local ingest so no
-	// item is lost to routing).
-	Forward(key string, items [][]byte) (IngestResult, error)
+	// returns the owner's admission verdict. tenant carries the
+	// authenticated tenant id ("" on an open server) so the owner
+	// charges the right buffer budget. An error means the items were
+	// NOT delivered (the caller falls back to local ingest so no item
+	// is lost to routing).
+	Forward(tenant, key string, items [][]byte) (IngestResult, error)
 	// Status reports cluster state for /statusz and /metrics.
 	Status() ClusterStatus
 }
@@ -107,9 +109,9 @@ func (s *Server) SetRouter(r Router) { s.router = r }
 // raw TCP, and frames forwarded from peers. The returned error is
 // non-nil only when the stream cannot exist at all (pair table full) or
 // the server is draining.
-func (s *Server) ingestLocal(key string, items [][]byte) (IngestResult, error) {
+func (s *Server) ingestLocal(tenantID, key string, items [][]byte) (IngestResult, error) {
 	for attempt := 0; ; attempt++ {
-		st, err := s.streamFor(key)
+		st, err := s.streamFor(key, tenantID)
 		if err != nil {
 			return IngestResult{}, err
 		}
@@ -123,7 +125,7 @@ func (s *Server) ingestLocal(key string, items [][]byte) (IngestResult, error) {
 		// lost to a routing race.
 		if r := s.router; r != nil && attempt < 3 {
 			if rt := r.Resolve(key); !rt.Local {
-				if res, err := r.Forward(key, items); err == nil {
+				if res, err := r.Forward(tenantID, key, items); err == nil {
 					return res, nil
 				}
 			}
@@ -133,6 +135,12 @@ func (s *Server) ingestLocal(key string, items [][]byte) (IngestResult, error) {
 
 // putAll puts every item into the stream's pair under its read lock.
 // ok=false means the stream was detached and nothing was admitted.
+//
+// With a tenant registry the stream's tenant is charged first: items
+// beyond the elastic buffer grant are shed at the tenant layer before
+// the pair ever sees them (the tenant-fairness wall), grants that the
+// pair then sheds are returned, and accepted items stay charged until
+// the consumer handler delivers them (releaseCharged).
 func (s *Server) putAll(st *stream, items [][]byte) (IngestResult, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -140,7 +148,15 @@ func (s *Server) putAll(st *stream, items [][]byte) (IngestResult, bool) {
 		return IngestResult{}, false
 	}
 	var res IngestResult
-	for _, item := range items {
+	grant := len(items)
+	if st.tn != nil {
+		grant = st.tn.AcquireBuffer(len(items))
+		// Charge before the Puts: the consumer may deliver (and
+		// release) an item the instant it lands.
+		st.charged.Add(int64(grant))
+	}
+	for _, item := range items[:grant] {
+		closed := false
 		switch err := st.pair.Put(item); {
 		case err == nil:
 			res.Accepted++
@@ -149,10 +165,20 @@ func (s *Server) putAll(st *stream, items [][]byte) (IngestResult, bool) {
 		case errors.Is(err, repro.ErrQuarantined):
 			res.Quarantined++
 		case errors.Is(err, repro.ErrClosed):
-			// Draining: remaining items count as shed.
-			res.Shed += len(items) - res.Accepted - res.Shed - res.Quarantined
-			return res, true
+			// Draining: remaining granted items count as shed.
+			res.Shed += grant - res.Accepted - res.Shed - res.Quarantined
+			closed = true
 		}
+		if closed {
+			break
+		}
+	}
+	res.Shed += len(items) - grant
+	if st.tn != nil {
+		st.releaseCharged(grant - res.Accepted) // failed puts return their grant
+		st.tn.CountAccepted(res.Accepted)
+		st.tn.CountShedBuffer(res.Shed)
+		st.tn.CountQuarantined(res.Quarantined)
 	}
 	return res, true
 }
@@ -161,15 +187,15 @@ func (s *Server) putAll(st *stream, items [][]byte) (IngestResult, bool) {
 // locally when owned, otherwise forward — falling back to local ingest
 // when the forward fails, so no item is ever lost to routing. The
 // returned Route lets HTTP callers answer redirects instead.
-func (s *Server) routedIngest(key string, items [][]byte) (IngestResult, Route, error) {
+func (s *Server) routedIngest(tenantID, key string, items [][]byte) (IngestResult, Route, error) {
 	r := s.router
 	if r == nil {
-		res, err := s.ingestLocal(key, items)
+		res, err := s.ingestLocal(tenantID, key, items)
 		return res, Route{Local: true}, err
 	}
 	route := r.Resolve(key)
 	if route.Local {
-		res, err := s.ingestLocal(key, items)
+		res, err := s.ingestLocal(tenantID, key, items)
 		return res, route, err
 	}
 	// A stream this node still hosts keeps ingesting locally even when
@@ -178,17 +204,17 @@ func (s *Server) routedIngest(key string, items [][]byte) (IngestResult, Route, 
 	// sent, so the new owner sees items in arrival order. Forwarding
 	// starts the moment the stream is detached.
 	if s.hosts(key) {
-		res, err := s.ingestLocal(key, items)
+		res, err := s.ingestLocal(tenantID, key, items)
 		return res, Route{Local: true}, err
 	}
-	if res, err := r.Forward(key, items); err == nil {
+	if res, err := r.Forward(tenantID, key, items); err == nil {
 		s.forwardedOut.Add(uint64(len(items)))
 		return res, route, nil
 	}
 	// Owner unreachable: admit locally. The ownership sweep re-ships
 	// the stream once the owner is back (or the routing table moves on).
 	s.forwardFallbacks.Add(1)
-	res, err := s.ingestLocal(key, items)
+	res, err := s.ingestLocal(tenantID, key, items)
 	return res, Route{Local: true}, err
 }
 
@@ -209,14 +235,21 @@ func (s *Server) hosts(key string) bool {
 // IngestForwarded admits items forwarded by a peer. Forwarded frames
 // are authoritative — they are never re-forwarded, so two nodes with
 // briefly divergent routing tables cannot bounce items in a loop.
-func (s *Server) IngestForwarded(key string, items [][]byte) (IngestResult, error) {
+// tenant is the entry node's authenticated tenant id; with a registry,
+// a tenant this node does not know is refused so the entry node falls
+// back to local ingest under its own (authenticated) attribution
+// rather than this node admitting unattributed items.
+func (s *Server) IngestForwarded(tenant, key string, items [][]byte) (IngestResult, error) {
 	if s.draining.Load() {
 		return IngestResult{}, errors.New("draining")
 	}
 	if !s.validKey(key) {
 		return IngestResult{}, errors.New("bad stream key")
 	}
-	res, err := s.ingestLocal(key, items)
+	if reg := s.cfg.Tenants; reg != nil && reg.TenantByID(tenant) == nil {
+		return IngestResult{}, errors.New("unknown tenant " + tenant)
+	}
+	res, err := s.ingestLocal(tenant, key, items)
 	if err == nil {
 		s.forwardedIn.Add(uint64(res.Accepted))
 	}
@@ -236,12 +269,12 @@ func (s *Server) IngestForwarded(key string, items [][]byte) (IngestResult, erro
 // previously failed one): the stream-level migrations_in counter is
 // bumped only on the first chunk, matching the sender's once-per-stream
 // migrations_out count regardless of backlog size.
-func (s *Server) IngestHandoff(key string, items [][]byte, cont bool) (IngestResult, error) {
+func (s *Server) IngestHandoff(tenant, key string, items [][]byte, cont bool) (IngestResult, error) {
 	if !s.validKey(key) {
 		return IngestResult{}, errors.New("bad stream key")
 	}
 	for attempt := 0; ; attempt++ {
-		st, err := s.streamFor(key)
+		st, err := s.streamFor(key, tenant)
 		if err != nil {
 			return IngestResult{}, err
 		}
@@ -251,20 +284,45 @@ func (s *Server) IngestHandoff(key string, items [][]byte, cont bool) (IngestRes
 			if st.detached {
 				return IngestResult{}, false
 			}
+			// Migrated items were admitted (and charged) once already:
+			// conservation outranks the tenant wall here, so the
+			// tenant is charged what the elastic pool can grant and
+			// any shortfall is admitted uncharged — usage may briefly
+			// undercount, never overcount, and the Σ usage ≤ global
+			// invariant holds.
 			var res IngestResult
-			for _, item := range items {
+			grant := 0
+			if st.tn != nil {
+				grant = st.tn.AcquireBuffer(len(items))
+				st.charged.Add(int64(grant))
+			}
+			charged := 0
+			for i, item := range items {
+				closed := false
 				switch err := st.pair.PutWait(item, 250*time.Millisecond); {
 				case err == nil:
 					res.Accepted++
+					if i < grant {
+						charged++
+					}
 				case errors.Is(err, repro.ErrQuarantined):
 					res.Quarantined++
 				case errors.Is(err, repro.ErrClosed):
 					// Draining: remaining items count as shed.
 					res.Shed += len(items) - res.Accepted - res.Shed - res.Quarantined
-					return res, true
+					closed = true
 				default:
 					res.Shed++
 				}
+				if closed {
+					break
+				}
+			}
+			if st.tn != nil {
+				st.releaseCharged(grant - charged)
+				st.tn.CountAccepted(res.Accepted)
+				st.tn.CountShedBuffer(res.Shed)
+				st.tn.CountQuarantined(res.Quarantined)
 			}
 			return res, true
 		}()
@@ -285,11 +343,12 @@ func (s *Server) IngestHandoff(key string, items [][]byte, cont bool) (IngestRes
 
 // DetachStream quiesce-drains the key's pair for migration to another
 // node: the pair is closed without running its handler and every
-// unprocessed item is returned in FIFO order (repro.Pair.Handoff).
-// ok=false means this node does not host the stream. After Detach the
-// key's next local ingest creates a fresh pair (or forwards, once the
-// routing table points elsewhere).
-func (s *Server) DetachStream(key string) (items [][]byte, ok bool) {
+// unprocessed item is returned in FIFO order (repro.Pair.Handoff),
+// along with the tenant id the stream was bound to so the new owner
+// charges the same budget. ok=false means this node does not host the
+// stream. After Detach the key's next local ingest creates a fresh
+// pair (or forwards, once the routing table points elsewhere).
+func (s *Server) DetachStream(key string) (items [][]byte, tenantID string, ok bool) {
 	s.mu.Lock()
 	st, found := s.streams[key]
 	if found {
@@ -297,20 +356,24 @@ func (s *Server) DetachStream(key string) (items [][]byte, ok bool) {
 	}
 	s.mu.Unlock()
 	if !found {
-		return nil, false
+		return nil, "", false
 	}
 	st.mu.Lock()
 	st.detached = true
 	items, err := st.pair.Handoff()
 	st.mu.Unlock()
+	// Whatever the stream still held charged leaves this node's
+	// buffers with the hand-off (or was already drained in the closed
+	// race) — return it to the tenant pool either way.
+	st.releaseCharged(int(st.charged.Load()))
 	if err != nil {
 		// Already closed (shutdown race): nothing to ship.
-		return nil, false
+		return nil, "", false
 	}
 	s.migrationsOut.Add(1)
 	s.migratedOutItems.Add(uint64(len(items)))
 	s.cfg.Logf("pcd: detached stream %q (%d items to ship)", key, len(items))
-	return items, true
+	return items, st.tenantID, true
 }
 
 // StreamKeys lists the stream keys this node currently hosts.

@@ -18,11 +18,11 @@ import (
 func TestIngestHandoffCountsStreamsNotChunks(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	chunk := [][]byte{[]byte("a"), []byte("b")}
-	if _, err := s.IngestHandoff("mig", chunk, false); err != nil {
+	if _, err := s.IngestHandoff("", "mig", chunk, false); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := s.IngestHandoff("mig", chunk, true); err != nil {
+		if _, err := s.IngestHandoff("", "mig", chunk, true); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -33,7 +33,7 @@ func TestIngestHandoffCountsStreamsNotChunks(t *testing.T) {
 		t.Fatalf("migrated_items_in = %d, want 8", got)
 	}
 	// A fresh hand-off for another stream counts again.
-	if _, err := s.IngestHandoff("mig2", chunk, false); err != nil {
+	if _, err := s.IngestHandoff("", "mig2", chunk, false); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.migrationsIn.Load(); got != 2 {
@@ -56,7 +56,7 @@ func TestIngestHandoffClassifiesQuarantined(t *testing.T) {
 		// A one-second slot keeps the breaker's half-open probe far away
 		// so the asserts below cannot race into the probe window.
 	}, repro.WithSlotSize(time.Second), repro.WithMaxLatency(5*time.Second), repro.WithBuffer(2))
-	st, err := s.streamFor("q")
+	st, err := s.streamFor("q", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestIngestHandoffClassifiesQuarantined(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	res, err := s.IngestHandoff("q", [][]byte{[]byte("m1"), []byte("m2")}, false)
+	res, err := s.IngestHandoff("", "q", [][]byte{[]byte("m1"), []byte("m2")}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,10 +92,10 @@ func TestIngestHandoffClassifiesQuarantined(t *testing.T) {
 // instead of paying the 250ms PutWait per item.
 func TestIngestHandoffClassifiesClosed(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
-	if _, err := s.IngestHandoff("c", [][]byte{[]byte("a")}, false); err != nil {
+	if _, err := s.IngestHandoff("", "c", [][]byte{[]byte("a")}, false); err != nil {
 		t.Fatal(err)
 	}
-	st, err := s.streamFor("c")
+	st, err := s.streamFor("c", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestIngestHandoffClassifiesClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := s.IngestHandoff("c", [][]byte{[]byte("b"), []byte("c"), []byte("d")}, true)
+	res, err := s.IngestHandoff("", "c", [][]byte{[]byte("b"), []byte("c"), []byte("d")}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestIngestHandoffAcceptsAndConserves(t *testing.T) {
 	for i := range items {
 		items[i] = []byte(fmt.Sprintf("item-%d", i))
 	}
-	res, err := s.IngestHandoff("o", items, false)
+	res, err := s.IngestHandoff("", "o", items, false)
 	if err != nil {
 		t.Fatal(err)
 	}

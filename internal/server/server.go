@@ -41,6 +41,7 @@ import (
 
 	"repro"
 	"repro/internal/power"
+	"repro/internal/tenant"
 )
 
 // Config configures a Server. Runtime is required; the zero value of
@@ -75,6 +76,13 @@ type Config struct {
 	// gauge. Zero value: power.Default() on one core with the
 	// runtime's default Eq. 8 cost constants.
 	Estimator power.Estimator
+	// Tenants enables multi-tenant ingest: API-key auth on HTTP
+	// (Authorization: Bearer / X-Api-Key) and raw TCP (leading
+	// "auth <key>" line), per-tenant token-bucket rate admission at the
+	// entry node, and per-tenant elastic buffer accounting at the
+	// owning node. Nil (the default) keeps the open single-tenant
+	// behavior.
+	Tenants *tenant.Registry
 	// Logf receives operational log lines. Default: discard.
 	Logf func(format string, args ...any)
 }
@@ -114,7 +122,44 @@ func (c *Config) fillDefaults() error {
 type stream struct {
 	key  string
 	pair *repro.Pair[[]byte]
+	// tenantID binds the stream to the tenant that created it; a
+	// second tenant addressing the same key is refused (403). Empty on
+	// an open (registry-less) server, or for hand-offs whose tenant is
+	// unknown to this node's registry.
+	tenantID string
+	// tn is the resolved tenant charged for this stream's buffer
+	// usage; nil when unattributed.
+	tn *tenant.Tenant
+	// charged counts buffered items currently charged against tn in
+	// the tenant pool: incremented at admission, decremented (and
+	// released) when the consumer handler delivers, the stream detaches
+	// for migration, or the pair closes. Items a faulty consumer drops
+	// stay charged until close — the tenant pays for its own junk.
+	charged atomic.Int64
 	streamMeta
+}
+
+// releaseCharged returns up to n of this stream's charged buffer items
+// to the tenant pool, bounded by what the stream actually holds so a
+// racing detach cannot double-release another stream's charge.
+func (st *stream) releaseCharged(n int) {
+	if st.tn == nil || n <= 0 {
+		return
+	}
+	for {
+		cur := st.charged.Load()
+		rel := int64(n)
+		if rel > cur {
+			rel = cur
+		}
+		if rel <= 0 {
+			return
+		}
+		if st.charged.CompareAndSwap(cur, cur-rel) {
+			st.tn.ReleaseBuffer(int(rel))
+			return
+		}
+	}
 }
 
 // Server is the pcd network front-end. Create with New, then Start.
@@ -280,37 +325,82 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := st.pair.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		// Close drained what it could through the handler (which
+		// released its own charge); whatever is still charged was
+		// dropped or retained — hand it back to the tenant pool.
+		st.releaseCharged(int(st.charged.Load()))
 	}
 	s.cfg.Logf("pcd: drained %d streams", len(streams))
 	return firstErr
 }
 
+// errTenantMismatch rejects a tenant addressing a stream key another
+// tenant already owns (HTTP 403).
+var errTenantMismatch = errors.New("stream key owned by another tenant")
+
 // streamFor returns the key's stream, creating its pair on first use.
-func (s *Server) streamFor(key string) (*stream, error) {
+// With a tenant registry, the creating tenant owns the key: a later
+// caller under a different tenant id is refused, and the consumer
+// handler is wrapped so delivered items return their tenant's buffer
+// charge to the elastic pool.
+func (s *Server) streamFor(key, tenantID string) (*stream, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st, ok := s.streams[key]; ok {
+		if s.cfg.Tenants != nil && st.tenantID != tenantID {
+			return nil, errTenantMismatch
+		}
 		return st, nil
 	}
 	var opts []repro.PairOption
 	if s.cfg.PairOptions != nil {
 		opts = s.cfg.PairOptions(key)
 	}
+	st := &stream{key: key, tenantID: tenantID}
+	if s.cfg.Tenants != nil && tenantID != "" {
+		st.tn = s.cfg.Tenants.TenantByID(tenantID)
+	}
 	var p *repro.Pair[[]byte]
 	var err error
 	if s.cfg.HandlerFuncFor != nil {
-		p, err = repro.NewPairFunc(s.rt, s.cfg.HandlerFuncFor(key), opts...)
+		inner := s.cfg.HandlerFuncFor(key)
+		p, err = repro.NewPairFunc(s.rt, func(ctx context.Context, batch [][]byte) error {
+			herr := inner(ctx, batch)
+			if herr == nil {
+				st.releaseCharged(len(batch))
+			}
+			// A failed batch stays buffered (retained for redelivery)
+			// and so stays charged.
+			return herr
+		}, opts...)
 	} else {
-		p, err = repro.NewPair(s.rt, s.cfg.HandlerFor(key), opts...)
+		inner := s.cfg.HandlerFor(key)
+		p, err = repro.NewPair(s.rt, func(batch [][]byte) {
+			inner(batch)
+			st.releaseCharged(len(batch))
+		}, opts...)
 	}
 	if err != nil {
 		s.streamRejects.Add(1)
 		return nil, err
 	}
-	st := &stream{key: key, pair: p}
+	st.pair = p
 	s.streams[key] = st
-	s.cfg.Logf("pcd: opened stream %q (pair %d)", key, p.ID())
+	s.cfg.Logf("pcd: opened stream %q (pair %d, tenant %q)", key, p.ID(), tenantID)
 	return st, nil
+}
+
+// apiKey extracts the caller's API key: "Authorization: Bearer <key>"
+// or the simpler "X-Api-Key: <key>".
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-Api-Key"); k != "" {
+		return k
+	}
+	const scheme = "Bearer "
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, scheme) {
+		return h[len(scheme):]
+	}
+	return ""
 }
 
 // validKey bounds key length and charset (printable, no '/').
@@ -354,6 +444,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	var tn *tenant.Tenant
+	if reg := s.cfg.Tenants; reg != nil {
+		if tn = reg.Authorize(apiKey(r)); tn == nil {
+			http.Error(w, "unauthorized: unknown API key", http.StatusUnauthorized)
+			return
+		}
+	}
 	key := strings.TrimPrefix(r.URL.Path, "/ingest/")
 	if !s.validKey(key) {
 		http.Error(w, "bad stream key", http.StatusBadRequest)
@@ -369,6 +466,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty body: newline-delimited items expected", http.StatusBadRequest)
 		return
 	}
+	// Rate admission is charged where the request enters the fleet —
+	// before routing — so a hot tenant burns its own budget on its own
+	// requests regardless of which node owns the stream. Buffer budget
+	// is charged at the owning node (putAll), where the items live.
+	tenantID, rateShed := "", 0
+	if tn != nil {
+		tenantID = tn.ID()
+		adm := tn.AdmitRate(len(items))
+		if rateShed = len(items) - adm; rateShed > 0 {
+			tn.CountShedRate(rateShed)
+			items = items[:adm]
+		}
+		if len(items) == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"stream":%q,"accepted":0,"shed":%d,"quarantined":0}`+"\n", key, rateShed)
+			return
+		}
+	}
 	if rt := s.router; rt != nil && r.Header.Get("X-Pcd-Redirect") != "" {
 		// Redirect only once the stream is no longer hosted here: while
 		// the backlog awaits its migration sweep, local ingest keeps the
@@ -380,15 +496,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, route, err := s.routedIngest(key, items)
+	res, route, err := s.routedIngest(tenantID, key, items)
 	if err != nil {
+		if errors.Is(err, errTenantMismatch) {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	res.Shed += rateShed
 	if route.Local {
 		s.ingestedHTTP.Add(uint64(res.Accepted))
 		s.shedHTTP.Add(uint64(res.Shed))
 		s.quarantinedHTTP.Add(uint64(res.Quarantined))
+	} else {
+		s.shedHTTP.Add(uint64(rateShed))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	switch {
@@ -494,21 +617,22 @@ func (s *Server) placementStatus() placementz {
 
 // statusz is the JSON shape served by /statusz.
 type statusz struct {
-	UptimeSeconds    float64          `json:"uptime_seconds"`
-	Draining         bool             `json:"draining"`
-	Runtime          repro.Stats      `json:"runtime"`
-	WakeupsPerSecond float64          `json:"wakeups_per_second"`
-	EstPowerMW       float64          `json:"estimated_power_milliwatts"`
-	IngestedHTTP     uint64           `json:"ingested_http"`
-	IngestedTCP      uint64           `json:"ingested_tcp"`
-	ShedHTTP         uint64           `json:"shed_http"`
-	ShedTCP          uint64           `json:"shed_tcp"`
-	QuarantinedHTTP  uint64           `json:"quarantined_http"`
-	QuarantinedTCP   uint64           `json:"quarantined_tcp"`
-	StreamRejects    uint64           `json:"stream_rejects"`
-	Placement        placementz       `json:"placement"`
-	Cluster          *clusterz        `json:"cluster,omitempty"`
-	Streams          []streamSnapshot `json:"streams"`
+	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Draining         bool                     `json:"draining"`
+	Runtime          repro.Stats              `json:"runtime"`
+	WakeupsPerSecond float64                  `json:"wakeups_per_second"`
+	EstPowerMW       float64                  `json:"estimated_power_milliwatts"`
+	IngestedHTTP     uint64                   `json:"ingested_http"`
+	IngestedTCP      uint64                   `json:"ingested_tcp"`
+	ShedHTTP         uint64                   `json:"shed_http"`
+	ShedTCP          uint64                   `json:"shed_tcp"`
+	QuarantinedHTTP  uint64                   `json:"quarantined_http"`
+	QuarantinedTCP   uint64                   `json:"quarantined_tcp"`
+	StreamRejects    uint64                   `json:"stream_rejects"`
+	Placement        placementz               `json:"placement"`
+	Cluster          *clusterz                `json:"cluster,omitempty"`
+	Tenants          *tenant.RegistrySnapshot `json:"tenants,omitempty"`
+	Streams          []streamSnapshot         `json:"streams"`
 }
 
 // clusterz is the cluster section of /statusz: membership (peer states)
@@ -562,8 +686,20 @@ func (s *Server) statusSnapshot() statusz {
 		StreamRejects:    s.streamRejects.Load(),
 		Placement:        s.placementStatus(),
 		Cluster:          s.clusterStatus(),
+		Tenants:          s.tenantStatus(),
 		Streams:          s.snapshotStreams(),
 	}
+}
+
+// tenantStatus assembles the /statusz tenant table; nil without a
+// registry.
+func (s *Server) tenantStatus() *tenant.RegistrySnapshot {
+	reg := s.cfg.Tenants
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	return &snap
 }
 
 // StatusJSON renders the /statusz document. pcd's -final-status flag

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"net"
+
+	"repro/internal/tenant"
 )
 
 // The raw-TCP line protocol: one item per line, `<key> <payload>\n`.
@@ -41,9 +43,33 @@ func (s *Server) acceptTCP(ln net.Listener) {
 // In cluster mode each line rides the same routed ingest path as HTTP
 // (forwarded to its owner when the key hashes elsewhere); the lossy
 // contract is unchanged — the owner's sheds are its own accounting.
+//
+// With a tenant registry the connection authenticates once, up front:
+// its first line must be `auth <api-key>` and a bad key closes the
+// connection (the TCP face of HTTP's 401). Rate-shed lines are dropped
+// and counted per tenant, honoring the lossy contract.
 func (s *Server) serveTCP(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), int(s.cfg.MaxBodyBytes))
+	var tn *tenant.Tenant
+	if reg := s.cfg.Tenants; reg != nil {
+		if !sc.Scan() {
+			return
+		}
+		authLine := sc.Bytes()
+		const prefix = "auth "
+		if !bytes.HasPrefix(authLine, []byte(prefix)) {
+			s.tcpMalformed.Add(1)
+			return
+		}
+		if tn = reg.Authorize(string(authLine[len(prefix):])); tn == nil {
+			return // counted in the registry's auth failures
+		}
+	}
+	tenantID := ""
+	if tn != nil {
+		tenantID = tn.ID()
+	}
 	for sc.Scan() {
 		if s.draining.Load() {
 			return
@@ -54,12 +80,18 @@ func (s *Server) serveTCP(conn net.Conn) {
 			s.tcpMalformed.Add(1)
 			continue
 		}
+		if tn != nil && tn.AdmitRate(1) == 0 {
+			tn.CountShedRate(1)
+			s.shedTCP.Add(1)
+			continue
+		}
 		key := string(line[:sp])
 		item := make([]byte, len(line)-sp-1)
 		copy(item, line[sp+1:])
-		res, route, err := s.routedIngest(key, [][]byte{item})
+		res, route, err := s.routedIngest(tenantID, key, [][]byte{item})
 		if err != nil {
-			// Pair table full: drop, already counted in streamRejects.
+			// Pair table full (or the key belongs to another tenant):
+			// drop; creation failures are counted in streamRejects.
 			continue
 		}
 		if route.Local {

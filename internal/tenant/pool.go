@@ -1,0 +1,365 @@
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// lendTau is how long an idle tenant's recent peak usage keeps
+// shielding its budget from being lent out. A hot borrower therefore
+// loses access to a waking lender's budget within ~lendTau, which is
+// comfortably inside the runtime's latency bounds (tens of ms) only in
+// aggregate — the guarantee is that NEW borrows stop instantly once the
+// lender's usage rises; the decay only governs how fast fully-idle
+// budget becomes lendable again.
+const lendTau = 2 * time.Second
+
+// Pool is the elastic per-tenant buffer-quota pool. It sits above the
+// per-pair pool: tenants draw buffered-item grants from a shared
+// global capacity G, each holding a budget b_t with Σ b_t ≤ G.
+//
+// Elasticity: a tenant may use beyond its budget by borrowing, but a
+// grant is never allowed to push Σ usage past G, and borrowing is
+// additionally capped by the unreserved slack (G − Σ b_t) plus the
+// lendable share of other tenants' budgets (budget minus a decaying
+// high-water mark of their own usage). Active tenants therefore always
+// find their budget available: usage ≤ budget is granted whenever
+// physical space exists, and physical space is guaranteed unless
+// *borrowers* are holding it — which the lendable cap prevents from
+// exceeding what idle tenants weren't using.
+//
+// Invariants (CheckInvariant, proven under -race):
+//
+//	Σ budgets ≤ global
+//	Σ usage  == totalUsage ≤ global + debt
+//	usage_t, budgets_t ≥ 0
+//
+// debt is nonzero only transiently after a reload shrinks G below the
+// items already admitted; it is paid down by releases and no new
+// grants are issued while usage exceeds the new G.
+type Pool struct {
+	mu sync.Mutex
+
+	global int // G: shared capacity
+	debt   int // transient over-commit allowance after a global shrink
+
+	budgets map[string]int // b_t, Σ ≤ global
+	usage   map[string]int // u_t ≥ 0
+	peak    map[string]int // decaying high-water mark of u_t
+	peakAt  map[string]time.Time
+
+	totalBudget int
+	totalUsage  int
+
+	reclaimDenied int64 // borrow attempts refused to protect lenders
+
+	now func() time.Time // injectable for tests/virtual clocks
+}
+
+// NewPool creates a pool with global capacity g.
+func NewPool(g int) *Pool {
+	if g < 0 {
+		g = 0
+	}
+	return &Pool{
+		global:  g,
+		budgets: make(map[string]int),
+		usage:   make(map[string]int),
+		peak:    make(map[string]int),
+		peakAt:  make(map[string]time.Time),
+		now:     time.Now,
+	}
+}
+
+// SetNow installs a clock for tests; nil restores time.Now.
+func (p *Pool) SetNow(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	p.now = now
+}
+
+// SetBudget creates tenant id or resizes its budget. It fails if the
+// new Σ budgets would exceed the global capacity. Usage above a shrunk
+// budget is not evicted; the tenant simply counts as a borrower until
+// it drains.
+func (p *Pool) SetBudget(id string, b int) error {
+	if b < 0 {
+		return fmt.Errorf("tenant: negative budget %d for %q", b, id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	next := p.totalBudget - p.budgets[id] + b
+	if next > p.global {
+		return fmt.Errorf("tenant: budget %d for %q would push Σ budgets to %d > global %d", b, id, next, p.global)
+	}
+	p.totalBudget = next
+	p.budgets[id] = b
+	if _, ok := p.usage[id]; !ok {
+		p.usage[id] = 0
+		p.peak[id] = 0
+		p.peakAt[id] = p.now()
+	}
+	return nil
+}
+
+// Remove drops tenant id from the pool, releasing whatever it held.
+// Returns the number of items released.
+func (p *Pool) Remove(id string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.usage[id]
+	p.totalUsage -= u
+	p.totalBudget -= p.budgets[id]
+	delete(p.budgets, id)
+	delete(p.usage, id)
+	delete(p.peak, id)
+	delete(p.peakAt, id)
+	p.payDebtLocked()
+	return u
+}
+
+// SetGlobal resizes the shared capacity. If items already admitted
+// exceed the new capacity the excess becomes debt: no new grants are
+// issued until releases pay it down, but nothing already buffered is
+// evicted. Fails if Σ budgets would exceed the new capacity — shrink
+// budgets first (Apply on the Registry orders this correctly).
+func (p *Pool) SetGlobal(g int) error {
+	if g < 0 {
+		return fmt.Errorf("tenant: negative global capacity %d", g)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.totalBudget > g {
+		return fmt.Errorf("tenant: Σ budgets %d exceeds new global %d", p.totalBudget, g)
+	}
+	p.global = g
+	p.debt = 0
+	if p.totalUsage > g {
+		p.debt = p.totalUsage - g
+	}
+	return nil
+}
+
+// Acquire grants tenant id up to n buffered-item slots and returns the
+// number granted (0..n). Grants within the tenant's budget are limited
+// only by physical slack; grants beyond it additionally require
+// borrowable headroom. Unknown tenants hold budget 0 and may only
+// borrow.
+func (p *Pool) Acquire(id string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	slack := p.global - p.debt - p.totalUsage
+	if slack <= 0 {
+		return 0
+	}
+
+	u := p.usage[id]
+	b := p.budgets[id]
+
+	grant := 0
+	// Within-budget portion: guaranteed whenever physical space exists.
+	if u < b {
+		grant = b - u
+		if grant > n {
+			grant = n
+		}
+		if grant > slack {
+			grant = slack
+		}
+	}
+
+	// Borrowed portion: limited by unreserved + lendable headroom.
+	want := n - grant
+	if want > 0 && slack-grant > 0 {
+		head := p.borrowHeadroomLocked(id)
+		avail := head - p.totalBorrowedLocked(id, grant)
+		if avail > want {
+			avail = want
+		}
+		if avail > slack-grant {
+			avail = slack - grant
+		}
+		if avail > 0 {
+			grant += avail
+		} else if head <= 0 {
+			p.reclaimDenied++
+		}
+	}
+
+	if grant > 0 {
+		p.usage[id] = u + grant
+		p.totalUsage += grant
+		p.bumpPeakLocked(id)
+	}
+	return grant
+}
+
+// totalBorrowedLocked sums usage beyond budget across all tenants,
+// counting an extra pending grant for tenant id.
+func (p *Pool) totalBorrowedLocked(id string, pending int) int {
+	tot := 0
+	for t, u := range p.usage {
+		if t == id {
+			u += pending
+		}
+		if b := p.budgets[t]; u > b {
+			tot += u - b
+		}
+	}
+	return tot
+}
+
+// borrowHeadroomLocked is the total amount tenants other than id are
+// willing to have outstanding as borrows: the unreserved global slack
+// plus each other tenant's lendable budget (budget minus the decayed
+// high-water mark of its own usage). A tenant never lends to itself —
+// its own budget is already granted directly.
+func (p *Pool) borrowHeadroomLocked(id string) int {
+	head := p.global - p.debt - p.totalBudget // unreserved slack
+	now := p.now()
+	for t, b := range p.budgets {
+		if t == id || b == 0 {
+			continue
+		}
+		held := p.decayedPeakLocked(t, now)
+		if u := p.usage[t]; u > held {
+			held = u
+		}
+		if b > held {
+			head += b - held
+		}
+	}
+	return head
+}
+
+// decayedPeakLocked returns tenant t's high-water usage mark decayed
+// linearly toward its current usage over lendTau.
+func (p *Pool) decayedPeakLocked(t string, now time.Time) int {
+	pk := p.peak[t]
+	u := p.usage[t]
+	if pk <= u {
+		return u
+	}
+	dt := now.Sub(p.peakAt[t])
+	if dt >= lendTau {
+		return u
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	rem := pk - int(float64(pk-u)*float64(dt)/float64(lendTau))
+	if rem < u {
+		rem = u
+	}
+	return rem
+}
+
+func (p *Pool) bumpPeakLocked(id string) {
+	now := p.now()
+	u := p.usage[id]
+	if dp := p.decayedPeakLocked(id, now); dp > u {
+		// keep the decayed value as the new anchor so the mark keeps
+		// decaying monotonically instead of resetting its clock
+		p.peak[id] = dp
+	} else {
+		p.peak[id] = u
+	}
+	p.peakAt[id] = now
+}
+
+// Release returns n buffered-item slots from tenant id. Over-release
+// is clamped (items released by a detach race are counted once).
+func (p *Pool) Release(id string, n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.usage[id]
+	if n > u {
+		n = u
+	}
+	if n <= 0 {
+		return
+	}
+	p.usage[id] = u - n
+	p.totalUsage -= n
+	p.bumpPeakLocked(id)
+	p.payDebtLocked()
+}
+
+func (p *Pool) payDebtLocked() {
+	if p.debt > 0 && p.totalUsage < p.global+p.debt {
+		over := p.totalUsage - p.global
+		if over < 0 {
+			over = 0
+		}
+		p.debt = over
+	}
+}
+
+// Usage returns tenant id's current buffered-item usage and budget.
+func (p *Pool) Usage(id string) (usage, budget int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.usage[id], p.budgets[id]
+}
+
+// Global returns the shared capacity and total usage.
+func (p *Pool) Global() (g, used int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.global, p.totalUsage
+}
+
+// ReclaimDenied counts borrow attempts refused because idle-tenant
+// budget had been reclaimed (fair-shedding pressure on borrowers).
+func (p *Pool) ReclaimDenied() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reclaimDenied
+}
+
+// CheckInvariant verifies the pool's structural invariants; it returns
+// an error naming the first violation found.
+func (p *Pool) CheckInvariant() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sb, su := 0, 0
+	for id, b := range p.budgets {
+		if b < 0 {
+			return fmt.Errorf("tenant: budget[%s] = %d < 0", id, b)
+		}
+		sb += b
+	}
+	for id, u := range p.usage {
+		if u < 0 {
+			return fmt.Errorf("tenant: usage[%s] = %d < 0", id, u)
+		}
+		su += u
+	}
+	if sb != p.totalBudget {
+		return fmt.Errorf("tenant: Σ budgets %d != totalBudget %d", sb, p.totalBudget)
+	}
+	if su != p.totalUsage {
+		return fmt.Errorf("tenant: Σ usage %d != totalUsage %d", su, p.totalUsage)
+	}
+	if sb > p.global {
+		return fmt.Errorf("tenant: Σ budgets %d > global %d", sb, p.global)
+	}
+	if p.debt < 0 {
+		return fmt.Errorf("tenant: debt %d < 0", p.debt)
+	}
+	if su > p.global+p.debt {
+		return fmt.Errorf("tenant: Σ usage %d > global %d + debt %d", su, p.global, p.debt)
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustSet(t *testing.T, p *Pool, id string, b int) {
+	t.Helper()
+	if err := p.SetBudget(id, b); err != nil {
+		t.Fatalf("SetBudget(%s,%d): %v", id, b, err)
+	}
+}
+
+func checkInv(t *testing.T, p *Pool) {
+	t.Helper()
+	if err := p.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolBudgetGuaranteed(t *testing.T) {
+	p := NewPool(100)
+	mustSet(t, p, "a", 60)
+	mustSet(t, p, "b", 40)
+	if got := p.Acquire("a", 60); got != 60 {
+		t.Fatalf("a within budget: got %d want 60", got)
+	}
+	if got := p.Acquire("b", 40); got != 40 {
+		t.Fatalf("b within budget: got %d want 40", got)
+	}
+	// Pool is physically full: nothing more for anyone.
+	if got := p.Acquire("a", 1); got != 0 {
+		t.Fatalf("full pool granted %d", got)
+	}
+	checkInv(t, p)
+	p.Release("a", 60)
+	p.Release("b", 40)
+	if _, used := p.Global(); used != 0 {
+		t.Fatalf("usage after full release = %d", used)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolSumBudgetsBounded(t *testing.T) {
+	p := NewPool(100)
+	mustSet(t, p, "a", 60)
+	if err := p.SetBudget("b", 41); err == nil {
+		t.Fatal("Σ budgets 101 > 100 accepted")
+	}
+	mustSet(t, p, "b", 40)
+	if err := p.SetBudget("a", 61); err == nil {
+		t.Fatal("resize pushing Σ budgets over global accepted")
+	}
+	checkInv(t, p)
+}
+
+func TestPoolBorrowFromUnreservedSlack(t *testing.T) {
+	p := NewPool(100) // 30 unreserved
+	mustSet(t, p, "a", 40)
+	mustSet(t, p, "b", 30)
+	// a can take budget + unreserved slack + b's idle budget.
+	if got := p.Acquire("a", 100); got != 100 {
+		t.Fatalf("a elastic acquire: got %d want 100", got)
+	}
+	checkInv(t, p)
+	// b's budget was lent out; with the pool physically full b gets
+	// nothing until a releases.
+	if got := p.Acquire("b", 10); got != 0 {
+		t.Fatalf("b on full pool: got %d", got)
+	}
+	p.Release("a", 50)
+	if got := p.Acquire("b", 30); got != 30 {
+		t.Fatalf("b after a released: got %d want 30", got)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolActiveBudgetNotLent(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	p := NewPool(100)
+	p.SetNow(func() time.Time { return now })
+	mustSet(t, p, "a", 50)
+	mustSet(t, p, "b", 50)
+
+	// b is active at 30: its remaining 20 is lendable, its used 30 not.
+	if got := p.Acquire("b", 30); got != 30 {
+		t.Fatalf("b acquire: %d", got)
+	}
+	// a may take its own 50, plus b's lendable 20 = 70 max; b's used
+	// 30 is shielded.
+	if got := p.Acquire("a", 100); got != 70 {
+		t.Fatalf("a elastic acquire: got %d want 70", got)
+	}
+	checkInv(t, p)
+	// The lent 20 is physically held by a until it drains — reclaim
+	// means no NEW borrows, not eviction. As soon as a releases, b's
+	// budget is whole again and a cannot re-borrow it (b is active).
+	if got := p.Acquire("b", 20); got != 0 {
+		t.Fatalf("b on full pool: got %d", got)
+	}
+	p.Release("a", 20)
+	if got := p.Acquire("b", 20); got != 20 {
+		t.Fatalf("b reclaim after drain: got %d want 20", got)
+	}
+	if got := p.Acquire("a", 10); got != 0 {
+		t.Fatalf("a re-borrow against active b: got %d", got)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolRecentPeakShieldsBudget(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	p := NewPool(100)
+	p.SetNow(func() time.Time { return now })
+	mustSet(t, p, "a", 50)
+	mustSet(t, p, "b", 50)
+
+	// b spikes to 40 then drains immediately.
+	if got := p.Acquire("b", 40); got != 40 {
+		t.Fatalf("b spike: %d", got)
+	}
+	p.Release("b", 40)
+
+	// Immediately after the spike b's peak shields its budget: a can
+	// borrow only b's never-used 10.
+	if got := p.Acquire("a", 100); got != 60 {
+		t.Fatalf("a right after b's spike: got %d want 60", got)
+	}
+	p.Release("a", 60)
+
+	// After the decay window the whole idle budget is lendable again.
+	now = now.Add(3 * lendTau)
+	if got := p.Acquire("a", 100); got != 100 {
+		t.Fatalf("a after decay: got %d want 100", got)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolReclaimDeniedCounts(t *testing.T) {
+	base := time.Unix(1000, 0)
+	p := NewPool(100)
+	p.SetNow(func() time.Time { return base })
+	mustSet(t, p, "a", 50)
+	mustSet(t, p, "b", 50)
+	// b spikes to its full budget then partially drains: its recent
+	// peak shields the whole budget, so nothing is lendable even
+	// though physical slack exists.
+	if got := p.Acquire("b", 50); got != 50 {
+		t.Fatalf("b acquire: %d", got)
+	}
+	p.Release("b", 20)
+	p.Acquire("a", 50)
+	before := p.ReclaimDenied()
+	if got := p.Acquire("a", 10); got != 0 {
+		t.Fatalf("borrow against active b granted %d", got)
+	}
+	if p.ReclaimDenied() <= before {
+		t.Fatal("reclaimDenied did not increase")
+	}
+}
+
+func TestPoolGlobalShrinkDebt(t *testing.T) {
+	p := NewPool(100)
+	mustSet(t, p, "a", 100)
+	if got := p.Acquire("a", 90); got != 90 {
+		t.Fatalf("acquire: %d", got)
+	}
+	// Shrink below current usage: budgets must shrink first.
+	if err := p.SetGlobal(50); err == nil {
+		t.Fatal("SetGlobal(50) with Σ budgets 100 accepted")
+	}
+	mustSet(t, p, "a", 50)
+	if err := p.SetGlobal(50); err != nil {
+		t.Fatalf("SetGlobal(50): %v", err)
+	}
+	checkInv(t, p) // usage 90 ≤ global 50 + debt 40
+	// No grants while over the new capacity.
+	if got := p.Acquire("a", 1); got != 0 {
+		t.Fatalf("grant while in debt: %d", got)
+	}
+	// Releases pay the debt down; grants resume below capacity.
+	p.Release("a", 50)
+	checkInv(t, p)
+	if got := p.Acquire("a", 10); got != 10 {
+		t.Fatalf("grant after debt paid: %d", got)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolRemoveReleasesUsage(t *testing.T) {
+	p := NewPool(100)
+	mustSet(t, p, "a", 50)
+	p.Acquire("a", 30)
+	if rel := p.Remove("a"); rel != 30 {
+		t.Fatalf("Remove released %d want 30", rel)
+	}
+	if _, used := p.Global(); used != 0 {
+		t.Fatalf("usage after remove = %d", used)
+	}
+	checkInv(t, p)
+}
+
+func TestPoolOverReleaseClamped(t *testing.T) {
+	p := NewPool(100)
+	mustSet(t, p, "a", 50)
+	p.Acquire("a", 10)
+	p.Release("a", 1000)
+	if u, _ := p.Usage("a"); u != 0 {
+		t.Fatalf("usage after over-release = %d", u)
+	}
+	checkInv(t, p)
+}
+
+// TestPoolInvariantStress hammers Acquire/Release against concurrent
+// add/revoke/resize and global resizes under -race, checking the
+// structural invariants throughout — the issue's headline proof.
+func TestPoolInvariantStress(t *testing.T) {
+	p := NewPool(1000)
+	ids := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	for _, id := range ids {
+		mustSet(t, p, id, 100)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Workers: acquire then release with some held overlap.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids[w]
+			held := 0
+			r := uint64(w)*2654435761 + 1
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					p.Release(id, held)
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				n := int(r>>33) % 64
+				if r&1 == 0 && n > 0 {
+					held += p.Acquire(id, n)
+				} else if held > 0 {
+					rel := n % (held + 1)
+					p.Release(id, rel)
+					held -= rel
+				}
+			}
+		}(w)
+	}
+
+	// Churn: resize budgets, remove/re-add tenants, resize global.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := uint64(99)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r = r*6364136223846793005 + 1442695040888963407
+			id := ids[int(r>>33)%len(ids)]
+			switch r % 4 {
+			case 0:
+				_ = p.SetBudget(id, int(r>>40)%120)
+			case 1:
+				p.Remove(id)
+				_ = p.SetBudget(id, 100)
+			case 2:
+				// Grow then restore the global (shrinks may be refused
+				// while Σ budgets is high; that error is expected).
+				_ = p.SetGlobal(1200)
+				_ = p.SetGlobal(1000)
+			case 3:
+				_ = p.SetGlobal(1000)
+			}
+		}
+	}()
+
+	// Checker: structural invariants must hold at every instant.
+	deadline := time.After(500 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			checkInv(t, p)
+			return
+		default:
+			if err := p.CheckInvariant(); err != nil {
+				close(stop)
+				wg.Wait()
+				t.Fatal(err)
+			}
+		}
+	}
+}

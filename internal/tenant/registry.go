@@ -1,0 +1,340 @@
+package tenant
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tenant is one live tenant: its identity, token-bucket rate budget,
+// and admission counters. The object survives registry reloads (keys
+// and budgets change in place) so buffer usage and counters are
+// conserved across SIGHUP.
+type Tenant struct {
+	id   string
+	name string
+
+	mu         sync.Mutex
+	rate       float64 // items/s; 0 = unlimited
+	burst      float64 // bucket depth
+	tokens     float64
+	lastRefill time.Time
+
+	accepted    atomic.Int64
+	shedRate    atomic.Int64
+	shedBuffer  atomic.Int64
+	quarantined atomic.Int64
+	reg         *Registry
+}
+
+// ID returns the tenant's stable identifier.
+func (t *Tenant) ID() string { return t.id }
+
+// AdmitRate charges up to n items against the tenant's rate budget and
+// returns how many were admitted. Rate budgets are strict (no lending):
+// this is the fair-shedding front line.
+func (t *Tenant) AdmitRate(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rate <= 0 {
+		return n // unlimited
+	}
+	now := t.reg.now()
+	if dt := now.Sub(t.lastRefill).Seconds(); dt > 0 {
+		t.tokens += dt * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.lastRefill = now
+	adm := int(t.tokens)
+	if adm > n {
+		adm = n
+	}
+	if adm > 0 {
+		t.tokens -= float64(adm)
+	}
+	return adm
+}
+
+// AcquireBuffer grants the tenant up to n buffered-item slots from the
+// elastic pool and returns the number granted.
+func (t *Tenant) AcquireBuffer(n int) int {
+	return t.reg.pool.Acquire(t.id, n)
+}
+
+// ReleaseBuffer returns n buffered-item slots to the pool.
+func (t *Tenant) ReleaseBuffer(n int) {
+	t.reg.pool.Release(t.id, n)
+}
+
+// CountAccepted, CountShedRate, CountShedBuffer, CountQuarantined
+// record admission outcomes for metrics/statusz.
+func (t *Tenant) CountAccepted(n int)    { t.accepted.Add(int64(n)) }
+func (t *Tenant) CountShedRate(n int)    { t.shedRate.Add(int64(n)) }
+func (t *Tenant) CountShedBuffer(n int)  { t.shedBuffer.Add(int64(n)) }
+func (t *Tenant) CountQuarantined(n int) { t.quarantined.Add(int64(n)) }
+
+// Registry maps API keys to tenants and owns the elastic buffer pool.
+// All methods are safe for concurrent use; Apply (hot reload) may run
+// concurrently with Authorize/admission on the hot path.
+type Registry struct {
+	pool *Pool
+
+	mu    sync.RWMutex
+	byKey map[string]*Tenant
+	byID  map[string]*Tenant
+
+	authFailures atomic.Int64
+	reloads      atomic.Int64
+	reloadErrors atomic.Int64
+
+	nowMu sync.RWMutex
+	nowFn func() time.Time
+}
+
+// NewRegistry builds a registry from a parsed file.
+func NewRegistry(f File) (*Registry, error) {
+	r := &Registry{
+		pool:  NewPool(f.GlobalBuffer),
+		byKey: make(map[string]*Tenant),
+		byID:  make(map[string]*Tenant),
+		nowFn: time.Now,
+	}
+	if err := r.Apply(f); err != nil {
+		return nil, err
+	}
+	r.reloads.Store(0) // initial load is not a reload
+	return r, nil
+}
+
+// SetNow installs a clock for tests; nil restores time.Now. The clock
+// drives both token buckets and the pool's lending decay.
+func (r *Registry) SetNow(now func() time.Time) {
+	r.nowMu.Lock()
+	if now == nil {
+		now = time.Now
+	}
+	r.nowFn = now
+	r.nowMu.Unlock()
+	r.pool.SetNow(now)
+}
+
+func (r *Registry) now() time.Time {
+	r.nowMu.RLock()
+	f := r.nowFn
+	r.nowMu.RUnlock()
+	return f()
+}
+
+// Pool exposes the elastic buffer pool (tests, invariant checks).
+func (r *Registry) Pool() *Pool { return r.pool }
+
+// Authorize resolves an API key to its tenant. Unknown keys count as
+// auth failures and return nil.
+func (r *Registry) Authorize(key string) *Tenant {
+	r.mu.RLock()
+	t := r.byKey[key]
+	r.mu.RUnlock()
+	if t == nil {
+		r.authFailures.Add(1)
+	}
+	return t
+}
+
+// TenantByID resolves a tenant id (cluster forwarding carries ids, not
+// keys). Revoked tenants remain resolvable by id until their buffered
+// items drain, so in-flight attribution stays conserved.
+func (r *Registry) TenantByID(id string) *Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// AuthFailures returns the count of rejected API keys.
+func (r *Registry) AuthFailures() int64 { return r.authFailures.Load() }
+
+// Reloads and ReloadErrors count Apply outcomes since start.
+func (r *Registry) Reloads() int64      { return r.reloads.Load() }
+func (r *Registry) ReloadErrors() int64 { return r.reloadErrors.Load() }
+
+// CountReloadError records a failed reload attempt (e.g. unreadable or
+// invalid file on SIGHUP) without touching the live registry.
+func (r *Registry) CountReloadError() { r.reloadErrors.Add(1) }
+
+// Apply installs a new registry file over the live registry: keys are
+// re-pointed, budgets resized, new tenants created, and revoked
+// tenants lose their keys immediately but keep their id (and buffered
+// items) until they drain. Tenant objects are preserved by id, so
+// counters, token buckets (clamped to the new burst), and pool usage
+// are conserved — the reload conservation property.
+func (r *Registry) Apply(f File) error {
+	if err := f.validate(); err != nil {
+		r.reloadErrors.Add(1)
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Order matters when the global shrinks: SetGlobal refuses while
+	// Σ budgets exceeds it, so zero removed/shrunk budgets first, then
+	// resize the global, then grow budgets (Σ ≤ global re-validated).
+	keep := make(map[string]Spec, len(f.Tenants))
+	for _, s := range f.Tenants {
+		keep[s.ID] = s
+	}
+	for id := range r.byID {
+		if _, ok := keep[id]; !ok {
+			// Revoked: keep the Tenant resolvable by id while its
+			// buffered items drain, but drop its budget to 0 so its
+			// reservation returns to the pool.
+			if err := r.pool.SetBudget(id, 0); err != nil {
+				r.reloadErrors.Add(1)
+				return err
+			}
+		} else if keep[id].Buffer < r.currentBudget(id) {
+			if err := r.pool.SetBudget(id, keep[id].Buffer); err != nil {
+				r.reloadErrors.Add(1)
+				return err
+			}
+		}
+	}
+	if err := r.pool.SetGlobal(f.GlobalBuffer); err != nil {
+		r.reloadErrors.Add(1)
+		return err
+	}
+
+	byKey := make(map[string]*Tenant, len(f.Tenants))
+	for _, s := range f.Tenants {
+		t := r.byID[s.ID]
+		created := t == nil
+		if created {
+			t = &Tenant{id: s.ID, reg: r, lastRefill: r.nowLocked()}
+			r.byID[s.ID] = t
+		}
+		if err := r.pool.SetBudget(s.ID, s.Buffer); err != nil {
+			r.reloadErrors.Add(1)
+			return err
+		}
+		t.mu.Lock()
+		t.rate = s.Rate
+		t.burst = s.Burst
+		if created {
+			// A fresh bucket starts full: a new tenant may spend its
+			// burst immediately rather than accruing from zero.
+			t.tokens = t.burst
+		}
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		t.mu.Unlock()
+		for _, k := range s.Keys {
+			byKey[k] = t
+		}
+	}
+	r.byKey = byKey
+
+	// Drop fully-drained revoked tenants from byID (and the pool).
+	for id := range r.byID {
+		if _, ok := keep[id]; ok {
+			continue
+		}
+		if u, _ := r.pool.Usage(id); u == 0 {
+			r.pool.Remove(id)
+			delete(r.byID, id)
+		}
+	}
+
+	r.reloads.Add(1)
+	return nil
+}
+
+func (r *Registry) currentBudget(id string) int {
+	_, b := r.pool.Usage(id)
+	return b
+}
+
+// nowLocked reads the clock without taking nowMu write-side; callers
+// hold r.mu which is fine — nowMu is independent.
+func (r *Registry) nowLocked() time.Time { return r.now() }
+
+// TenantSnapshot is one row of the /statusz tenant table.
+type TenantSnapshot struct {
+	ID          string  `json:"id"`
+	Rate        float64 `json:"rate"`
+	BufferUsage int     `json:"buffer_usage"`
+	Budget      int     `json:"buffer_budget"`
+	Borrowed    int     `json:"borrowed"`
+	Accepted    int64   `json:"accepted"`
+	ShedRate    int64   `json:"shed_rate"`
+	ShedBuffer  int64   `json:"shed_buffer"`
+	Quarantined int64   `json:"quarantined"`
+	Revoked     bool    `json:"revoked,omitempty"`
+}
+
+// RegistrySnapshot is the /statusz tenant section.
+type RegistrySnapshot struct {
+	GlobalBuffer  int              `json:"global_buffer"`
+	GlobalUsage   int              `json:"global_usage"`
+	AuthFailures  int64            `json:"auth_failures"`
+	Reloads       int64            `json:"reloads"`
+	ReloadErrors  int64            `json:"reload_errors"`
+	ReclaimDenied int64            `json:"reclaim_denied"`
+	Tenants       []TenantSnapshot `json:"tenants"`
+}
+
+// Snapshot captures the registry state for /statusz and /metrics.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.byID))
+	tens := make(map[string]*Tenant, len(r.byID))
+	live := make(map[string]bool, len(r.byKey))
+	for id, t := range r.byID {
+		ids = append(ids, id)
+		tens[id] = t
+	}
+	for _, t := range r.byKey {
+		live[t.id] = true
+	}
+	r.mu.RUnlock()
+	sort.Strings(ids)
+
+	g, used := r.pool.Global()
+	snap := RegistrySnapshot{
+		GlobalBuffer:  g,
+		GlobalUsage:   used,
+		AuthFailures:  r.authFailures.Load(),
+		Reloads:       r.reloads.Load(),
+		ReloadErrors:  r.reloadErrors.Load(),
+		ReclaimDenied: r.pool.ReclaimDenied(),
+	}
+	for _, id := range ids {
+		t := tens[id]
+		u, b := r.pool.Usage(id)
+		bor := u - b
+		if bor < 0 {
+			bor = 0
+		}
+		t.mu.Lock()
+		rate := t.rate
+		t.mu.Unlock()
+		snap.Tenants = append(snap.Tenants, TenantSnapshot{
+			ID:          id,
+			Rate:        rate,
+			BufferUsage: u,
+			Budget:      b,
+			Borrowed:    bor,
+			Accepted:    t.accepted.Load(),
+			ShedRate:    t.shedRate.Load(),
+			ShedBuffer:  t.shedBuffer.Load(),
+			Quarantined: t.quarantined.Load(),
+			Revoked:     !live[id],
+		})
+	}
+	return snap
+}

@@ -1,0 +1,330 @@
+package tenant
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testFile() File {
+	return File{
+		GlobalBuffer: 200,
+		Tenants: []Spec{
+			{ID: "acme", Keys: []string{"k-acme"}, Rate: 100, Burst: 10, Buffer: 120},
+			{ID: "bulk", Keys: []string{"k-bulk", "k-bulk-2"}, Rate: 0, Buffer: 60},
+		},
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of error; "" means ok
+	}{
+		{"ok", `{"tenants":[{"id":"a","keys":["k"],"buffer":10}]}`, ""},
+		{"empty", `{"tenants":[]}`, "no tenants"},
+		{"dup id", `{"tenants":[{"id":"a","keys":["k1"]},{"id":"a","keys":["k2"]}]}`, "duplicate id"},
+		{"dup key", `{"tenants":[{"id":"a","keys":["k"]},{"id":"b","keys":["k"]}]}`, "claimed by both"},
+		{"no keys", `{"tenants":[{"id":"a"}]}`, "no API keys"},
+		{"neg", `{"tenants":[{"id":"a","keys":["k"],"rate":-1}]}`, "negative"},
+		{"over global", `{"global_buffer":5,"tenants":[{"id":"a","keys":["k"],"buffer":10}]}`, "exceeds global_buffer"},
+		{"bad field", `{"tenants":[{"id":"a","keys":["k"],"bufer":10}]}`, "parse registry"},
+		{"bad id", `{"tenants":[{"id":"a/b","keys":["k"]}]}`, "whitespace"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.in))
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	f, err := Parse([]byte(`{"tenants":[{"id":"a","keys":["k"],"rate":50,"buffer":10},{"id":"b","keys":["k2"],"buffer":30}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GlobalBuffer != 40 {
+		t.Fatalf("default global = %d want Σ buffers 40", f.GlobalBuffer)
+	}
+	if f.Tenants[0].Burst != 50 {
+		t.Fatalf("default burst = %v want rate 50", f.Tenants[0].Burst)
+	}
+}
+
+func TestRegistryAuthorize(t *testing.T) {
+	r, err := NewRegistry(testFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn := r.Authorize("k-acme"); tn == nil || tn.ID() != "acme" {
+		t.Fatalf("k-acme -> %v", tn)
+	}
+	if tn := r.Authorize("k-bulk-2"); tn == nil || tn.ID() != "bulk" {
+		t.Fatalf("k-bulk-2 -> %v", tn)
+	}
+	if tn := r.Authorize("nope"); tn != nil {
+		t.Fatalf("bad key authorized as %s", tn.ID())
+	}
+	if r.AuthFailures() != 1 {
+		t.Fatalf("authFailures = %d want 1", r.AuthFailures())
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	r, err := NewRegistry(testFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor the fake clock at real now: tenant buckets stamped
+	// lastRefill at construction must not see a negative delta.
+	now := time.Now()
+	r.SetNow(func() time.Time { return now })
+	acme := r.Authorize("k-acme") // rate 100/s, burst 10
+
+	// Bucket starts empty; advance 1s to fill to burst (clamped).
+	now = now.Add(time.Second)
+	if got := acme.AdmitRate(20); got != 10 {
+		t.Fatalf("burst-bounded admit = %d want 10", got)
+	}
+	if got := acme.AdmitRate(5); got != 0 {
+		t.Fatalf("drained bucket admitted %d", got)
+	}
+	now = now.Add(50 * time.Millisecond) // +5 tokens
+	if got := acme.AdmitRate(20); got != 5 {
+		t.Fatalf("refill admit = %d want 5", got)
+	}
+
+	// Unlimited tenant admits everything.
+	bulk := r.Authorize("k-bulk")
+	if got := bulk.AdmitRate(1_000_000); got != 1_000_000 {
+		t.Fatalf("unlimited admit = %d", got)
+	}
+}
+
+func TestReloadConservation(t *testing.T) {
+	r, err := NewRegistry(testFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acme := r.Authorize("k-acme")
+	bulk := r.Authorize("k-bulk")
+	if got := acme.AcquireBuffer(100); got != 100 {
+		t.Fatalf("acme acquire: %d", got)
+	}
+	if got := bulk.AcquireBuffer(50); got != 50 {
+		t.Fatalf("bulk acquire: %d", got)
+	}
+	acme.CountAccepted(100)
+	bulk.CountAccepted(50)
+
+	// Reload: rotate acme's key, shrink its budget below usage, revoke
+	// bulk entirely, add a new tenant. Global shrinks to 140 < current
+	// usage 150 → debt path.
+	next := File{
+		GlobalBuffer: 140,
+		Tenants: []Spec{
+			{ID: "acme", Keys: []string{"k-acme-2"}, Rate: 100, Burst: 10, Buffer: 80},
+			{ID: "new", Keys: []string{"k-new"}, Buffer: 40},
+		},
+	}
+	if err := r.Apply(next); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := r.Pool().CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservation: usage survived the reload intact.
+	if _, used := r.Pool().Global(); used != 150 {
+		t.Fatalf("usage after reload = %d want 150", used)
+	}
+	// Old key dead, new key maps to the SAME tenant object (counters
+	// conserved).
+	if tn := r.Authorize("k-acme"); tn != nil {
+		t.Fatal("rotated key still valid")
+	}
+	acme2 := r.Authorize("k-acme-2")
+	if acme2 != acme {
+		t.Fatal("tenant object not preserved across reload")
+	}
+	if acme2.accepted.Load() != 100 {
+		t.Fatalf("accepted counter = %d want 100", acme2.accepted.Load())
+	}
+	// Revoked bulk: unauthenticated, but still resolvable by id while
+	// its 50 items drain.
+	if tn := r.Authorize("k-bulk"); tn != nil {
+		t.Fatal("revoked key still valid")
+	}
+	if tn := r.TenantByID("bulk"); tn == nil {
+		t.Fatal("revoked tenant with live usage dropped from byID")
+	}
+	// No grants while over the shrunk global.
+	if got := acme2.AcquireBuffer(1); got != 0 {
+		t.Fatalf("grant while in reload debt: %d", got)
+	}
+	// Drain bulk: its release pays debt; a later reload garbage
+	// collects the drained revoked tenant.
+	bulk.ReleaseBuffer(50)
+	if err := r.Pool().CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(next); err != nil {
+		t.Fatalf("re-Apply: %v", err)
+	}
+	if tn := r.TenantByID("bulk"); tn != nil {
+		t.Fatal("drained revoked tenant not collected")
+	}
+	// Budget math after drain: usage 100, global 140 → 40 grantable.
+	if got := acme2.AcquireBuffer(100); got != 40 {
+		t.Fatalf("post-drain grant = %d want 40", got)
+	}
+	if r.Reloads() != 2 {
+		t.Fatalf("reloads = %d want 2", r.Reloads())
+	}
+}
+
+func TestReloadInvalidFileRejected(t *testing.T) {
+	r, err := NewRegistry(testFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := File{GlobalBuffer: 10, Tenants: []Spec{{ID: "a", Keys: []string{"k"}, Buffer: 20}}}
+	if err := r.Apply(bad); err == nil {
+		t.Fatal("invalid reload accepted")
+	}
+	if r.ReloadErrors() == 0 {
+		t.Fatal("reloadErrors not counted")
+	}
+	// Live registry untouched.
+	if tn := r.Authorize("k-acme"); tn == nil {
+		t.Fatal("original key lost after failed reload")
+	}
+}
+
+// TestRegistryReloadStress runs admission traffic concurrently with
+// hot reloads (add/revoke/resize) under -race, asserting pool
+// invariants continuously — migration-churn-shaped registry stress.
+func TestRegistryReloadStress(t *testing.T) {
+	r, err := NewRegistry(File{
+		GlobalBuffer: 800,
+		Tenants: []Spec{
+			{ID: "t0", Keys: []string{"k0"}, Rate: 1e9, Buffer: 200},
+			{ID: "t1", Keys: []string{"k1"}, Rate: 1e9, Buffer: 200},
+			{ID: "t2", Keys: []string{"k2"}, Rate: 1e9, Buffer: 200},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i, key := range []string{"k0", "k1", "k2"} {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			held := 0
+			var tn *Tenant
+			rnd := uint64(i + 1)
+			for {
+				select {
+				case <-stop:
+					if tn != nil {
+						tn.ReleaseBuffer(held)
+					}
+					return
+				default:
+				}
+				// Re-authorize each round: the key may be revoked and
+				// restored by the reloader. A drained revoked tenant
+				// is collected, so after a revocation the object may
+				// legitimately be a fresh one — drop our claim on the
+				// old one (release is clamped server-side).
+				got := r.Authorize(key)
+				if got == nil {
+					if tn != nil {
+						tn.ReleaseBuffer(held)
+						tn, held = nil, 0
+					}
+					continue
+				}
+				if tn != nil && got != tn {
+					held = 0 // old usage was released by Remove
+				}
+				tn = got
+				rnd = rnd*6364136223846793005 + 1
+				n := int(rnd>>33) % 32
+				if rnd&1 == 0 {
+					if adm := tn.AdmitRate(n); adm > 0 {
+						held += tn.AcquireBuffer(adm)
+					}
+				} else if held > 0 {
+					rel := n % (held + 1)
+					tn.ReleaseBuffer(rel)
+					held -= rel
+				}
+			}
+		}(i, key)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		files := []File{
+			{GlobalBuffer: 800, Tenants: []Spec{
+				{ID: "t0", Keys: []string{"k0"}, Rate: 1e9, Buffer: 300},
+				{ID: "t1", Keys: []string{"k1"}, Rate: 1e9, Buffer: 100},
+				{ID: "t2", Keys: []string{"k2"}, Rate: 1e9, Buffer: 200},
+			}},
+			{GlobalBuffer: 700, Tenants: []Spec{
+				{ID: "t0", Keys: []string{"k0"}, Rate: 1e9, Buffer: 200},
+				{ID: "t2", Keys: []string{"k2"}, Rate: 1e9, Buffer: 300},
+				{ID: "t3", Keys: []string{"k3"}, Rate: 1e9, Buffer: 100},
+			}},
+			{GlobalBuffer: 800, Tenants: []Spec{
+				{ID: "t0", Keys: []string{"k0"}, Rate: 1e9, Buffer: 200},
+				{ID: "t1", Keys: []string{"k1"}, Rate: 1e9, Buffer: 200},
+				{ID: "t2", Keys: []string{"k2"}, Rate: 1e9, Buffer: 200},
+			}},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.Apply(files[i%len(files)]); err != nil {
+				t.Errorf("Apply: %v", err)
+				return
+			}
+		}
+	}()
+
+	deadline := time.After(500 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			if err := r.Pool().CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			if err := r.Pool().CheckInvariant(); err != nil {
+				close(stop)
+				wg.Wait()
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package tenant is the multi-tenant admission layer above the PBPL
+// runtime: an API-key registry mapping callers to tenants, per-tenant
+// token-bucket rate budgets, and an elastic per-tenant buffer-quota
+// pool layered over the per-pair pool (internal/buffer) — the same
+// Σ budgets ≤ global invariant, one level up.
+//
+// The paper's machinery trusts a fixed set of producer/consumer pairs;
+// production traffic means tenants, and tenants mean noisy neighbors.
+// The design mirrors the per-pair pool's elastic-walls idea (§V-C,
+// Fig. 8) on the tenant axis:
+//
+//   - Every tenant holds a buffer budget; Σ budgets ≤ global, enforced
+//     at load and on every reload.
+//   - An idle tenant's unused budget is lendable: a hot tenant may
+//     borrow past its own budget, but only from the unreserved global
+//     slack plus the idle share of other tenants' budgets.
+//   - Lending is reclaimed on demand: a tenant's own recent usage
+//     (a decaying high-water mark) shields its budget from being lent,
+//     so the moment a lender becomes active new borrows stop and the
+//     borrower's over-budget items drain away within the latency bound.
+//
+// Rate budgets are strict per tenant (no lending): they are the
+// fair-shedding front line, guaranteeing one hot tenant saturating its
+// rate cannot starve another tenant's admission.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Spec is one tenant's configuration entry in the registry file.
+type Spec struct {
+	// ID names the tenant; unique, non-empty, and stable across
+	// reloads (counters and buffer usage survive by id).
+	ID string `json:"id"`
+	// Keys are the API keys that authenticate as this tenant. A key
+	// belongs to exactly one tenant.
+	Keys []string `json:"keys"`
+	// Rate is the tenant's admission budget in items/s (token bucket).
+	// 0 means unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth in items. 0 defaults to one
+	// second of Rate (min 1).
+	Burst float64 `json:"burst,omitempty"`
+	// Buffer is the tenant's guaranteed buffered-item budget drawn
+	// from the global pool. 0 means no guarantee: the tenant admits
+	// only by borrowing idle slack.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// File is the registry file format (JSON):
+//
+//	{
+//	  "global_buffer": 8192,
+//	  "tenants": [
+//	    {"id": "acme", "keys": ["k-acme-1"], "rate": 5000, "buffer": 2048},
+//	    {"id": "bulk", "keys": ["k-bulk-1"], "rate": 800,  "buffer": 1024}
+//	  ]
+//	}
+type File struct {
+	// GlobalBuffer is the global buffered-item capacity tenants share.
+	// 0 defaults to Σ tenant buffers (no unreserved slack).
+	GlobalBuffer int    `json:"global_buffer,omitempty"`
+	Tenants      []Spec `json:"tenants"`
+}
+
+// Parse decodes and validates a registry file: unique non-empty ids
+// and keys, non-negative budgets, and Σ tenant buffers ≤ global.
+func Parse(b []byte) (File, error) {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return File{}, fmt.Errorf("tenant: parse registry: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+// Load reads and parses a registry file from disk.
+func Load(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("tenant: %w", err)
+	}
+	return Parse(b)
+}
+
+func (f *File) validate() error {
+	if len(f.Tenants) == 0 {
+		return fmt.Errorf("tenant: registry has no tenants")
+	}
+	ids := make(map[string]struct{}, len(f.Tenants))
+	keys := make(map[string]string)
+	sumBuffer := 0
+	for i := range f.Tenants {
+		t := &f.Tenants[i]
+		if t.ID == "" {
+			return fmt.Errorf("tenant: entry %d has empty id", i)
+		}
+		if strings.ContainsAny(t.ID, " \t\r\n/") {
+			return fmt.Errorf("tenant: id %q contains whitespace or '/'", t.ID)
+		}
+		if _, dup := ids[t.ID]; dup {
+			return fmt.Errorf("tenant: duplicate id %q", t.ID)
+		}
+		ids[t.ID] = struct{}{}
+		if len(t.Keys) == 0 {
+			return fmt.Errorf("tenant: %q has no API keys", t.ID)
+		}
+		for _, k := range t.Keys {
+			if k == "" {
+				return fmt.Errorf("tenant: %q has an empty API key", t.ID)
+			}
+			if owner, dup := keys[k]; dup {
+				return fmt.Errorf("tenant: key %q claimed by both %q and %q", k, owner, t.ID)
+			}
+			keys[k] = t.ID
+		}
+		if t.Rate < 0 || t.Burst < 0 || t.Buffer < 0 {
+			return fmt.Errorf("tenant: %q has a negative budget", t.ID)
+		}
+		if t.Burst == 0 && t.Rate > 0 {
+			t.Burst = t.Rate
+			if t.Burst < 1 {
+				t.Burst = 1
+			}
+		}
+		sumBuffer += t.Buffer
+	}
+	if f.GlobalBuffer == 0 {
+		f.GlobalBuffer = sumBuffer
+	}
+	if sumBuffer > f.GlobalBuffer {
+		return fmt.Errorf("tenant: Σ tenant buffers %d exceeds global_buffer %d", sumBuffer, f.GlobalBuffer)
+	}
+	return nil
+}

@@ -151,6 +151,35 @@ func (c Clamped) At(t simtime.Time) float64 {
 	return v
 }
 
+// SquareWave alternates between Lo and Hi every HalfPeriod, starting
+// at Hi. Phase offsets the wave; a nonzero FlipAt inverts it from that
+// instant on — the adversarial shape for rate predictors, whose
+// recent-history extrapolation is exactly wrong at every edge and
+// whose learned period goes stale at the flip.
+type SquareWave struct {
+	Lo, Hi     float64
+	HalfPeriod simtime.Duration
+	Phase      simtime.Duration
+	FlipAt     simtime.Time // 0: never flips
+}
+
+// At implements Rate.
+func (s SquareWave) At(t simtime.Time) float64 {
+	if s.HalfPeriod <= 0 {
+		return math.Max(0, s.Hi)
+	}
+	x := (int64(t) + int64(s.Phase)) / int64(s.HalfPeriod)
+	hi := x%2 == 0
+	if s.FlipAt > 0 && t >= s.FlipAt {
+		hi = !hi
+	}
+	v := s.Lo
+	if hi {
+		v = s.Hi
+	}
+	return math.Max(0, v)
+}
+
 // MaxRate estimates the supremum of r over [from, to] by dense sampling.
 // The generator uses it (with a safety margin) as the thinning majorant;
 // samples must be large enough relative to the fastest feature of r.

@@ -168,3 +168,44 @@ func TestWorldCupString(t *testing.T) {
 		t.Fatal("String should not be empty")
 	}
 }
+
+func TestSquareWave(t *testing.T) {
+	w := SquareWave{Lo: 10, Hi: 90, HalfPeriod: simtime.Second}
+	if got := w.At(0); got != 90 {
+		t.Fatalf("At(0) = %v, want 90 (starts high)", got)
+	}
+	if got := w.At(simtime.Time(1500 * simtime.Millisecond)); got != 10 {
+		t.Fatalf("At(1.5s) = %v, want 10", got)
+	}
+	if got := w.At(simtime.Time(2 * simtime.Second)); got != 90 {
+		t.Fatalf("At(2s) = %v, want 90", got)
+	}
+
+	// Phase shifts the wave; FlipAt inverts it from that instant on.
+	shifted := SquareWave{Lo: 10, Hi: 90, HalfPeriod: simtime.Second, Phase: simtime.Second}
+	if got := shifted.At(0); got != 10 {
+		t.Fatalf("phase-shifted At(0) = %v, want 10", got)
+	}
+	flip := SquareWave{Lo: 10, Hi: 90, HalfPeriod: simtime.Second, FlipAt: simtime.Time(2500 * simtime.Millisecond)}
+	if got := flip.At(simtime.Time(2 * simtime.Second)); got != 90 {
+		t.Fatalf("pre-flip At(2s) = %v, want 90", got)
+	}
+	if got := flip.At(simtime.Time(2800 * simtime.Millisecond)); got != 10 {
+		t.Fatalf("post-flip At(2.8s) = %v, want 10 (inverted)", got)
+	}
+	if w.At(simtime.Time(123*simtime.Millisecond)) != 90 || (SquareWave{Hi: 5}).At(0) != 5 {
+		t.Fatal("degenerate shapes")
+	}
+}
+
+func TestAntiPredictorMeanNearRate(t *testing.T) {
+	// lo=0.2x, hi=1.8x on a 50% duty cycle: the mean stays ≈ rate, so
+	// the adversarial shape stresses the predictors, not the capacity.
+	s := AntiPredictor(7, 2, 4*simtime.Second, 500)
+	for _, st := range s.Streams {
+		got := float64(st.Trace.Count()) / 4
+		if got < 350 || got > 650 {
+			t.Fatalf("stream %s mean rate %.0f/s, want ≈500", st.Key, got)
+		}
+	}
+}

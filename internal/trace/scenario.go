@@ -156,9 +156,41 @@ func CorrelatedBurst(seed int64, streams int, dur simtime.Duration, base, peak f
 	return s
 }
 
+// AntiPredictor is the adversarial shape for the runtime's slot-size
+// and batch predictors: every stream runs a square wave between
+// 0.2×rate and 1.8×rate (mean ≈ rate) with a half-period of dur/16 —
+// long enough for a predictor to converge on each level, short enough
+// that it pays for the convergence at every edge — then inverts the
+// wave at a seeded instant in the middle half of the run, so a
+// predictor that has learned the period is wrong by half a cycle for
+// the rest. Per-stream seeded phases decorrelate the edges across
+// streams.
+func AntiPredictor(seed int64, streams int, dur simtime.Duration, rate float64) Scenario {
+	s := Scenario{Name: "antipred", Seed: seed}
+	half := dur / 16
+	if half <= 0 {
+		half = 1
+	}
+	flip := simtime.Time(float64(dur) * (0.25 + 0.5*unitFloat(seed, 0, 0x94D049BB133111EB)))
+	for i := 0; i < streams; i++ {
+		r := SquareWave{
+			Lo:         0.2 * rate,
+			Hi:         1.8 * rate,
+			HalfPeriod: half,
+			Phase:      simtime.Duration(float64(2*half) * unitFloat(seed, i, 0xD6E8FEB86659FD93)),
+			FlipAt:     flip,
+		}
+		s.Streams = append(s.Streams, StreamTrace{
+			Key:   streamKey("antipred", i),
+			Trace: Generate(r, dur, streamSeed(seed, i)),
+		})
+	}
+	return s
+}
+
 // ScenarioNames lists the library's generator names for ByName.
 func ScenarioNames() []string {
-	return []string{"diurnal", "zipf", "flashcrowd", "corrburst"}
+	return []string{"diurnal", "zipf", "flashcrowd", "corrburst", "antipred"}
 }
 
 // ByName builds a scenario from the library by generator name with
@@ -175,6 +207,8 @@ func ByName(name string, seed int64, streams int, dur simtime.Duration, rate flo
 		return FlashCrowd(seed, streams, dur, rate/float64(max(streams, 1))/4, 8), nil
 	case "corrburst":
 		return CorrelatedBurst(seed, streams, dur, rate/float64(max(streams, 1))/4, rate/float64(max(streams, 1))), nil
+	case "antipred":
+		return AntiPredictor(seed, streams, dur, rate/float64(max(streams, 1))), nil
 	default:
 		return Scenario{}, fmt.Errorf("trace: unknown scenario %q (have %v)", name, ScenarioNames())
 	}
