@@ -51,11 +51,14 @@ lint:
 	fi
 
 # One benchmark per paper figure/table, reduced scale, plus the
-# machine-readable headline numbers (FIG9/FIG10 wakeups/s, power, p99)
-# and the live Put-path observability overhead (figure putpath) written
-# to BENCH_PBPL.json for run-over-run diffing.
+# machine-readable headline numbers (FIG9/FIG10 wakeups/s, power, p99),
+# the live Put-path observability overhead (figure putpath, now with
+# allocs/op), and the pinned SPSC ping-pong recipes (figure pingpong)
+# written to BENCH_PBPL.json for run-over-run diffing. The alloc gate
+# fails the target if any hot-path benchmark reports allocs/op > 0.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	bash scripts/alloc_gate.sh
 	$(GO) run ./cmd/pcbench -json -duration 2s -reps 2 -putbench
 
 # Coverage-guided fuzzing smoke: a short budget per target on top of

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// The zero-allocation contract: once a pair reaches steady state —
+// segments acquired, scratch buffers grown to their working size —
+// Put and PutBatch must not allocate. BenchmarkLivePut/-Batch report
+// the same thing via -benchmem; these tests make it a hard gate that
+// plain `go test ./...` enforces on every run.
+//
+// testing.AllocsPerRun counts mallocs process-wide, so the manager
+// goroutine's deliveries land in the tally too — which is the point:
+// the whole deliver→invoke→recordDone cycle has to recycle memory for
+// the average to stay at zero. A small epsilon per run (not per item)
+// absorbs one-off runtime internals such as timer plumbing.
+
+func allocSteadyPair(t *testing.T) (*Runtime, *Pair[int]) {
+	t.Helper()
+	rt, err := New(
+		WithSlotSize(5*time.Millisecond),
+		WithMaxLatency(50*time.Millisecond),
+		WithBuffer(1<<14),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := Open(rt, Batch(func([]int) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm to steady state: enough traffic that every pooled segment,
+	// the drain scratch, and the runtime's timers have been exercised.
+	for i := 0; i < 1<<14; i++ {
+		for pair.Put(i) != nil {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	return rt, pair
+}
+
+func TestPutSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race job")
+	}
+	rt, pair := allocSteadyPair(t)
+	defer rt.Close()
+	defer pair.Close()
+
+	const perRun = 1024
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < perRun; i++ {
+			for pair.Put(i) != nil {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("Put steady state: %.2f allocs per %d items, want ~0", avg, perRun)
+	}
+}
+
+func TestPutBatchSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race job")
+	}
+	rt, pair := allocSteadyPair(t)
+	defer rt.Close()
+	defer pair.Close()
+
+	batch := make([]int, 64)
+	avg := testing.AllocsPerRun(20, func() {
+		for pushed := 0; pushed < 1024; {
+			n, err := pair.PutBatch(batch)
+			if err != nil {
+				time.Sleep(time.Microsecond)
+				continue
+			}
+			pushed += n
+			if n == 0 {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("PutBatch steady state: %.2f allocs per 1024 items, want ~0", avg)
+	}
+}

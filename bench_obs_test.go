@@ -23,7 +23,7 @@ func benchPut(b *testing.B, observed bool) {
 		b.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		b.Fatal(err)
 	}

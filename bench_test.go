@@ -205,11 +205,12 @@ func BenchmarkLivePut(b *testing.B) {
 	defer rt.Close()
 	var mu sync.Mutex
 	drained := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		drained += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -236,11 +237,12 @@ func BenchmarkLivePutBatch(b *testing.B) {
 	defer rt.Close()
 	var mu sync.Mutex
 	drained := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		drained += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func BenchmarkLiveEndToEnd(b *testing.B) {
 	var mu sync.Mutex
 	drained := 0
 	target := b.N
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		drained += len(batch)
 		d := drained
@@ -289,7 +291,8 @@ func BenchmarkLiveEndToEnd(b *testing.B) {
 			default:
 			}
 		}
-	})
+	}))
+
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -101,9 +101,9 @@ func runPBPL(shards []trace.Trace, speed float64, slot, maxLat time.Duration, bu
 	var consumed atomic.Uint64
 	producers := make([]*repro.Pair[int], len(shards))
 	for i := range shards {
-		p, err := repro.NewPair(rt, func(batch []int) {
+		p, err := repro.Open(rt, repro.Batch(func(batch []int) {
 			consumed.Add(uint64(len(batch)))
-		})
+		}))
 		if err != nil {
 			fatal(err)
 		}

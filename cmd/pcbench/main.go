@@ -99,7 +99,7 @@ func main() {
 	}
 
 	if *putBench {
-		tables = append(tables, putBenchTables())
+		tables = append(tables, putBenchTables(), pingPongTables())
 	}
 
 	if *jsonOut {

@@ -15,20 +15,25 @@ import (
 // "put-observed" adds histograms + timeline; overhead_pct on the
 // observed row is the per-item cost of turning observability on.
 func putBenchTables() exp.Table {
-	base := runPutBench(false)
-	observed := runPutBench(true)
+	base, baseAllocs := runPutBench(false)
+	observed, observedAllocs := runPutBench(true)
 	t := exp.Table{
 		ID:    "putpath",
 		Title: "Live Put path: observability overhead (testing.Benchmark, ns/item)",
 		Columns: []exp.Column{
 			{Key: "ns_per_item", Header: "ns/item", Format: "%.1f"},
+			{Key: "allocs_per_op", Header: "allocs/op", Format: "%.0f"},
 			{Key: "overhead_pct", Header: "overhead %", Format: "%.1f"},
 		},
 		Rows: []exp.Row{
-			{Label: "put", Values: map[string]float64{"ns_per_item": base}},
+			{Label: "put", Values: map[string]float64{
+				"ns_per_item":   base,
+				"allocs_per_op": baseAllocs,
+			}},
 			{Label: "put-observed", Values: map[string]float64{
-				"ns_per_item":  observed,
-				"overhead_pct": 100 * (observed - base) / base,
+				"ns_per_item":   observed,
+				"allocs_per_op": observedAllocs,
+				"overhead_pct":  100 * (observed - base) / base,
 			}},
 		},
 	}
@@ -37,8 +42,9 @@ func putBenchTables() exp.Table {
 
 // runPutBench mirrors the root package's BenchmarkPut/BenchmarkPutObserved
 // loop: a single producer putting into one pair, retrying on overflow.
-func runPutBench(observedOpts bool) float64 {
+func runPutBench(observedOpts bool) (nsPerItem, allocsPerOp float64) {
 	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		opts := []repro.Option{
 			repro.WithSlotSize(5 * time.Millisecond),
 			repro.WithMaxLatency(50 * time.Millisecond),
@@ -52,7 +58,7 @@ func runPutBench(observedOpts bool) float64 {
 			b.Fatal(err)
 		}
 		defer rt.Close()
-		pair, err := repro.NewPair(rt, func([]int) {})
+		pair, err := repro.Open(rt, repro.Batch(func([]int) {}))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,5 +70,5 @@ func runPutBench(observedOpts bool) float64 {
 			}
 		}
 	})
-	return float64(r.NsPerOp())
+	return float64(r.NsPerOp()), float64(r.AllocsPerOp())
 }

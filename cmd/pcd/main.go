@@ -182,9 +182,9 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		HandlerFuncFor: failingHandlers(*chaosFailPrefix, *work),
 		PairOptions: func(key string) []repro.PairOption {
 			return []repro.PairOption{
-				repro.PairWithHandlerTimeout(*handlerTimeout),
-				repro.PairWithBreaker(*breakerK),
-				repro.PairWithRedelivery(*redeliveries),
+				repro.HandlerTimeout(*handlerTimeout),
+				repro.Breaker(*breakerK),
+				repro.Redelivery(*redeliveries),
 			}
 		},
 		Logf: logf,

@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The old constructor surface is deprecated but must keep compiling
+// and behaving: NewPair/NewPairFunc delegate to Open with the old
+// mutex-guarded (concurrent-producer-safe) queue, and the PairWith*
+// shims keep their historical silent clamping.
+
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	rt, err := New(WithSlotSize(time.Millisecond), WithMaxLatency(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	got := 0
+	p, err := NewPair(rt, func(batch []int) { got += len(batch) },
+		PairWithMaxLatency(10*time.Millisecond),
+		PairWithHandlerTimeout(-1), // old API: clamped to disabled, not an error
+		PairWithBreaker(-5),        // old API: clamped to 0
+		PairWithRedelivery(-2),     // old API: clamped to at-most-once
+	)
+	if err != nil {
+		t.Fatalf("NewPair with clamped options: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := p.Put(i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("handler saw %d of 7 items", got)
+	}
+
+	fed := 0
+	pf, err := NewPairFunc(rt, func(_ context.Context, batch []string) error {
+		fed += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Put("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fed != 1 {
+		t.Fatalf("func handler saw %d of 1", fed)
+	}
+}
+
+// The new options reject what the shims clamp.
+func TestPairOptionValidationErrors(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	cases := []struct {
+		name string
+		opt  PairOption
+		want string
+	}{
+		{"MaxLatencyZero", MaxLatency(0), "MaxLatency"},
+		{"MaxLatencyNegative", MaxLatency(-time.Second), "MaxLatency"},
+		{"HandlerTimeoutNegative", HandlerTimeout(-time.Second), "HandlerTimeout"},
+		{"BreakerNegative", Breaker(-1), "Breaker"},
+		{"RedeliveryNegative", Redelivery(-1), "Redelivery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(rt, Batch(func([]int) {}), tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Open with %s = %v, want error naming %s", tc.name, err, tc.want)
+			}
+		})
+	}
+
+	// Several invalid options are reported together, not first-only.
+	_, err = Open(rt, Batch(func([]int) {}), Breaker(-1), Redelivery(-1))
+	if err == nil || !strings.Contains(err.Error(), "Breaker") || !strings.Contains(err.Error(), "Redelivery") {
+		t.Fatalf("joined validation error = %v", err)
+	}
+}
+
+func TestWithTimelineValidation(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		if _, err := New(WithTimeline(capacity)); err == nil ||
+			!strings.Contains(err.Error(), "WithTimeline") {
+			t.Fatalf("New(WithTimeline(%d)) = %v, want construction error", capacity, err)
+		}
+	}
+	rt, err := New(WithTimeline(TimelineDefaultCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Open on a closed runtime must keep returning ErrClosed through the
+// shims too (they share the path).
+func TestDeprecatedConstructorClosedRuntime(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPair(rt, func([]int) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewPair on closed runtime = %v", err)
+	}
+}

@@ -24,14 +24,15 @@
 //	if err != nil { ... }
 //	defer rt.Close()
 //
-//	pair, err := repro.NewPair(rt, func(batch []Request) {
+//	pair, err := repro.Open(rt, repro.Batch(func(batch []Request) {
 //		for _, r := range batch {
 //			handle(r)
 //		}
-//	})
+//	}))
 //	if err != nil { ... }
 //
-//	// Producer side, any goroutine:
+//	// Producer side (one goroutine per pair by default; pass
+//	// repro.ConcurrentProducers() to share it):
 //	if err := pair.Put(req); err == repro.ErrOverflow {
 //		// buffer full: a forced drain is already on its way — retry
 //		// or shed load.

@@ -25,7 +25,7 @@ func ExampleWithObserver() {
 	if err != nil {
 		panic(err)
 	}
-	pair, err := repro.NewPair(rt, func(batch []int) {})
+	pair, err := repro.Open(rt, repro.Batch(func(batch []int) {}))
 	if err != nil {
 		panic(err)
 	}

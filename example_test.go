@@ -19,12 +19,13 @@ func Example() {
 	defer rt.Close()
 
 	done := make(chan int, 1)
-	pair, err := repro.NewPair(rt, func(batch []string) {
+	pair, err := repro.Open(rt, repro.Batch(func(batch []string) {
 		select {
 		case done <- len(batch):
 		default:
 		}
-	})
+	}))
+
 	if err != nil {
 		panic(err)
 	}
@@ -42,7 +43,7 @@ func Example() {
 // Pairs can carry any payload type and mix latency classes on one
 // runtime: a tight-latency pair for user-facing work next to a relaxed
 // one for background batching.
-func ExampleNewPair() {
+func ExampleOpen() {
 	rt, err := repro.New(repro.WithSlotSize(5 * time.Millisecond))
 	if err != nil {
 		panic(err)
@@ -50,13 +51,15 @@ func ExampleNewPair() {
 	defer rt.Close()
 
 	type audit struct{ user string }
-	urgent, err := repro.NewPair(rt, func(batch []audit) {},
-		repro.PairWithMaxLatency(20*time.Millisecond))
+	urgent, err := repro.Open(rt, repro.Batch(func(batch []audit) {}),
+		repro.MaxLatency(20*time.Millisecond))
+
 	if err != nil {
 		panic(err)
 	}
-	relaxed, err := repro.NewPair(rt, func(batch []audit) {},
-		repro.PairWithMaxLatency(500*time.Millisecond))
+	relaxed, err := repro.Open(rt, repro.Batch(func(batch []audit) {}),
+		repro.MaxLatency(500*time.Millisecond))
+
 	if err != nil {
 		panic(err)
 	}
@@ -79,7 +82,7 @@ func ExamplePair_PutWait() {
 	}
 	defer rt.Close()
 
-	pair, err := repro.NewPair(rt, func(batch []int) {})
+	pair, err := repro.Open(rt, repro.Batch(func(batch []int) {}))
 	if err != nil {
 		panic(err)
 	}
@@ -101,7 +104,7 @@ func ExampleRuntime_Stats() {
 	if err != nil {
 		panic(err)
 	}
-	pair, err := repro.NewPair(rt, func(batch []int) {})
+	pair, err := repro.Open(rt, repro.Batch(func(batch []int) {}))
 	if err != nil {
 		panic(err)
 	}

@@ -69,7 +69,7 @@ func main() {
 		s := &sink{}
 		sinks[d.name] = s
 		starts := make([]time.Time, d.count)
-		pair, err := repro.NewPair(rt, func(batch []reading) {
+		pair, err := repro.Open(rt, repro.Batch(func(batch []reading) {
 			mu.Lock()
 			s.batches++
 			for _, r := range batch {
@@ -79,7 +79,7 @@ func main() {
 				s.items++
 			}
 			mu.Unlock()
-		}, repro.PairWithMaxLatency(d.latency))
+		}), repro.MaxLatency(d.latency))
 		if err != nil {
 			panic(err)
 		}

@@ -50,7 +50,7 @@ func main() {
 	held := map[int]map[string]bool{}
 	violations := 0
 	checked := 0
-	monitor, err := repro.NewPair(rt, func(batch []event) {
+	monitor, err := repro.Open(rt, repro.Batch(func(batch []event) {
 		for _, ev := range batch {
 			h := held[ev.thread]
 			if h == nil {
@@ -71,7 +71,7 @@ func main() {
 			}
 			checked++
 		}
-	})
+	}), repro.ConcurrentProducers())
 	if err != nil {
 		panic(err)
 	}

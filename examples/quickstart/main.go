@@ -30,11 +30,11 @@ func main() {
 	// serve many buffered items (and, with more pairs, many consumers).
 	batches := 0
 	items := 0
-	pair, err := repro.NewPair(rt, func(batch []string) {
+	pair, err := repro.Open(rt, repro.Batch(func(batch []string) {
 		batches++
 		items += len(batch)
 		fmt.Printf("batch %2d: %3d items (first %q)\n", batches, len(batch), batch[0])
-	})
+	}))
 	if err != nil {
 		panic(err)
 	}

@@ -44,9 +44,9 @@ func main() {
 	pairs := make([]*repro.Pair[packet], queues)
 	for q := 0; q < queues; q++ {
 		q := q
-		pairs[q], err = repro.NewPair(rt, func(batch []packet) {
+		pairs[q], err = repro.Open(rt, repro.Batch(func(batch []packet) {
 			forwarded[q].Add(uint64(len(batch))) // "forwarding" the frame batch
-		})
+		}))
 		if err != nil {
 			panic(err)
 		}

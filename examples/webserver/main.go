@@ -47,7 +47,7 @@ func main() {
 	var processed atomic.Uint64
 	var maxLag atomic.Int64
 	newWorker := func(name string) *repro.Pair[workItem] {
-		pair, err := repro.NewPair(rt, func(batch []workItem) {
+		pair, err := repro.Open(rt, repro.Batch(func(batch []workItem) {
 			// One wakeup, a whole batch of deferred work.
 			for _, w := range batch {
 				if lag := time.Since(w.at); int64(lag) > maxLag.Load() {
@@ -55,7 +55,7 @@ func main() {
 				}
 				processed.Add(1)
 			}
-		})
+		}), repro.ConcurrentProducers())
 		if err != nil {
 			panic(err)
 		}

@@ -32,14 +32,17 @@ func TestChaosIsolationUnderPanicsAndStalls(t *testing.T) {
 	}
 	defer rt.Close()
 
-	panicky, err := NewPair(rt, func([]int64) { panic("injected") })
+	panicky, err := Open(rt, Batch(func([]int64) { panic("injected") }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	staller, err := NewPairFunc(rt, func(context.Context, []int64) error {
-		time.Sleep(stall) // deliberately ignores ctx: the watchdog's job
+	staller, err := Open(rt, Func(func(context.Context, []int64) error {
+		time.Sleep(stall)
 		return nil
-	}, PairWithHandlerTimeout(20*time.Millisecond))
+	}),
+
+		HandlerTimeout(20*time.Millisecond))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func TestChaosIsolationUnderPanicsAndStalls(t *testing.T) {
 	var delivered atomic.Int64
 	healthy := make([]*Pair[int64], 3)
 	for i := range healthy {
-		healthy[i], err = NewPair(rt, func(batch []int64) {
+		healthy[i], err = Open(rt, Batch(func(batch []int64) {
 			now := time.Now().UnixNano()
 			for _, putAt := range batch {
 				lat := now - putAt
@@ -60,7 +63,8 @@ func TestChaosIsolationUnderPanicsAndStalls(t *testing.T) {
 				}
 			}
 			delivered.Add(int64(len(batch)))
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,13 +136,15 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 
 	var calls atomic.Int64
 	var got atomic.Int64
-	pair, err := NewPairFunc(rt, func(_ context.Context, batch []int) error {
+	pair, err := Open(rt, Func(func(_ context.Context, batch []int) error {
 		if calls.Add(1) <= 3 {
 			return errors.New("still broken")
 		}
 		got.Add(int64(len(batch)))
 		return nil
-	}) // defaults: breaker K=3, redeliveries 3
+	}))
+
+	// defaults: breaker K=3, redeliveries 3
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,9 +197,12 @@ func TestQuarantinePutFailsFast(t *testing.T) {
 	}
 	defer rt.Close()
 
-	pair, err := NewPairFunc(rt, func(context.Context, []int) error {
+	pair, err := Open(rt, Func(func(context.Context, []int) error {
 		return errors.New("permanently broken")
-	}, PairWithBreaker(1), PairWithRedelivery(0))
+	}),
+
+		Breaker(1), Redelivery(0))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,11 +244,11 @@ func TestFaultFinalDrainConservation(t *testing.T) {
 	}
 
 	var delivered atomic.Int64
-	good, err := NewPair(rt, func(batch []int) { delivered.Add(int64(len(batch))) })
+	good, err := Open(rt, Batch(func(batch []int) { delivered.Add(int64(len(batch))) }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad, err := NewPair(rt, func([]int) { panic("injected") })
+	bad, err := Open(rt, Batch(func([]int) { panic("injected") }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,13 +300,14 @@ func TestFaultMigrationPanicMidDrain(t *testing.T) {
 	var broken atomic.Bool
 	broken.Store(true)
 	var got atomic.Int64
-	pair, err := NewPairFunc(rt, func(_ context.Context, batch []int) error {
+	pair, err := Open(rt, Func(func(_ context.Context, batch []int) error {
 		if broken.Load() {
 			panic("injected mid-drain")
 		}
 		got.Add(int64(len(batch)))
 		return nil
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +370,7 @@ func TestFaultSentinelErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func TestHandoffReturnsBufferedFIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	p, err := NewPair(rt, func([]int) { t.Error("handler must not run during handoff") })
+	p, err := Open(rt, Batch(func([]int) { t.Error("handler must not run during handoff") }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestHandoffShipsRetainedBatchFirst(t *testing.T) {
 	defer rt.Close()
 	fail := make(chan struct{})
 	failed := make(chan struct{}, 8)
-	p, err := NewPairFunc(rt, func(_ context.Context, batch []int) error {
+	p, err := Open(rt, Func(func(_ context.Context, batch []int) error {
 		select {
 		case <-fail:
 			return nil
@@ -80,7 +80,10 @@ func TestHandoffShipsRetainedBatchFirst(t *testing.T) {
 			}
 			return errors.New("injected")
 		}
-	}, PairWithBreaker(0), PairWithRedelivery(100))
+	}),
+
+		Breaker(0), Redelivery(100))
+
 	if err != nil {
 		t.Fatal(err)
 	}

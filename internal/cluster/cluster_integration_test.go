@@ -320,7 +320,7 @@ func TestClusterMigrationMidBurst(t *testing.T) {
 	// forced detach ships retained items (not just the stream identity).
 	slow := func(cfg *server.Config) {
 		cfg.PairOptions = func(key string) []repro.PairOption {
-			return []repro.PairOption{repro.PairWithMaxLatency(300 * time.Millisecond)}
+			return []repro.PairOption{repro.MaxLatency(300 * time.Millisecond)}
 		}
 	}
 	p1 := bootPCD(t, "n1", nil, nil, slow)

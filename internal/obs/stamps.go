@@ -97,6 +97,11 @@ func (r *StampRing) PopBatch(dst []int64, n int) []int64 {
 // Drops returns how many stamps were discarded on a full ring.
 func (r *StampRing) Drops() uint64 { return r.drops.Load() }
 
+// Cap returns the ring's stamp capacity (the power of two it was
+// rounded up to) — the most PopBatch can ever return, so consumers can
+// presize their scratch once and never grow it.
+func (r *StampRing) Cap() int { return len(r.buf) }
+
 // Clock is a coarse monotonic clock: a background ticker publishes the
 // current runtime-relative nanoseconds into one atomic word, so hot
 // paths read a timestamp in ~1-2 ns instead of calling the precise

@@ -1,0 +1,53 @@
+package ring
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The cache-conscious layouts only work if the hot fields really land
+// on distinct 64-byte lines. These tests pin the offsets with
+// unsafe.Offsetof so a struct edit that silently re-packs the fields
+// fails loudly (the satellite fix for the old [8]uint64 pad, which did
+// not isolate head from the struct header).
+
+func TestSPSCLayout(t *testing.T) {
+	var q SPSC[int]
+	headOff := unsafe.Offsetof(q.head)
+	tailOff := unsafe.Offsetof(q.tail)
+	if headOff%64 != 0 {
+		t.Errorf("consumer line (head) at offset %d, want 64-byte aligned", headOff)
+	}
+	if tailOff%64 != 0 {
+		t.Errorf("producer line (tail) at offset %d, want 64-byte aligned", tailOff)
+	}
+	if tailOff-headOff < 64 {
+		t.Errorf("head (%d) and tail (%d) share a cache line", headOff, tailOff)
+	}
+	// The cold fields (mask..slots) must not share head's line.
+	if headOff < 64 {
+		t.Errorf("cold fields and head within one line: head at %d", headOff)
+	}
+	if sz := unsafe.Sizeof(q); sz%64 != 0 {
+		t.Errorf("SPSC size %d not a multiple of 64: trailing fields of an embedding struct would share the producer line", sz)
+	}
+}
+
+func TestUnboundedLayout(t *testing.T) {
+	var u Unbounded[int]
+	pushedOff := unsafe.Offsetof(u.pushed)
+	poppedOff := unsafe.Offsetof(u.popped)
+	quotaOff := unsafe.Offsetof(u.quota)
+	if pushedOff%64 != 0 {
+		t.Errorf("producer line (pushed) at offset %d, want 64-byte aligned", pushedOff)
+	}
+	if poppedOff%64 != 0 {
+		t.Errorf("consumer line (popped) at offset %d, want 64-byte aligned", poppedOff)
+	}
+	if poppedOff-pushedOff < 64 {
+		t.Errorf("pushed (%d) and popped (%d) share a cache line", pushedOff, poppedOff)
+	}
+	if quotaOff-poppedOff < 64 {
+		t.Errorf("popped (%d) and cold fields (%d) share a cache line", poppedOff, quotaOff)
+	}
+}

@@ -1,0 +1,150 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPSCLazyVisibility(t *testing.T) {
+	q := NewSPSCLazy[int](16, 4)
+	// Below the stride nothing is published.
+	for i := 0; i < 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := q.Len(); got != 0 {
+		t.Fatalf("Len = %d before stride, want 0 (unpublished)", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop saw unpublished items")
+	}
+	// The stride-th push publishes everything pending.
+	q.Push(3)
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d after stride, want 4", got)
+	}
+	// Flush publishes a partial burst.
+	q.Push(4)
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4 (5th push pending)", got)
+	}
+	q.Flush()
+	if got := q.Len(); got != 5 {
+		t.Fatalf("Len = %d after Flush, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestSPSCLazyFullPublishes(t *testing.T) {
+	q := NewSPSCLazy[int](4, 4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	// Ring truly full: the failing push must have published the
+	// pending items so the consumer can make room.
+	if q.Push(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d after full, want 4 published", got)
+	}
+}
+
+func TestSPSCPushBatchMultipush(t *testing.T) {
+	q := NewSPSCLazy[int](8, 8)
+	// Offset the indices so the batch wraps the slot array.
+	for i := 0; i < 5; i++ {
+		q.Push(-1)
+	}
+	q.Flush()
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	batch := []int{0, 1, 2, 3, 4, 5, 6}
+	if n := q.PushBatch(batch); n != 7 {
+		t.Fatalf("PushBatch = %d, want 7", n)
+	}
+	// One publication for the whole batch: all visible immediately.
+	if got := q.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	dst := make([]int, 7)
+	if n := q.PopBatch(dst); n != 7 {
+		t.Fatalf("PopBatch = %d, want 7", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSPSCPushBatchPartialFit(t *testing.T) {
+	q := NewSPSC[int](4)
+	batch := []int{0, 1, 2, 3, 4, 5}
+	if n := q.PushBatch(batch); n != 4 {
+		t.Fatalf("PushBatch = %d, want capacity-limited 4", n)
+	}
+	if n := q.PushBatch(batch); n != 0 {
+		t.Fatalf("PushBatch on full = %d, want 0", n)
+	}
+}
+
+// TestPropertySPSCLazyFIFO is the testing/quick property test the
+// satellite asks for: a real producer goroutine pushes a random
+// sequence through a lazy ring (random capacity and stride, with
+// interleaved Flush kicks) while a real consumer pops concurrently;
+// the consumer must observe exactly the pushed sequence, in order.
+func TestPropertySPSCLazyFIFO(t *testing.T) {
+	f := func(capSeed, strideSeed uint8, items []int32) bool {
+		capacity := int(capSeed%63) + 2
+		stride := int(strideSeed%17) + 1
+		q := NewSPSCLazy[int32](capacity, stride)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(items); {
+				if q.Push(items[i]) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+				// Kick occasionally so a trailing partial burst
+				// cannot strand the consumer forever.
+				if i%8 == 0 {
+					q.Flush()
+				}
+			}
+			q.Flush()
+		}()
+		ok := true
+		for n := 0; n < len(items); {
+			v, got := q.Pop()
+			if !got {
+				runtime.Gosched()
+				continue
+			}
+			if v != items[n] {
+				ok = false
+				break
+			}
+			n++
+		}
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

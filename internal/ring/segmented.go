@@ -3,30 +3,50 @@ package ring
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
+// Seg is one pool segment: a fixed-size slot array plus the intrusive
+// link and cursors the queues built on the pool need. Nodes are
+// preallocated by the pool together with their backing storage, so
+// acquiring a segment never allocates — the arena hands back the same
+// headers it was built with, forever. head/tail are the Segmented
+// cursors (mutex mode); Unbounded uses its own private cursors and only
+// touches next.
+type Seg[T any] struct {
+	slots []T
+	head  int
+	tail  int
+	next  atomic.Pointer[Seg[T]]
+}
+
 // SegmentPool is a preallocated arena of fixed-size segments shared by
-// a set of Segmented queues. It realizes the paper's global buffer Bg:
-// "a preallocated buffer of size Bg = B0 × M" whose walls between
-// consumer buffers are elastic (§V-C, Fig. 8). Queues grow by taking
-// segments from the pool and shrink by returning them; the pool never
-// allocates after construction.
+// a set of Segmented/Unbounded queues. It realizes the paper's global
+// buffer Bg: "a preallocated buffer of size Bg = B0 × M" whose walls
+// between consumer buffers are elastic (§V-C, Fig. 8). Queues grow by
+// taking segments from the pool and shrink by returning them; neither
+// the pool nor its segment headers allocate after construction.
 type SegmentPool[T any] struct {
 	mu      sync.Mutex
 	segSize int
-	free    [][]T
+	free    []*Seg[T]
 	total   int
 }
 
-// NewSegmentPool builds a pool of segments×segSize item slots.
+// NewSegmentPool builds a pool of segments×segSize item slots. One
+// backing array and one header array serve every segment for the
+// pool's whole life.
 func NewSegmentPool[T any](segments, segSize int) *SegmentPool[T] {
 	if segments <= 0 || segSize <= 0 {
 		panic(fmt.Sprintf("ring: invalid pool geometry %d×%d", segments, segSize))
 	}
 	p := &SegmentPool[T]{segSize: segSize, total: segments}
 	backing := make([]T, segments*segSize)
+	nodes := make([]Seg[T], segments)
+	p.free = make([]*Seg[T], segments)
 	for i := 0; i < segments; i++ {
-		p.free = append(p.free, backing[i*segSize:(i+1)*segSize:(i+1)*segSize])
+		nodes[i].slots = backing[i*segSize : (i+1)*segSize : (i+1)*segSize]
+		p.free[i] = &nodes[i]
 	}
 	return p
 }
@@ -37,6 +57,10 @@ func (p *SegmentPool[T]) SegSize() int { return p.segSize }
 // Total returns the pool's total segment count.
 func (p *SegmentPool[T]) Total() int { return p.total }
 
+// Capacity returns the total item slots the pool can back (Total ×
+// SegSize): the physical ceiling on any queue drawing from it.
+func (p *SegmentPool[T]) Capacity() int { return p.total * p.segSize }
+
 // FreeSegments returns how many segments are currently unclaimed.
 func (p *SegmentPool[T]) FreeSegments() int {
 	p.mu.Lock()
@@ -44,7 +68,7 @@ func (p *SegmentPool[T]) FreeSegments() int {
 	return len(p.free)
 }
 
-func (p *SegmentPool[T]) acquire() ([]T, bool) {
+func (p *SegmentPool[T]) acquire() (*Seg[T], bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free) == 0 {
@@ -52,42 +76,46 @@ func (p *SegmentPool[T]) acquire() ([]T, bool) {
 	}
 	seg := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
+	seg.head, seg.tail = 0, 0
+	seg.next.Store(nil)
 	return seg, true
 }
 
-func (p *SegmentPool[T]) release(seg []T) {
+func (p *SegmentPool[T]) release(seg *Seg[T]) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free) >= p.total {
 		panic("ring: segment released twice")
 	}
+	seg.next.Store(nil)
 	p.free = append(p.free, seg)
-}
-
-type segment[T any] struct {
-	slots []T
-	head  int
-	tail  int
-	next  *segment[T]
 }
 
 // Segmented is an elastic FIFO queue backed by pool segments. Its
 // capacity is governed by a quota (in items): Push fails once the queue
 // holds quota items, or when the quota demands a segment the pool
-// cannot supply. A single mutex guards the queue; the contention cost
-// is irrelevant to the power study (wakeups dominate), and it keeps
-// resizing trivially safe across producer/manager goroutines.
+// cannot supply.
+//
+// Two builds exist. NewSegmented guards the queue with a mutex and is
+// safe for any number of concurrent producers. NewSegmentedSP is the
+// single-producer fast path: it delegates to an Unbounded list-of-rings
+// so steady-state Push/PushBatch/Pop/DrainTo are wait-free and
+// allocation-free (exactly one goroutine may push and one may pop at a
+// time; Len/Quota/SetQuota stay safe from anywhere).
 type Segmented[T any] struct {
+	sp *Unbounded[T] // non-nil: single-producer mode; mu and list unused
+
 	mu    sync.Mutex
 	pool  *SegmentPool[T]
-	head  *segment[T]
-	tail  *segment[T]
+	head  *Seg[T]
+	tail  *Seg[T]
 	size  int
 	quota int
 }
 
 // NewSegmented returns an elastic queue with the given initial item
-// quota drawing from pool.
+// quota drawing from pool, safe for concurrent producers (a mutex
+// serializes every operation).
 func NewSegmented[T any](pool *SegmentPool[T], quota int) *Segmented[T] {
 	if quota < 0 {
 		panic(fmt.Sprintf("ring: negative quota %d", quota))
@@ -95,8 +123,22 @@ func NewSegmented[T any](pool *SegmentPool[T], quota int) *Segmented[T] {
 	return &Segmented[T]{pool: pool, quota: quota}
 }
 
+// NewSegmentedSP returns an elastic queue in single-producer mode: the
+// mutex is dropped and every queue operation delegates to a wait-free
+// Unbounded. The caller must guarantee at most one pushing goroutine
+// and at most one popping goroutine at a time.
+func NewSegmentedSP[T any](pool *SegmentPool[T], quota int) *Segmented[T] {
+	if quota < 0 {
+		panic(fmt.Sprintf("ring: negative quota %d", quota))
+	}
+	return &Segmented[T]{sp: NewUnbounded(pool, quota)}
+}
+
 // Len returns the number of buffered items.
 func (q *Segmented[T]) Len() int {
+	if q.sp != nil {
+		return q.sp.Len()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
@@ -104,6 +146,9 @@ func (q *Segmented[T]) Len() int {
 
 // Quota returns the current item quota.
 func (q *Segmented[T]) Quota() int {
+	if q.sp != nil {
+		return q.sp.Quota()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.quota
@@ -114,6 +159,10 @@ func (q *Segmented[T]) Quota() int {
 // drains below the new quota (matching the paper's downsizing, which
 // only constrains future buffering).
 func (q *Segmented[T]) SetQuota(quota int) {
+	if q.sp != nil {
+		q.sp.SetQuota(quota)
+		return
+	}
 	if quota < 0 {
 		quota = 0
 	}
@@ -125,16 +174,23 @@ func (q *Segmented[T]) SetQuota(quota int) {
 // Push appends v, returning false when the quota is reached or the pool
 // has no segment to back the growth.
 func (q *Segmented[T]) Push(v T) bool {
+	if q.sp != nil {
+		return q.sp.Push(v)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.pushLocked(v)
 }
 
-// PushBatch appends items in order under a single lock acquisition,
-// stopping at the quota (or when the pool runs dry) and returning how
-// many were accepted. It is the bulk counterpart of Push: one mutex
-// round-trip for the whole batch instead of one per item.
+// PushBatch appends items in order, stopping at the quota (or when the
+// pool runs dry) and returning how many were accepted. It is the bulk
+// counterpart of Push: one quota negotiation and (in single-producer
+// mode) one index publication for the whole batch instead of one per
+// item.
 func (q *Segmented[T]) PushBatch(items []T) int {
+	if q.sp != nil {
+		return q.sp.PushBatch(items)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for i, v := range items {
@@ -150,15 +206,14 @@ func (q *Segmented[T]) pushLocked(v T) bool {
 		return false
 	}
 	if q.tail == nil || q.tail.tail == len(q.tail.slots) {
-		slots, ok := q.pool.acquire()
+		seg, ok := q.pool.acquire()
 		if !ok {
 			return false
 		}
-		seg := &segment[T]{slots: slots}
 		if q.tail == nil {
 			q.head, q.tail = seg, seg
 		} else {
-			q.tail.next = seg
+			q.tail.next.Store(seg)
 			q.tail = seg
 		}
 	}
@@ -171,6 +226,9 @@ func (q *Segmented[T]) pushLocked(v T) bool {
 // Pop removes the oldest item, releasing emptied segments back to the
 // pool immediately so other queues can grow.
 func (q *Segmented[T]) Pop() (v T, ok bool) {
+	if q.sp != nil {
+		return q.sp.Pop()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.popLocked()
@@ -188,12 +246,11 @@ func (q *Segmented[T]) popLocked() (v T, ok bool) {
 	q.size--
 	if seg.head == seg.tail {
 		// Segment drained: unlink and return to pool.
-		q.head = seg.next
+		q.head = seg.next.Load()
 		if q.head == nil {
 			q.tail = nil
 		}
-		seg.head, seg.tail, seg.next = 0, 0, nil
-		q.pool.release(seg.slots)
+		q.pool.release(seg)
 	}
 	return v, true
 }
@@ -201,6 +258,9 @@ func (q *Segmented[T]) popLocked() (v T, ok bool) {
 // DrainTo pops every buffered item into dst (appending) and returns the
 // extended slice. This is the batch-processing drain.
 func (q *Segmented[T]) DrainTo(dst []T) []T {
+	if q.sp != nil {
+		return q.sp.DrainTo(dst)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.size > 0 {

@@ -51,7 +51,7 @@ func TestIngestHandoffClassifiesQuarantined(t *testing.T) {
 			return func(context.Context, [][]byte) error { return errors.New("permanently broken") }
 		},
 		PairOptions: func(string) []repro.PairOption {
-			return []repro.PairOption{repro.PairWithBreaker(1), repro.PairWithRedelivery(0)}
+			return []repro.PairOption{repro.Breaker(1), repro.Redelivery(0)}
 		},
 		// A one-second slot keeps the breaker's half-open probe far away
 		// so the asserts below cannot race into the probe window.

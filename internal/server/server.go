@@ -60,10 +60,10 @@ type Config struct {
 	// The handler runs on a core-manager goroutine — keep it fast.
 	HandlerFor func(key string) func(batch [][]byte)
 	// HandlerFuncFor builds an error-aware consumer handler
-	// (repro.NewPairFunc): the context carries any
-	// PairWithHandlerTimeout deadline and a non-nil return feeds the
-	// pair's circuit breaker and redelivery policy. Takes precedence
-	// over HandlerFor when both are set.
+	// (repro.Func): the context carries any repro.HandlerTimeout
+	// deadline and a non-nil return feeds the pair's circuit breaker
+	// and redelivery policy. Takes precedence over HandlerFor when
+	// both are set.
 	HandlerFuncFor func(key string) func(ctx context.Context, batch [][]byte) error
 	// PairOptions builds per-stream pair options (e.g. a tighter
 	// latency bound for an interactive stream). Default: none.
@@ -360,11 +360,13 @@ func (s *Server) streamFor(key, tenantID string) (*stream, error) {
 	if s.cfg.Tenants != nil && tenantID != "" {
 		st.tn = s.cfg.Tenants.TenantByID(tenantID)
 	}
-	var p *repro.Pair[[]byte]
-	var err error
+	// Every stream is fed by however many connection goroutines the
+	// clients open, so the pair must keep its multi-producer queue.
+	opts = append(opts, repro.ConcurrentProducers())
+	var h repro.Handler[[]byte]
 	if s.cfg.HandlerFuncFor != nil {
 		inner := s.cfg.HandlerFuncFor(key)
-		p, err = repro.NewPairFunc(s.rt, func(ctx context.Context, batch [][]byte) error {
+		h = repro.Func(func(ctx context.Context, batch [][]byte) error {
 			herr := inner(ctx, batch)
 			if herr == nil {
 				st.releaseCharged(len(batch))
@@ -372,14 +374,15 @@ func (s *Server) streamFor(key, tenantID string) (*stream, error) {
 			// A failed batch stays buffered (retained for redelivery)
 			// and so stays charged.
 			return herr
-		}, opts...)
+		})
 	} else {
 		inner := s.cfg.HandlerFor(key)
-		p, err = repro.NewPair(s.rt, func(batch [][]byte) {
+		h = repro.Batch(func(batch [][]byte) {
 			inner(batch)
 			st.releaseCharged(len(batch))
-		}, opts...)
+		})
 	}
+	p, err := repro.Open(s.rt, h, opts...)
 	if err != nil {
 		s.streamRejects.Add(1)
 		return nil, err

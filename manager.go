@@ -35,7 +35,7 @@ type drainReport struct {
 	// or overran its deadline.
 	failed bool
 	// timedOut is true when an invocation overran its
-	// PairWithHandlerTimeout deadline (the caller should re-sample the
+	// HandlerTimeout deadline (the caller should re-sample the
 	// clock: the handler stole that time from the manager goroutine).
 	timedOut bool
 }

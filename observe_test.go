@@ -22,7 +22,7 @@ func TestLatencyHistograms(t *testing.T) {
 		t.Fatal(err)
 	}
 	var handled atomic.Uint64
-	pair, err := NewPair(rt, func(batch []int) { handled.Add(uint64(len(batch))) })
+	pair, err := Open(rt, Batch(func(batch []int) { handled.Add(uint64(len(batch))) }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestObservabilityDisabledByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestTimelineLatching(t *testing.T) {
 	var done atomic.Uint64
 	ps := make([]*Pair[int], pairs)
 	for i := range ps {
-		p, err := NewPair(rt, func(batch []int) { done.Add(uint64(len(batch))) })
+		p, err := Open(rt, Batch(func(batch []int) { done.Add(uint64(len(batch))) }))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,12 +230,15 @@ func TestTimelineStorm(t *testing.T) {
 	ps := make([]*Pair[int], pairs)
 	for i := range ps {
 		i := i
-		p, err := NewPairFunc(rt, func(_ context.Context, batch []int) error {
+		p, err := Open(rt, Func(func(_ context.Context, batch []int) error {
 			if i == 0 && flaky.Load() {
-				return boom // pair 0 trips its breaker during the storm
+				return boom
 			}
 			return nil
-		}, PairWithBreaker(2), PairWithRedelivery(1))
+		}),
+
+			Breaker(2), Redelivery(1))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -313,16 +316,19 @@ func TestTimelineEventKinds(t *testing.T) {
 	boom := errors.New("boom")
 	var fail atomic.Bool
 	fail.Store(true)
-	flakyPair, err := NewPairFunc(rt, func(context.Context, []int) error {
+	flakyPair, err := Open(rt, Func(func(context.Context, []int) error {
 		if fail.Load() {
 			return boom
 		}
 		return nil
-	}, PairWithBreaker(1), PairWithRedelivery(0))
+	}),
+
+		Breaker(1), Redelivery(0))
+
 	if err != nil {
 		t.Fatal(err)
 	}
-	steady, err := NewPair(rt, func([]int) {}, PairWithMaxLatency(10*time.Millisecond))
+	steady, err := Open(rt, Batch(func([]int) {}), MaxLatency(10*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ const (
 	// it).
 	EventIdle
 	// EventPairOpen: a pair was registered with the runtime. Unlike the
-	// kinds above it fires on the caller's goroutine (NewPair), not the
+	// kinds above it fires on the caller's goroutine (Open), not the
 	// core manager's.
 	EventPairOpen
 	// EventPairClose: a pair was closed and its pool capacity released.
@@ -40,7 +40,7 @@ const (
 	// failure during a final drain (Items is the count). The drop is
 	// accounted in Stats.ItemsDropped, never silent.
 	EventDrop
-	// EventOverrun: a handler exceeded its PairWithHandlerTimeout
+	// EventOverrun: a handler exceeded its HandlerTimeout
 	// deadline and the pair was marked degraded. Fires on the watchdog
 	// goroutine while the handler is still running.
 	EventOverrun

@@ -22,7 +22,7 @@ func TestObserverSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}

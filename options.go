@@ -20,7 +20,7 @@ var (
 	// buffer arena cannot host another pair (see WithMaxPairs).
 	ErrTooManyPairs = errors.New("repro: too many pairs")
 	// ErrQuarantined reports a Put on a pair whose circuit breaker is
-	// open (see PairWithBreaker): the handler has failed repeatedly and
+	// open (see Breaker): the handler has failed repeatedly and
 	// items would only accumulate without draining, so Put fails fast.
 	// The pair recovers automatically once a half-open probe succeeds;
 	// callers should shed or route elsewhere, not spin.
@@ -54,6 +54,10 @@ type options struct {
 	omegaMicro    float64
 	perItemMicro  float64
 	overheadMicro float64
+
+	// errs collects invalid option arguments; New reports them joined
+	// instead of silently adjusting the value.
+	errs []error
 }
 
 func defaultOptions() options {
@@ -74,6 +78,9 @@ func defaultOptions() options {
 }
 
 func (o options) validate() error {
+	if len(o.errs) > 0 {
+		return errors.Join(o.errs...)
+	}
 	if o.managers < 1 {
 		return fmt.Errorf("repro: managers %d < 1", o.managers)
 	}
@@ -110,41 +117,57 @@ func (o options) validate() error {
 	return nil
 }
 
-// Option configures a Runtime.
+// Option configures a Runtime at New. The options fall into three
+// concerns:
+//
+//   - Scheduling — when consumers wake: WithManagers, WithSlotSize,
+//     WithMaxLatency, WithPredictor, WithConsolidation, and the
+//     ablation switches WithoutLatching / WithoutResizing /
+//     WithoutPrediction, plus the Eq. 8 energy constants steering the
+//     latch-vs-new-slot trade.
+//   - Buffering — where items wait: WithBuffer, WithMinQuota,
+//     WithHeadroom, WithMaxPairs.
+//   - Observability — what the runtime reports: WithObserver,
+//     WithHistograms, WithTimeline.
+//
+// Invalid arguments are reported as an error from New, never silently
+// adjusted.
 type Option func(*options)
 
 // WithManagers sets the number of core managers (one goroutine and one
 // slot track each); pairs are assigned round-robin. Default 1 — the
-// paper's consumer-isolation setup.
+// paper's consumer-isolation setup. Scheduling concern.
 func WithManagers(n int) Option { return func(o *options) { o.managers = n } }
 
-// WithSlotSize sets the track slot Δ. Default 10ms.
+// WithSlotSize sets the track slot Δ. Default 10ms. Scheduling
+// concern.
 func WithSlotSize(d time.Duration) Option { return func(o *options) { o.slotSize = d } }
 
 // WithMaxLatency bounds how long an item may sit buffered before its
-// batch is drained. Default 200ms.
+// batch is drained. Default 200ms. Scheduling concern; MaxLatency
+// overrides it per pair.
 func WithMaxLatency(d time.Duration) Option { return func(o *options) { o.maxLatency = d } }
 
 // WithBuffer sets B0, each pair's preferred buffer capacity in items;
-// the global pool is B0 × MaxPairs. Default 64.
+// the global pool is B0 × MaxPairs. Default 64. Buffering concern.
 func WithBuffer(b int) Option { return func(o *options) { o.buffer = b } }
 
 // WithMinQuota sets the floor a pair's elastic quota can shrink to.
-// Default 2.
+// Default 2. Buffering concern.
 func WithMinQuota(n int) Option { return func(o *options) { o.minQuota = n } }
 
 // WithHeadroom sets the target buffer utilization η in (0,1]; quotas
-// are sized to predicted-need/η. Default 0.7.
+// are sized to predicted-need/η. Default 0.7. Buffering concern.
 func WithHeadroom(h float64) Option { return func(o *options) { o.headroom = h } }
 
 // WithMaxPairs caps concurrently open pairs; the shared segment arena
-// is preallocated for this many. Default 64.
+// is preallocated for this many. Default 64. Buffering concern.
 func WithMaxPairs(n int) Option { return func(o *options) { o.maxPairs = n } }
 
 // WithPredictor sets the rate predictor factory (each pair gets its own
 // instance). Default: the paper's moving average with window 8; see
 // internal/predict for EWMA and Kalman variants via
-// predict.FactoryByName.
+// predict.FactoryByName. Scheduling concern.
 func WithPredictor(f predict.Factory) Option { return func(o *options) { o.predictor = f } }
 
 // WithConsolidation enables the placement controller: a background
@@ -172,16 +195,22 @@ func WithHistograms() Option { return func(o *options) { o.histograms = true } }
 // fires, forced wakes, latched drains, migrations and breaker
 // transitions, dumpable via Runtime.TimelineDump (pcd serves it at
 // /debug/timeline) as the live analogue of the paper's Fig. 6. The
-// ring keeps the most recent `capacity` records (rounded up to a power
-// of two); capacity ≤ 0 takes the default 4096.
+// ring keeps the most recent `capacity` records (rounded up to a
+// power of two). capacity must be positive: New rejects ≤ 0 with an
+// error (TimelineDefaultCap is a reasonable choice). Observability
+// concern.
 func WithTimeline(capacity int) Option {
 	return func(o *options) {
 		if capacity <= 0 {
-			capacity = 4096
+			o.errs = append(o.errs, fmt.Errorf("repro: WithTimeline capacity %d <= 0 (use TimelineDefaultCap)", capacity))
+			return
 		}
 		o.timelineCap = capacity
 	}
 }
+
+// TimelineDefaultCap is the recommended WithTimeline capacity.
+const TimelineDefaultCap = 4096
 
 // WithoutLatching disables reservation latching (ablation/debugging).
 func WithoutLatching() Option { return func(o *options) { o.disableLatching = true } }

@@ -2,67 +2,70 @@ package repro
 
 import (
 	"context"
-	"fmt"
 	"runtime/trace"
 	"sync"
 	"time"
 
 	"repro/internal/ring"
-	"repro/internal/simtime"
 )
 
-// PairOption configures one pair at creation.
-type PairOption func(*pairConfig)
-
-type pairConfig struct {
-	maxLatency     time.Duration
-	handlerTimeout time.Duration
-	breakerK       int
-	maxRedeliver   int
-}
-
-// PairWithMaxLatency overrides the runtime-wide response-latency bound
-// for this pair (the §IV model gives every consumer its own bound; the
-// slot track stays shared). Must be at least the runtime's slot size.
+// PairWithMaxLatency overrides the pair's response-latency bound.
+//
+// Deprecated: use MaxLatency, which rejects non-positive values with a
+// construction error instead of deferring to Open's slot-size check.
 func PairWithMaxLatency(d time.Duration) PairOption {
 	return func(c *pairConfig) { c.maxLatency = d }
 }
 
-// PairWithHandlerTimeout arms a watchdog around every handler
-// invocation: the batch context carries this deadline, and a handler
-// that runs past it marks the pair degraded (PairSnapshot.Degraded),
-// counts in Stats.HandlerTimeouts, and is treated as a failure by the
-// circuit breaker — even if it eventually returns nil. The slot
-// planner re-samples the clock after an overrun so the next
-// reservation charges the stolen time instead of silently blowing
-// other pairs' bounds. Zero (the default) disables the watchdog.
+// PairWithHandlerTimeout arms the handler watchdog.
+//
+// Deprecated: use HandlerTimeout, which rejects negative values with a
+// construction error; this shim silently clamps them to 0 (disabled)
+// as the old API did.
 func PairWithHandlerTimeout(d time.Duration) PairOption {
-	return func(c *pairConfig) { c.handlerTimeout = d }
+	return func(c *pairConfig) {
+		if d < 0 {
+			d = 0
+		}
+		c.handlerTimeout = d
+	}
 }
 
-// PairWithBreaker sets K, the consecutive handler failures (panic,
-// returned error, or deadline overrun) that open the pair's circuit
-// breaker. An open breaker quarantines the pair: Put fails fast with
-// ErrQuarantined and the manager only schedules half-open probes with
-// exponential backoff; one successful probe closes the breaker.
-// Default 3; k <= 0 disables the breaker entirely (failures are
-// counted but never quarantine).
+// PairWithBreaker sets the circuit-breaker threshold.
+//
+// Deprecated: use Breaker, which rejects negative values with a
+// construction error; this shim silently clamps them to 0 (disabled)
+// as the old API did.
 func PairWithBreaker(k int) PairOption {
-	return func(c *pairConfig) { c.breakerK = k }
+	return func(c *pairConfig) {
+		if k < 0 {
+			k = 0
+		}
+		c.breakerK = k
+	}
 }
 
-// PairWithRedelivery bounds how many times a failed batch is re-offered
-// to the handler before being dropped (counted in Stats.ItemsDropped,
-// surfaced as EventDrop). Default 3; n <= 0 restores at-most-once
-// delivery — a failed batch is dropped immediately.
+// PairWithRedelivery bounds redelivery attempts.
+//
+// Deprecated: use Redelivery, which rejects negative values with a
+// construction error; this shim silently clamps them to 0
+// (at-most-once) as the old API did.
 func PairWithRedelivery(n int) PairOption {
-	return func(c *pairConfig) { c.maxRedeliver = n }
+	return func(c *pairConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxRedeliver = n
+	}
 }
 
 // Pair is one producer-consumer pair: a bounded elastic buffer feeding
-// a batch handler. Exactly one logical producer should call Put (the
-// paper pairs each consumer with one producer); the handler runs on the
-// pair's core-manager goroutine.
+// a batch handler. By default exactly one goroutine may call
+// Put/PutBatch at a time (the paper pairs each consumer with one
+// producer, and the wait-free single-producer queue depends on it);
+// pass ConcurrentProducers to Open when several goroutines share the
+// producer side. The handler runs on the pair's core-manager
+// goroutine.
 type Pair[T any] struct {
 	rt      *Runtime
 	st      *pairState
@@ -91,97 +94,29 @@ type Pair[T any] struct {
 	retryStamps  []int64
 }
 
-// NewPair registers a consumer with the runtime. The handler receives
-// each drained batch; it must not block for long (it runs on the core
-// manager goroutine, serializing with the other consumers latched onto
-// the same wakeups). A panicking handler is recovered and counted in
-// Stats.HandlerPanics; repeated failures quarantine the pair (see
-// PairWithBreaker). NewPair is a thin adapter over NewPairFunc for
-// handlers with nothing to report; new code that can fail should use
-// NewPairFunc directly.
+// NewPair registers a consumer whose handler has nothing to report.
+//
+// Deprecated: use Open with the Batch adaptor. Unlike Open, this shim
+// keeps the old mutex-guarded queue (safe for concurrent producers, as
+// the old constructors implicitly were); callers migrating to Open
+// take on the single-producer contract unless they pass
+// ConcurrentProducers.
 func NewPair[T any](rt *Runtime, handler func(batch []T), opts ...PairOption) (*Pair[T], error) {
 	if handler == nil {
 		panic("repro: nil handler")
 	}
-	return NewPairFunc(rt, func(_ context.Context, batch []T) error {
-		handler(batch)
-		return nil
-	}, opts...)
+	return Open(rt, Batch(handler), append([]PairOption{ConcurrentProducers()}, opts...)...)
 }
 
-// NewPairFunc registers a consumer with an error-aware handler. The
-// context is Background unless PairWithHandlerTimeout is set, in which
-// case it carries the invocation deadline. A non-nil return counts in
-// Stats.HandlerErrors and feeds the circuit breaker and redelivery
-// policy exactly like a panic: the batch is retained and re-offered up
-// to PairWithRedelivery times before being dropped.
+// NewPairFunc registers a consumer with an error-aware handler.
+//
+// Deprecated: use Open with the Func adaptor (or a Handler directly).
+// The same concurrent-producers note as NewPair applies.
 func NewPairFunc[T any](rt *Runtime, handler func(ctx context.Context, batch []T) error, opts ...PairOption) (*Pair[T], error) {
 	if handler == nil {
 		panic("repro: nil handler")
 	}
-	o := rt.opts
-	pc := pairConfig{maxLatency: o.maxLatency, breakerK: 3, maxRedeliver: 3}
-	for _, f := range opts {
-		f(&pc)
-	}
-	if pc.maxLatency < o.slotSize {
-		return nil, fmt.Errorf("repro: pair max latency %v below slot size %v", pc.maxLatency, o.slotSize)
-	}
-	if pc.breakerK < 0 {
-		pc.breakerK = 0
-	}
-	if pc.maxRedeliver < 0 {
-		pc.maxRedeliver = 0
-	}
-	if pc.handlerTimeout < 0 {
-		pc.handlerTimeout = 0
-	}
-	id, err := rt.addPair()
-	if err != nil {
-		return nil, err
-	}
-	segs := (o.buffer + o.segSize - 1) / o.segSize * 2 // headroom for lent capacity
-	if segs < 2 {
-		segs = 2
-	}
-	p := &Pair[T]{
-		rt:      rt,
-		handler: handler,
-		q:       ring.NewSegmented(ring.NewSegmentPool[T](segs, o.segSize), o.buffer),
-		scratch: make([]T, 0, o.buffer),
-	}
-	planner := rt.planner
-	if pc.maxLatency != o.maxLatency {
-		own := *rt.planner
-		own.MaxLatency = simtime.Duration(pc.maxLatency)
-		planner = &own
-	}
-	st := &pairState{
-		id:             id,
-		pred:           o.predictor(),
-		planner:        planner,
-		lastDrain:      rt.now(),
-		pending:        p.q.Len,
-		quota:          p.q.Quota,
-		setQuota:       p.q.SetQuota,
-		handlerTimeout: pc.handlerTimeout,
-		breakerK:       pc.breakerK,
-		maxRedeliver:   pc.maxRedeliver,
-		baseBackoff:    simtime.Duration(o.slotSize),
-		maxBackoff:     8 * simtime.Duration(pc.maxLatency),
-	}
-	st.mgr.Store(rt.managerFor(id))
-	st.reservedSlot = -1
-	st.drainFault = p.drainFault
-	if rt.obs != nil && rt.obs.hist {
-		st.obs = newPairObs(o.buffer)
-	}
-	p.st = st
-	rt.trackPair(st)
-	if obs := rt.opts.observer; obs != nil {
-		obs(Event{Kind: EventPairOpen, Pair: id, At: time.Duration(rt.now())})
-	}
-	return p, nil
+	return Open(rt, Func(handler), append([]PairOption{ConcurrentProducers()}, opts...)...)
 }
 
 // ID returns the pair's runtime-assigned id, the key that joins this
@@ -232,6 +167,10 @@ func (p *Pair[T]) drainFault(final bool) drainReport {
 	}
 
 	batch := p.q.DrainTo(p.scratch[:0])
+	// scratch is presized to the segment arena's capacity, so DrainTo
+	// normally fills it in place; persist it anyway so a growth forced
+	// by lent capacity is paid once, not on every drain.
+	p.scratch = batch
 	rep.dequeued = len(batch)
 	if len(batch) == 0 {
 		return rep

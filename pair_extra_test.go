@@ -19,11 +19,12 @@ func TestPutWaitBlocksThroughOverflow(t *testing.T) {
 	defer rt.Close()
 	var mu sync.Mutex
 	got := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPutWaitZeroTimeoutIsSingleAttempt(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestPutWaitAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,12 +86,13 @@ func TestFlushDrainsEarly(t *testing.T) {
 	}
 	defer rt.Close()
 	done := make(chan int, 1)
-	pair, err := NewPair(rt, func(batch []string) {
+	pair, err := Open(rt, Batch(func(batch []string) {
 		select {
 		case done <- len(batch):
 		default:
 		}
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestFlushOnClosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}

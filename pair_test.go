@@ -6,26 +6,26 @@ import (
 	"time"
 )
 
-func TestPairWithMaxLatencyValidates(t *testing.T) {
+func TestPairMaxLatencyValidates(t *testing.T) {
 	rt, err := New(WithSlotSize(10 * time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	if _, err := NewPair(rt, func([]int) {}, PairWithMaxLatency(time.Millisecond)); err == nil {
+	if _, err := Open(rt, Batch(func([]int) {}), MaxLatency(time.Millisecond)); err == nil {
 		t.Fatal("per-pair latency below slot size should fail")
 	}
-	// And the failed NewPair must not leak a pool slot.
+	// And the failed Open must not leak a pool slot.
 	rt2, err := New(WithMaxPairs(1), WithSlotSize(10*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt2.Close()
-	if _, err := NewPair(rt2, func([]int) {}, PairWithMaxLatency(time.Millisecond)); err == nil {
+	if _, err := Open(rt2, Batch(func([]int) {}), MaxLatency(time.Millisecond)); err == nil {
 		t.Fatal("should fail")
 	}
-	if _, err := NewPair(rt2, func([]int) {}); err != nil {
-		t.Fatalf("slot leaked by failed NewPair: %v", err)
+	if _, err := Open(rt2, Batch(func([]int) {})); err != nil {
+		t.Fatalf("slot leaked by failed Open: %v", err)
 	}
 }
 
@@ -43,7 +43,7 @@ func TestPairMixedLatencyClasses(t *testing.T) {
 	}
 	newPair := func(maxLat time.Duration) (*Pair[time.Time], *rec) {
 		r := &rec{}
-		p, err := NewPair(rt, func(batch []time.Time) {
+		p, err := Open(rt, Batch(func(batch []time.Time) {
 			r.mu.Lock()
 			for _, at := range batch {
 				if lag := time.Since(at); lag > r.worst {
@@ -52,7 +52,10 @@ func TestPairMixedLatencyClasses(t *testing.T) {
 				r.n++
 			}
 			r.mu.Unlock()
-		}, PairWithMaxLatency(maxLat))
+		}),
+
+			MaxLatency(maxLat))
+
 		if err != nil {
 			t.Fatal(err)
 		}

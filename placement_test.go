@@ -34,11 +34,12 @@ func TestMigrationConservationAndFIFO(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []int
-	p, err := NewPair(rt, func(batch []int) {
+	p, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got = append(got, batch...)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestConsolidationParksManagers(t *testing.T) {
 
 	const pairsN = 8
 	for i := 0; i < pairsN; i++ {
-		if _, err := NewPair(rt, func([]int) {}); err != nil {
+		if _, err := Open(rt, Batch(func([]int) {})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,9 +174,10 @@ func TestConsolidationUnderTraffic(t *testing.T) {
 	var delivered atomic.Uint64
 	pairs := make([]*Pair[int], pairsN)
 	for i := range pairs {
-		pairs[i], err = NewPair(rt, func(batch []int) {
+		pairs[i], err = Open(rt, Batch(func(batch []int) {
 			delivered.Add(uint64(len(batch)))
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,11 +20,12 @@ func TestPutBatchSingleKick(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []int
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got = append(got, batch...)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,12 @@ func TestPutBatchPartialAccept(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []int
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got = append(got, batch...)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestPutBatchEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,10 +32,10 @@ type Stats struct {
 	// HandlerPanics counts recovered consumer-handler panics.
 	HandlerPanics uint64
 	// HandlerErrors counts non-nil returns from error-aware handlers
-	// (see NewPairFunc).
+	// (see Handler and the Func adaptor).
 	HandlerErrors uint64
 	// HandlerTimeouts counts watchdog deadline overruns (see
-	// PairWithHandlerTimeout).
+	// HandlerTimeout).
 	HandlerTimeouts uint64
 	// Quarantines counts circuit-breaker open transitions; Recoveries
 	// counts successful half-open probes closing a breaker.
@@ -206,10 +206,10 @@ type PairSnapshot struct {
 	// it, see WithConsolidation).
 	Manager int
 	// Quarantined reports an open circuit breaker (Put fails fast and
-	// only half-open probes drain the pair; see PairWithBreaker).
+	// only half-open probes drain the pair; see Breaker).
 	Quarantined bool
 	// Degraded reports that the most recent handler invocation overran
-	// its PairWithHandlerTimeout deadline; a clean invocation clears it.
+	// its HandlerTimeout deadline; a clean invocation clears it.
 	Degraded bool
 	// Retained is the size of a failed batch held for redelivery.
 	Retained int

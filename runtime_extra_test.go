@@ -20,11 +20,12 @@ func TestMultipleManagers(t *testing.T) {
 	var pairs []*Pair[int]
 	for i := 0; i < 4; i++ {
 		i := i
-		p, err := NewPair(rt, func(batch []int) {
+		p, err := Open(rt, Batch(func(batch []int) {
 			mu.Lock()
 			got[i] += len(batch)
 			mu.Unlock()
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestPairStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	pair, err := NewPair(rt, func([]int) {})
+	pair, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,9 +26,11 @@ func TestCloseRacesConcurrentPut(t *testing.T) {
 		var consumed atomic.Uint64
 		pairs := make([]*Pair[int], 4)
 		for i := range pairs {
-			pairs[i], err = NewPair(rt, func(batch []int) {
+			// Two producer goroutines share each pair below.
+			pairs[i], err = Open(rt, Batch(func(batch []int) {
 				consumed.Add(uint64(len(batch)))
-			})
+			}), ConcurrentProducers())
+
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,11 +106,12 @@ func TestManagersDrainOnClose(t *testing.T) {
 	pairs := make([]*Pair[int], pairsN)
 	for i := range pairs {
 		i := i
-		pairs[i], err = NewPair(rt, func(batch []int) {
+		pairs[i], err = Open(rt, Batch(func(batch []int) {
 			mu.Lock()
 			got[i] += len(batch)
 			mu.Unlock()
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +170,7 @@ func TestPairSnapshots(t *testing.T) {
 	}
 	pairs := make([]*Pair[string], 3)
 	for i := range pairs {
-		pairs[i], err = NewPair(rt, func([]string) {})
+		pairs[i], err = Open(rt, Batch(func([]string) {}))
 		if err != nil {
 			t.Fatal(err)
 		}

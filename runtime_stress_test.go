@@ -20,11 +20,12 @@ func TestCloseUnderLoad(t *testing.T) {
 		const pairsN = 3
 		for i := 0; i < pairsN; i++ {
 			i := i
-			p, err := NewPair(rt, func(batch []int) {
+			p, err := Open(rt, Batch(func(batch []int) {
 				for _, v := range batch {
 					delivered.Store([2]int{i, v}, true)
 				}
-			})
+			}))
+
 			if err != nil {
 				t.Fatal(err)
 			}

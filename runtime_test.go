@@ -51,11 +51,12 @@ func TestBasicDeliveryAndOrder(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []int
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got = append(got, batch...)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +99,13 @@ func TestBatching(t *testing.T) {
 	var mu sync.Mutex
 	batches := 0
 	items := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		batches++
 		items += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +145,13 @@ func TestLatencyBound(t *testing.T) {
 
 	done := make(chan time.Duration, 1)
 	start := time.Now()
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		select {
 		case done <- time.Since(start):
 		default:
 		}
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +186,12 @@ func TestOverflowForcesDrain(t *testing.T) {
 
 	var mu sync.Mutex
 	received := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		received += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +236,12 @@ func TestCloseDrains(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := 0
-	pair, err := NewPair(rt, func(batch []string) {
+	pair, err := Open(rt, Batch(func(batch []string) {
 		mu.Lock()
 		got += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,11 +281,12 @@ func TestRuntimeCloseDrainsPairs(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		got += len(batch)
 		mu.Unlock()
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,8 +303,8 @@ func TestRuntimeCloseDrainsPairs(t *testing.T) {
 	if got != 7 {
 		t.Fatalf("runtime close drained %d of 7", got)
 	}
-	if _, err := NewPair(rt, func([]int) {}); !errors.Is(err, ErrClosed) {
-		t.Fatalf("NewPair after Close = %v", err)
+	if _, err := Open(rt, Batch(func([]int) {})); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Open after Close = %v", err)
 	}
 }
 
@@ -308,21 +314,21 @@ func TestMaxPairs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	a, err := NewPair(rt, func([]int) {})
+	a, err := Open(rt, Batch(func([]int) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewPair(rt, func([]int) {}); err != nil {
+	if _, err := Open(rt, Batch(func([]int) {})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewPair(rt, func([]int) {}); !errors.Is(err, ErrTooManyPairs) {
+	if _, err := Open(rt, Batch(func([]int) {})); !errors.Is(err, ErrTooManyPairs) {
 		t.Fatalf("third pair = %v, want ErrTooManyPairs", err)
 	}
 	// Closing one frees a slot.
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewPair(rt, func([]int) {}); err != nil {
+	if _, err := Open(rt, Batch(func([]int) {})); err != nil {
 		t.Fatalf("pair after close = %v", err)
 	}
 }
@@ -335,7 +341,7 @@ func TestHandlerPanicRecovered(t *testing.T) {
 	defer rt.Close()
 	var mu sync.Mutex
 	calls := 0
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		mu.Lock()
 		calls++
 		c := calls
@@ -343,7 +349,8 @@ func TestHandlerPanicRecovered(t *testing.T) {
 		if c == 1 {
 			panic("boom")
 		}
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,11 +383,12 @@ func TestStatsConsistency(t *testing.T) {
 	out := 0
 	var pairs []*Pair[int]
 	for i := 0; i < 3; i++ {
-		p, err := NewPair(rt, func(batch []int) {
+		p, err := Open(rt, Batch(func(batch []int) {
 			mu.Lock()
 			out += len(batch)
 			mu.Unlock()
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -435,11 +443,12 @@ func TestLiveLatching(t *testing.T) {
 	var mu sync.Mutex
 	out := 0
 	for i := 0; i < pairsN; i++ {
-		p, err := NewPair(rt, func(batch []int) {
+		p, err := Open(rt, Batch(func(batch []int) {
 			mu.Lock()
 			out += len(batch)
 			mu.Unlock()
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -481,11 +490,12 @@ func TestAblationOptionsRun(t *testing.T) {
 		}
 		var mu sync.Mutex
 		got := 0
-		pair, err := NewPair(rt, func(batch []int) {
+		pair, err := Open(rt, Batch(func(batch []int) {
 			mu.Lock()
 			got += len(batch)
 			mu.Unlock()
-		})
+		}))
+
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -515,12 +525,13 @@ func TestCustomPredictor(t *testing.T) {
 	}
 	defer rt.Close()
 	done := make(chan struct{}, 1)
-	pair, err := NewPair(rt, func(batch []int) {
+	pair, err := Open(rt, Batch(func(batch []int) {
 		select {
 		case done <- struct{}{}:
 		default:
 		}
-	})
+	}))
+
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,5 +557,5 @@ func TestNilHandlerPanics(t *testing.T) {
 			t.Fatal("nil handler should panic")
 		}
 	}()
-	_, _ = NewPair[int](rt, nil)
+	_, _ = Open[int](rt, nil)
 }

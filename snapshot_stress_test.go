@@ -36,7 +36,7 @@ func TestPairSnapshotsChurn(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				p, err := NewPair(rt, func([]int) {})
+				p, err := Open(rt, Batch(func([]int) {}))
 				if err != nil {
 					if err == ErrClosed {
 						return
@@ -117,7 +117,7 @@ func TestRequestQuotaInvariantUnderResize(t *testing.T) {
 	const pairsN = 8
 	pairs := make([]*Pair[int], pairsN)
 	for i := range pairs {
-		if pairs[i], err = NewPair(rt, func([]int) {}); err != nil {
+		if pairs[i], err = Open(rt, Batch(func([]int) {})); err != nil {
 			t.Fatal(err)
 		}
 	}
