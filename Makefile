@@ -35,9 +35,11 @@ chaos:
 # `go test ./...` stays fast): checked-in regression seeds replay first,
 # then one seeded run of every failure class — kill -9 + restart,
 # SIGTERM mid-burst, asymmetric TCP partition, breaker-tripping
-# handlers, fleet-placement churn, flash-crowd shedding — each verdicted
-# against the fleet conservation ledger. A failing run prints the exact
-# CHAOS_SCENARIO/CHAOS_SEED command to replay it.
+# handlers, fleet-placement churn, flash-crowd shedding, noisy-tenant
+# quota floods, SIGHUP registry reloads mid-burst (rotation + corrupt
+# file) — each verdicted against the fleet conservation ledger. A
+# failing run prints the exact CHAOS_SCENARIO/CHAOS_SEED command to
+# replay it.
 chaos-e2e:
 	$(GO) test -tags chaos -timeout 15m -v ./test/e2e
 
@@ -52,14 +54,17 @@ lint:
 
 # One benchmark per paper figure/table, reduced scale, plus the
 # machine-readable headline numbers (FIG9/FIG10 wakeups/s, power, p99),
-# the live Put-path observability overhead (figure putpath, now with
+# the power-cap sweep (figure powercap: throttle ladder vs budget), the
+# live Put-path observability overhead (figure putpath, now with
 # allocs/op), and the pinned SPSC ping-pong recipes (figure pingpong)
 # written to BENCH_PBPL.json for run-over-run diffing. The alloc gate
-# fails the target if any hot-path benchmark reports allocs/op > 0.
+# fails the target if any hot-path benchmark reports allocs/op > 0; the
+# grep fails it if the powercap series drops out of the JSON document.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	bash scripts/alloc_gate.sh
 	$(GO) run ./cmd/pcbench -json -duration 2s -reps 2 -putbench
+	grep -q '"figure": "powercap"' BENCH_PBPL.json
 
 # Coverage-guided fuzzing smoke: a short budget per target on top of
 # the checked-in seed corpora (testdata/fuzz). Grow FUZZTIME locally

@@ -10,9 +10,12 @@
 //	pcbench -json                    # write BENCH_PBPL.json (FIG9/FIG10 headline numbers)
 //	pcbench -fig faults              # fault scenario: broken consumer, breaker off vs on
 //	pcbench -fig tenants             # noisy neighbor: shared buffer vs per-tenant quotas
+//	pcbench -fig powercap            # power-cap sweep: throttle ladder vs budget
 //
-// Ids: 3, 4, corr, 9, 10, 11, wakeups, buffer, ablation, place,
-// faults, tenants, all.
+// The authoritative id list lives in exp.IDs(); the -fig usage string
+// is generated from it (plus fig6, the timeline rendering, and "all"),
+// so the two cannot drift. TestFigUsageParity pins this file's doc
+// comment to the same list.
 package main
 
 import (
@@ -30,9 +33,26 @@ import (
 	"repro/internal/simtime"
 )
 
+// jsonDefaultFigs is what -json emits when no -fig is given: the
+// headline evaluation figures plus the power-cap sweep, so
+// BENCH_PBPL.json always carries the powercap series.
+const jsonDefaultFigs = "fig9,fig10,powercap"
+
+// figUsage renders the -fig flag's id list from the experiment
+// registry, so a new figure registered in exp.IDs() shows up here
+// without touching this file. fig6 is the timeline rendering with its
+// own entry point; "all" expands to exp.All.
+func figUsage() string {
+	ids := exp.IDs()
+	all := make([]string, 0, len(ids)+2)
+	all = append(all, ids...)
+	all = append(all, "fig6", "all")
+	return strings.Join(all, ",") + "; fig6 renders a timeline"
+}
+
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure ids (3,4,6,corr,9,10,11,wakeups,buffer,ablation,latency,predictors,racetoidle,alignment,place,faults,tenants,all; 6 renders a timeline)")
+		figs     = flag.String("fig", "all", "comma-separated figure ids ("+figUsage()+")")
 		duration = flag.Duration("duration", 10*time.Second, "virtual run duration per replicate")
 		reps     = flag.Int("reps", 3, "replicates per configuration")
 		seed     = flag.Int64("seed", 1998, "base workload seed")
@@ -48,7 +68,7 @@ func main() {
 	// well-known filename so CI can diff runs without flag soup.
 	if *jsonOut {
 		if *figs == "all" {
-			*figs = "9,10"
+			*figs = jsonDefaultFigs
 		}
 		if *outPath == "" {
 			*outPath = "BENCH_PBPL.json"

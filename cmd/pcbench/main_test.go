@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -54,5 +56,43 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if _, ok := b.Values["spurious_inf"]; ok {
 		t.Error("Inf value survived into the document")
+	}
+}
+
+// TestFigUsageParity pins the -fig flag's usage string and the package
+// doc comment to the experiment registry: every id exp.IDs() serves
+// must appear in both, so a figure added to exp cannot silently stay
+// undocumented here. The usage string is generated (figUsage), so its
+// half of this test can only fail if generation itself breaks.
+func TestFigUsageParity(t *testing.T) {
+	usage := figUsage()
+	for _, id := range exp.IDs() {
+		if !strings.Contains(usage, id) {
+			t.Errorf("-fig usage is missing id %q: %s", id, usage)
+		}
+	}
+	for _, extra := range []string{"fig6", "all"} {
+		if !strings.Contains(usage, extra) {
+			t.Errorf("-fig usage is missing %q: %s", extra, usage)
+		}
+	}
+
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(src, []byte("Ids: ")) {
+		t.Error("main.go doc comment hardcodes an id list again; it must defer to exp.IDs()")
+	}
+
+	// The -json default set must resolve — a typo here would only
+	// surface when someone runs -json.
+	for _, id := range strings.Split(jsonDefaultFigs, ",") {
+		if _, err := exp.ByID(id, exp.Quick()); err != nil {
+			t.Errorf("jsonDefaultFigs id %q does not resolve: %v", id, err)
+		}
+	}
+	if !strings.Contains(jsonDefaultFigs, "powercap") {
+		t.Error("-json default set no longer carries the powercap series")
 	}
 }

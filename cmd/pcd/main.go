@@ -10,6 +10,8 @@
 //	pcd -http :8080 -tcp :8081               # plus the raw line protocol
 //	pcd -slot 10ms -latency 200ms -work 50us # tune the wakeup economics
 //	pcd -managers 4 -consolidate             # pack streams onto the fewest managers
+//	pcd -managers 4 -consolidate -power-cap 500
+//	                                         # throttle to hold estimated power ≤ 500mW
 //	pcd -handler-timeout 50ms -breaker-failures 3 -redeliveries 3
 //	                                         # fault tolerance: watchdog + breaker
 //	pcd -histograms -timeline 4096           # latency histograms + wakeup timeline
@@ -93,6 +95,10 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		placeEvery  = fs.Duration("consolidate-interval", 250*time.Millisecond, "placement re-plan period (with -consolidate)")
 		placeBudget = fs.Float64("consolidate-budget", 0, "per-manager load budget, predicted items/s (0: default)")
 
+		powerCap      = fs.Float64("power-cap", 0, "power budget in estimated milliwatts above idle; the cap controller throttles batching, placement and the DVFS operating point to hold it (0: disabled)")
+		powerCapEvery = fs.Duration("power-cap-interval", 250*time.Millisecond, "cap controller measurement window (with -power-cap)")
+		powerCapPace  = fs.Bool("power-cap-pace", false, "use the pace ladder (lower frequency first) instead of race-to-idle (consolidate wakeups first)")
+
 		handlerTimeout = fs.Duration("handler-timeout", 0, "per-stream handler watchdog deadline (0: disabled)")
 		breakerK       = fs.Int("breaker-failures", 3, "consecutive handler failures that quarantine a stream (0: breaker disabled)")
 		redeliveries   = fs.Int("redeliveries", 3, "redelivery attempts for a failed batch before its items drop")
@@ -131,6 +137,13 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		opts = append(opts, repro.WithConsolidation(repro.ConsolidationConfig{
 			Interval:   *placeEvery,
 			BudgetRate: *placeBudget,
+		}))
+	}
+	if *powerCap > 0 {
+		opts = append(opts, repro.WithPowerCap(repro.PowerCapConfig{
+			Milliwatts: *powerCap,
+			Interval:   *powerCapEvery,
+			Pace:       *powerCapPace,
 		}))
 	}
 	if *histograms {

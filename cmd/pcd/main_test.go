@@ -326,3 +326,90 @@ func TestConsolidateFlag(t *testing.T) {
 		t.Fatalf("exit code %d", code)
 	}
 }
+
+// TestPowerCapFlag boots the daemon with a deliberately unattainable
+// power budget, ingests a burst, and waits for /statusz and /metrics to
+// report the cap controller throttling — then verifies the drain still
+// delivers every accepted item (throttling slows consumption, never
+// loses it).
+func TestPowerCapFlag(t *testing.T) {
+	base, sig, exit := startDaemon(t,
+		"-managers", "2",
+		"-power-cap", "0.5",
+		"-power-cap-interval", "5ms",
+	)
+
+	post := func() {
+		lines := make([]string, 200)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("x-%d", i)
+		}
+		resp, err := http.Post(base+"/ingest/burst", "text/plain",
+			strings.NewReader(strings.Join(lines, "\n")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		post()
+		resp, err := http.Get(base + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Power *struct {
+				Enabled        bool    `json:"enabled"`
+				CapMilliwatts  float64 `json:"cap_milliwatts"`
+				Throttled      bool    `json:"throttled"`
+				Frequency      float64 `json:"frequency"`
+				ThrottleEvents uint64  `json:"throttle_events_total"`
+			} `json:"power"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Power == nil || !st.Power.Enabled {
+			t.Fatal("statusz has no power section despite -power-cap")
+		}
+		if st.Power.CapMilliwatts != 0.5 {
+			t.Fatalf("cap = %v, want 0.5", st.Power.CapMilliwatts)
+		}
+		if st.Power.Throttled && st.Power.ThrottleEvents > 0 {
+			if st.Power.Frequency > 1 {
+				t.Fatalf("frequency %v > 1", st.Power.Frequency)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cap controller never throttled: %+v", st.Power)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m := scrape(t, base)
+	if v, ok := m["pcd_power_cap_milliwatts"]; !ok || v != 0.5 {
+		t.Fatalf("pcd_power_cap_milliwatts = %v (present %v), want 0.5", v, ok)
+	}
+	if v := m["pcd_power_throttle_events_total"]; v < 1 {
+		t.Fatalf("pcd_power_throttle_events_total = %v, want >= 1", v)
+	}
+	if v := m["pcd_power_throttled"]; v != 1 {
+		t.Fatalf("pcd_power_throttled = %v, want 1", v)
+	}
+	if _, ok := m[`pcd_power_frequency{manager="0"}`]; !ok {
+		t.Fatal("pcd_power_frequency{manager=\"0\"} missing")
+	}
+	if _, ok := m[`pcd_power_frequency{manager="1"}`]; !ok {
+		t.Fatal("pcd_power_frequency{manager=\"1\"} missing")
+	}
+
+	sig <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}

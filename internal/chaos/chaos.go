@@ -54,6 +54,12 @@ const (
 	// while a well-behaved tenant's diurnal traffic must keep flowing:
 	// the hot tenant must shed at its own walls, the victim within 5%.
 	ScenarioNoisyTenant Scenario = "noisytenant"
+	// ScenarioReload rewrites and SIGHUPs the tenant registry on every
+	// node mid-burst — a key rotation with overlap plus a budget resize,
+	// then a corrupt file that must be rejected whole — while ingest
+	// keeps flowing; the rotated key must authorize a second wave and
+	// the conservation ledger must still close.
+	ScenarioReload Scenario = "reload"
 )
 
 // Scenarios lists every class, in regression-replay order.
@@ -61,7 +67,7 @@ func Scenarios() []Scenario {
 	return []Scenario{
 		ScenarioKill9, ScenarioSigterm, ScenarioPartition,
 		ScenarioBreaker, ScenarioChurn, ScenarioFlashCrowd,
-		ScenarioNoisyTenant,
+		ScenarioNoisyTenant, ScenarioReload,
 	}
 }
 

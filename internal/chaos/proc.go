@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -178,6 +179,36 @@ func (n *Node) Metrics() (string, error) {
 		return "", err
 	}
 	return string(b), nil
+}
+
+// Sighup sends the config hot-reload signal: pcd re-reads its tenant
+// registry file in place without restarting or dropping connections.
+func (n *Node) Sighup() error {
+	if n.cmd.Process == nil {
+		return fmt.Errorf("chaos: node %s never started", n.ID)
+	}
+	return n.cmd.Process.Signal(syscall.SIGHUP)
+}
+
+// MetricValue scrapes /metrics and returns the first sample whose
+// series name (including any label set) starts with name; ok is false
+// when the node is unreachable or the series is absent.
+func (n *Node) MetricValue(name string) (float64, bool) {
+	text, err := n.Metrics()
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		if f := strings.Fields(line); len(f) == 2 {
+			if v, err := strconv.ParseFloat(f[1], 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // Kill9 SIGKILLs the process — no drain, no final status. The caller

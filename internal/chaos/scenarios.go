@@ -68,6 +68,8 @@ func scenarioRunner(sc Scenario) (func(*runCtx) error, error) {
 		return (*runCtx).runFlashCrowd, nil
 	case ScenarioNoisyTenant:
 		return (*runCtx).runNoisyTenant, nil
+	case ScenarioReload:
+		return (*runCtx).runReload, nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", sc, Scenarios())
 	}
@@ -348,6 +350,109 @@ func (rc *runCtx) runNoisyTenant() error {
 		if frac := float64(sent-vs.Accepted) / float64(sent); frac > 0.05 {
 			return fmt.Errorf("victim tenant lost %.1f%% of its traffic to the noisy neighbor (%s)", 100*frac, vs)
 		}
+	}
+	return rc.finish(true)
+}
+
+// runReload: config hot reload under fire. An authenticated two-node
+// fleet serves two tenants while the registry file is rewritten and
+// SIGHUPed on every node mid-burst — first a key rotation with overlap
+// (v1 and v2 both valid) plus a budget resize, then a deliberately
+// corrupt file that every node must reject whole, leaving the live
+// registry untouched. Traffic on the old key must keep flowing through
+// both reloads, the rotated key must authorize a fresh wave afterwards,
+// and the conservation ledger must still close: a reload may refuse
+// new work but can never lose accepted items.
+func (rc *runCtx) runReload() error {
+	registry := filepath.Join(rc.opts.Dir, "reload-tenants.json")
+	v1 := `{"global_buffer": 8192, "tenants": [
+		{"id": "blue", "keys": ["chaos-blue-v1"], "buffer": 4096},
+		{"id": "green", "keys": ["chaos-green-key"], "buffer": 4096}
+	]}`
+	if err := os.WriteFile(registry, []byte(v1), 0o644); err != nil {
+		return err
+	}
+	if err := rc.boot(2, "-buffer", "8192", "-tenants", registry); err != nil {
+		return err
+	}
+	blue, err := trace.ByName("diurnal", rc.seed, 4, 4*simtime.Second, 500)
+	if err != nil {
+		return err
+	}
+	green, err := trace.ByName("flashcrowd", rc.seed+1, 4, 4*simtime.Second, 600)
+	if err != nil {
+		return err
+	}
+	rc.driver.Keys = make(map[string]string)
+	for _, st := range blue.Streams {
+		rc.driver.Keys[st.Key] = "chaos-blue-v1"
+	}
+	for _, st := range green.Streams {
+		rc.driver.Keys[st.Key] = "chaos-green-key"
+	}
+
+	// sighupAll signals every live node, then waits until each one's
+	// reload counter (applied or rejected, per metric) reaches want —
+	// the registry swap is asynchronous to the signal.
+	sighupAll := func(metric string, want float64) error {
+		for _, n := range rc.fleet.Live() {
+			if err := n.Sighup(); err != nil {
+				return err
+			}
+		}
+		return waitFor("registry "+metric, 10*time.Second, func() (bool, error) {
+			for _, n := range rc.fleet.Live() {
+				if v, ok := n.MetricValue(metric); !ok || v < want {
+					return false, nil
+				}
+			}
+			return true, nil
+		})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); rc.drive(blue) }()
+	go func() { defer wg.Done(); rc.drive(green) }()
+
+	// Mid-burst reload #1: rotate blue's key (overlap keeps v1 valid so
+	// in-flight traffic never breaks) and shrink green's budgets.
+	rc.sleepSeeded(1200*time.Millisecond, 600*time.Millisecond)
+	v2 := `{"global_buffer": 8192, "tenants": [
+		{"id": "blue", "keys": ["chaos-blue-v2", "chaos-blue-v1"], "buffer": 4096},
+		{"id": "green", "keys": ["chaos-green-key"], "rate": 400, "burst": 200, "buffer": 2048}
+	]}`
+	if err := os.WriteFile(registry, []byte(v2), 0o644); err != nil {
+		return err
+	}
+	rc.opts.Logf("chaos: SIGHUP reload mid-burst (key rotation + budget resize)")
+	if err := sighupAll("pcd_tenant_reloads_total", 1); err != nil {
+		return err
+	}
+
+	// Mid-burst reload #2: a corrupt file. Every node must count the
+	// rejection and keep serving from the v2 registry.
+	rc.sleepSeeded(400*time.Millisecond, 400*time.Millisecond)
+	if err := os.WriteFile(registry, []byte(`{"tenants": [{`), 0o644); err != nil {
+		return err
+	}
+	rc.opts.Logf("chaos: SIGHUP with a corrupt registry (must be rejected whole)")
+	if err := sighupAll("pcd_tenant_reload_errors_total", 1); err != nil {
+		return err
+	}
+	wg.Wait()
+
+	// The rotated key must authorize a fresh wave — proof the v2 swap
+	// went live and survived the rejected reload.
+	second, err := trace.ByName("diurnal", rc.seed+2, 2, 2*simtime.Second, 300)
+	if err != nil {
+		return err
+	}
+	for _, st := range second.Streams {
+		rc.driver.Keys[st.Key] = "chaos-blue-v2"
+	}
+	if st2 := rc.drive(second); st2.Accepted == 0 {
+		return fmt.Errorf("rotated key accepted nothing after reload (%s)", st2)
 	}
 	return rc.finish(true)
 }

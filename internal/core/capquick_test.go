@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCapLadderShape property-checks both throttle ladders: rung 0
+// is the identity, budget inflation and ω scaling only ever tighten
+// (monotone nondecreasing) while the operating point only ever drops,
+// frequencies stay in (0, 1], and the two policies share a terminal
+// rung — the policy-independent draw floor.
+func TestQuickCapLadderShape(t *testing.T) {
+	for _, pace := range []bool{false, true} {
+		ladder := CapLadder(pace)
+		if len(ladder) < 2 {
+			t.Fatalf("pace=%v: ladder has %d rungs", pace, len(ladder))
+		}
+		if first := ladder[0]; first != (CapStep{BudgetScale: 1, OmegaScale: 1, Freq: 1}) {
+			t.Errorf("pace=%v: rung 0 = %+v, want identity", pace, first)
+		}
+		for i := 1; i < len(ladder); i++ {
+			prev, cur := ladder[i-1], ladder[i]
+			if cur.BudgetScale < prev.BudgetScale || cur.OmegaScale < prev.OmegaScale {
+				t.Errorf("pace=%v: rung %d relaxes batching/placement: %+v -> %+v", pace, i, prev, cur)
+			}
+			if cur.Freq > prev.Freq {
+				t.Errorf("pace=%v: rung %d raises frequency: %+v -> %+v", pace, i, prev, cur)
+			}
+			if cur.Freq <= 0 || cur.Freq > 1 {
+				t.Errorf("pace=%v: rung %d frequency %v outside (0, 1]", pace, i, cur.Freq)
+			}
+			if cur == prev {
+				t.Errorf("pace=%v: rung %d is a no-op step: %+v", pace, i, cur)
+			}
+		}
+	}
+	race, pace := CapLadder(false), CapLadder(true)
+	if race[len(race)-1] != pace[len(pace)-1] {
+		t.Errorf("terminal rungs differ: race %+v, pace %+v", race[len(race)-1], pace[len(pace)-1])
+	}
+}
+
+// capPlant is the synthetic plant the controller properties drive: each
+// ladder rung multiplies the offered power by a fixed attenuation, so
+// deeper rungs always draw less — the monotonicity the real ladders
+// provide by construction.
+func capPlant(offered float64, atten []float64) func(step int) float64 {
+	return func(step int) float64 {
+		p := offered
+		for i := 0; i < step && i < len(atten); i++ {
+			p *= atten[i]
+		}
+		return p
+	}
+}
+
+// quickAtten folds arbitrary bytes into per-rung attenuation factors in
+// [0.7, 0.95] — every escalation removes 5–30% of the remaining draw.
+// The floor matters: the hysteresis band tolerates adjacent rungs whose
+// power ratio stays under cap/relax (≈1.67) without a relax probe ever
+// overshooting the cap, and under arm/relax (≈1.42) without even
+// re-arming; a plant steeper than the ladders the controller actually
+// drives would test a guarantee the design never made.
+func quickAtten(raw []byte, rungs int) []float64 {
+	atten := make([]float64, rungs)
+	for i := range atten {
+		b := byte(0)
+		if len(raw) > 0 {
+			b = raw[i%len(raw)]
+		}
+		atten[i] = 0.7 + 0.25*float64(b)/255
+	}
+	return atten
+}
+
+// TestQuickCapControlConvergesUnderCap property-checks the closed loop
+// against the synthetic plant: for any offered load and any monotone
+// plant response, as long as the terminal rung can satisfy the budget,
+// the controller reaches a steady state whose windowed power sits under
+// the cap — and once there it stops moving (no oscillation without a
+// load change).
+func TestQuickCapControlConvergesUnderCap(t *testing.T) {
+	prop := func(rawOffered float64, rawAtten []byte, pace bool) bool {
+		cap := 1000.0
+		// Offered load from 0.1× to ~100× the cap.
+		frac := math.Abs(rawOffered)
+		frac = frac - math.Floor(frac)
+		offered := cap * (0.1 + 100*frac)
+		cc := NewCapControl(cap, pace)
+		rungs := len(cc.Ladder)
+		atten := quickAtten(rawAtten, rungs-1)
+		plant := capPlant(offered, atten)
+		if plant(rungs-1) > CapArmFraction*cap {
+			// Infeasible plant: the floor exceeds the arm point. The
+			// controller can only saturate; assert exactly that.
+			for i := 0; i < 4*rungs; i++ {
+				cc.Observe(plant(cc.StepIndex()))
+			}
+			return cc.StepIndex() == rungs-1
+		}
+		// Feasible: within a few traversals the loop must settle under
+		// the arm threshold and then hold its rung.
+		for i := 0; i < 4*rungs; i++ {
+			cc.Observe(plant(cc.StepIndex()))
+		}
+		settled := cc.StepIndex()
+		if plant(settled) > CapArmFraction*cap {
+			return false
+		}
+		// Steady state: relaxation may still walk rungs down (calm
+		// ticks), but only while the shallower rung also satisfies the
+		// budget; the windowed power must never cross the cap again.
+		for i := 0; i < 8*rungs*CapCalmTicks; i++ {
+			win := plant(cc.StepIndex())
+			if win > cap {
+				return false
+			}
+			cc.Observe(win)
+		}
+		return plant(cc.StepIndex()) <= cap
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCapControlNeverThrottlesWithSlack property-checks the other
+// steady state: windows that never reach the arm threshold never move
+// the ladder, whatever their order — headroom is free.
+func TestQuickCapControlNeverThrottlesWithSlack(t *testing.T) {
+	prop := func(rawWins []byte, pace bool) bool {
+		cap := 500.0
+		cc := NewCapControl(cap, pace)
+		for _, b := range rawWins {
+			win := CapArmFraction * cap * float64(b) / 256
+			cc.Observe(win)
+			if cc.Throttled() || cc.ThrottleEvents() != 0 || cc.StepIndex() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

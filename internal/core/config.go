@@ -89,6 +89,26 @@ type Config struct {
 	// probing and recovery are live-runtime concerns.
 	QuarantineAfter int
 
+	// PowerCapMilliwatts enables the power-cap controller: a periodic
+	// event measures the windowed application-attributable power over
+	// every core — energy above the all-idle floor, excluding the
+	// constant background draw, which no throttle can remove — and
+	// walks the CapLadder throttle ladder to keep the EWMA-smoothed
+	// estimate under this budget. Zero disables the controller.
+	PowerCapMilliwatts float64
+	// PowerCapInterval is the controller tick. Zero defaults to 50ms —
+	// small against workload ramps so the guard band engages before the
+	// budget is crossed.
+	PowerCapInterval simtime.Duration
+	// PowerCapPace selects the pace ladder (frequency first, batching
+	// later) instead of the default race-to-idle ladder (consolidate
+	// wakeups first, frequency last). See CapLadder.
+	PowerCapPace bool
+	// CapTrace, when set, observes every controller tick with the
+	// measured window power and the commanded ladder rung — the hook
+	// the deterministic controller tests assert against.
+	CapTrace func(now simtime.Time, powerMW float64, step int)
+
 	// Ablation switches (not in the paper; see DESIGN.md §4 "ABL").
 	DisableLatching   bool // cost function ignores existing reservations
 	DisableResizing   bool // quotas pinned at B0
@@ -163,6 +183,12 @@ func (c Config) Validate() error {
 	if c.QuarantineAfter < 0 {
 		return fmt.Errorf("core: negative quarantine threshold %d", c.QuarantineAfter)
 	}
+	if c.PowerCapMilliwatts < 0 {
+		return fmt.Errorf("core: negative power cap %v", c.PowerCapMilliwatts)
+	}
+	if c.PowerCapInterval < 0 {
+		return fmt.Errorf("core: negative power cap interval %v", c.PowerCapInterval)
+	}
 	return nil
 }
 
@@ -211,6 +237,9 @@ func (c Config) normalized() Config {
 	if c.Consolidate && c.PlaceInterval == 0 {
 		c.PlaceInterval = 250 * simtime.Millisecond
 	}
+	if c.PowerCapMilliwatts > 0 && c.PowerCapInterval == 0 {
+		c.PowerCapInterval = 50 * simtime.Millisecond
+	}
 	return c
 }
 
@@ -251,6 +280,12 @@ func (c Config) ImplName() string {
 	}
 	if c.Consolidate {
 		name += "-place"
+	}
+	if c.PowerCapMilliwatts > 0 {
+		name += "-powercap"
+		if c.PowerCapPace {
+			name += "-pace"
+		}
 	}
 	if c.faulty() {
 		name += "-fault"

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/simtime"
 	"repro/internal/track"
@@ -49,7 +50,37 @@ type Planner struct {
 	DisableLatching   bool
 	DisableResizing   bool
 	DisablePrediction bool
+
+	// Scale is an optional shared runtime multiplier on OmegaMicro.
+	// The power-cap controller raises it to make new slots costlier
+	// than latched ones, so consumers batch harder inside their
+	// latency bounds. Nil means 1. Copied planners (per-pair latency
+	// variants) share the handle, so one Set throttles them all.
+	Scale *OmegaScale
 }
+
+// OmegaScale is a concurrency-safe multiplier on a planner's ω. Manager
+// goroutines read it on every cost evaluation while the power-cap
+// controller stores to it; the zero value (and a nil handle) means 1.
+type OmegaScale struct{ bits atomic.Uint64 }
+
+// Set stores the multiplier (1 restores the configured cost).
+func (s *OmegaScale) Set(f float64) { s.bits.Store(math.Float64bits(f)) }
+
+// Get returns the current multiplier; nil and zero both read as 1.
+func (s *OmegaScale) Get() float64 {
+	if s == nil {
+		return 1
+	}
+	bits := s.bits.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// omega returns the effective per-wakeup cost OmegaMicro × Scale.
+func (pl *Planner) omega() float64 { return pl.OmegaMicro * pl.Scale.Get() }
 
 // cost is Eq. 8: ρ(s) = (w(s) + e(n)) / n with n = r̂·(s−now), where
 // e(n) includes the invocation's fixed overhead (which is what makes
@@ -63,7 +94,7 @@ func (pl *Planner) cost(slot int64, now simtime.Time, rhat float64, res Reservat
 	}
 	w := 0.0
 	if pl.DisableLatching || !res.Has(slot) {
-		w = pl.OmegaMicro
+		w = pl.omega()
 	}
 	return (w + pl.OverheadMicro + n*pl.PerItemMicro) / n
 }

@@ -1,0 +1,162 @@
+// Power-cap control plane: a feedback controller that keeps estimated
+// power under an explicit budget by escalating through a throttle
+// ladder — batching harder (raising the planner's wakeup cost ω so
+// consumers latch into fewer, larger batches) and lowering the cores'
+// DVFS operating point — while every consumer's MaxLatency bound keeps
+// holding, because the planner never places a reservation beyond it
+// (throttling defers batches only inside the bound).
+//
+// The ladder order encodes the race-to-idle vs. pace policy trade
+// (Conoci et al., Hofmann et al.): race-to-idle consolidates wakeups
+// first and touches frequency last, so cores still sprint at f=1 and
+// then sleep deeply; pace reaches for frequency first, smearing the
+// same work thinner over time. Both ladders end at the same maximal
+// throttle so the reachable power floor is policy-independent.
+package core
+
+import "fmt"
+
+// CapStep is one throttle ladder rung, three knob families:
+//
+//   - BudgetScale inflates every placement-manager budget, so the
+//     consolidation planner packs pairs onto fewer cores (spatial
+//     consolidation: emptied cores stop waking entirely). No-op when
+//     consolidation is off.
+//   - OmegaScale multiplies the planner's per-wakeup energy cost ω, so
+//     consumers latch into fewer, larger batches inside their latency
+//     bounds (temporal consolidation).
+//   - Freq is the relative DVFS operating point in (0, 1]. Rungs down
+//     to 0.6 stay near the leakage-model busy-energy optimum
+//     √(leakage/(1−leakage)) ≈ 0.65; the terminal 0.4 rung is the
+//     emergency stop — below the optimum it costs net energy per item,
+//     but draw (power, not energy) keeps falling, and a hard cap
+//     governs draw.
+type CapStep struct {
+	BudgetScale float64
+	OmegaScale  float64
+	Freq        float64
+}
+
+// CapLadder returns the throttle ladder for a policy, mildest first.
+// Rung 0 is always the identity (no throttle). Race-to-idle (the
+// default) consolidates first — spatially, then temporally — and
+// touches frequency last, so cores sprint at f=1 and then sleep deeply;
+// pace reaches for frequency first, smearing the same work thinner.
+// Both ladders end at the same maximal throttle, so the reachable power
+// floor is policy-independent.
+func CapLadder(pace bool) []CapStep {
+	if pace {
+		return []CapStep{
+			{1, 1, 1}, {1, 1, 0.8}, {1, 1, 0.6}, {1, 1, 0.4},
+			{2, 1, 0.4}, {4, 1, 0.4}, {4, 2, 0.4}, {4, 4, 0.4}, {4, 8, 0.4},
+		}
+	}
+	return []CapStep{
+		{1, 1, 1}, {2, 1, 1}, {4, 1, 1}, {4, 2, 1}, {4, 4, 1},
+		{4, 8, 1}, {4, 8, 0.8}, {4, 8, 0.6}, {4, 8, 0.4},
+	}
+}
+
+// Hysteresis thresholds, as fractions of the cap. The controller arms
+// (escalates) above CapArmFraction — a guard band below the cap itself,
+// so a load ramp is met before estimated power crosses the budget — and
+// relaxes one rung only after CapCalmTicks consecutive observations
+// below CapRelaxFraction. The dead band between the two is where a
+// converged controller sits still: the oscillation guard.
+const (
+	CapArmFraction   = 0.85
+	CapRelaxFraction = 0.60
+	CapCalmTicks     = 3
+)
+
+// CapSmoothing is the EWMA factor folding raw power windows into the
+// controller's estimate (time constant ≈ 1/CapSmoothing ticks). One
+// tick window is shorter than a batch cadence, so raw windows alternate
+// between drain spikes and silence; the cap governs power sustained
+// across batch cycles — the RAPL-style window — which is what the
+// smoothed estimate tracks.
+const CapSmoothing = 0.25
+
+// CapControl is the policy-independent throttle state machine, shared
+// by the simulator's controller and the live runtime's. It runs
+// fast-attack/slow-release: escalation keys off the raw window power (a
+// leading indicator — a ramp is met before the sustained estimate ever
+// nears the cap), while relaxation and the reported estimate use the
+// EWMA-smoothed power, so one quiet window never unwinds a throttle.
+// It is not concurrency-safe; callers serialize Observe.
+type CapControl struct {
+	Cap    float64 // power budget, mW (must be > 0)
+	Ladder []CapStep
+
+	smoothed float64
+	step     int
+	calm     int // consecutive observations below the relax threshold
+
+	throttles uint64
+}
+
+// NewCapControl builds a controller for the given budget and policy.
+func NewCapControl(capMW float64, pace bool) *CapControl {
+	if capMW <= 0 {
+		panic(fmt.Sprintf("core: non-positive power cap %v", capMW))
+	}
+	return &CapControl{Cap: capMW, Ladder: CapLadder(pace)}
+}
+
+// Step returns the currently commanded ladder rung.
+func (cc *CapControl) Step() CapStep { return cc.Ladder[cc.step] }
+
+// StepIndex returns the current rung index (0 = unthrottled).
+func (cc *CapControl) StepIndex() int { return cc.step }
+
+// Throttled reports whether any throttle is currently applied.
+func (cc *CapControl) Throttled() bool { return cc.step > 0 }
+
+// ThrottleEvents counts escalations so far.
+func (cc *CapControl) ThrottleEvents() uint64 { return cc.throttles }
+
+// Smoothed returns the EWMA power estimate after the last Observe —
+// the controller's notion of sustained power, the quantity the cap
+// governs.
+func (cc *CapControl) Smoothed() float64 { return cc.smoothed }
+
+// Observe feeds one raw window-power sample (mW) and returns whether
+// the commanded step changed. Escalation keys off the raw window and is
+// proportional — a window far above the arm threshold jumps several
+// rungs at once, so a fast ramp is met before the smoothed estimate
+// nears the cap — while relaxation keys off the smoothed estimate and
+// is always a single rung gated on CapCalmTicks of calm, so recovery
+// cannot oscillate.
+func (cc *CapControl) Observe(win float64) bool {
+	cc.smoothed += CapSmoothing * (win - cc.smoothed)
+	arm := CapArmFraction * cc.Cap
+	relax := CapRelaxFraction * cc.Cap
+	switch {
+	case win > arm:
+		cc.calm = 0
+		if cc.step >= len(cc.Ladder)-1 {
+			return false
+		}
+		k := 1 + int((win-arm)/(0.10*cc.Cap))
+		cc.step += k
+		if cc.step > len(cc.Ladder)-1 {
+			cc.step = len(cc.Ladder) - 1
+		}
+		cc.throttles++
+		return true
+	case cc.smoothed < relax && win < relax:
+		if cc.step == 0 {
+			return false
+		}
+		cc.calm++
+		if cc.calm >= CapCalmTicks {
+			cc.calm = 0
+			cc.step--
+			return true
+		}
+		return false
+	default:
+		cc.calm = 0
+		return false
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/impls"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// capSample is one controller tick observation.
+type capSample struct {
+	at   simtime.Time
+	mw   float64
+	step int
+}
+
+// flashCrowdConfig builds the acceptance workload: eight flash-crowd
+// streams (seeded ×8 spike in the middle half of the run) over four
+// consumer cores plus an on-board producer core, with the consolidation
+// control plane live, on the virtual clock. The spike pins the producer
+// core in the shallow C-state (sub-threshold arrival gaps) — the §III
+// power regime the cap controller exists to govern. Everything is
+// seeded, so runs are bit-exact.
+func flashCrowdConfig() Config {
+	dur := 6 * simtime.Second
+	sc := trace.FlashCrowd(7, 8, dur, 400, 8)
+	traces := make([]trace.Trace, len(sc.Streams))
+	for i, st := range sc.Streams {
+		traces[i] = st.Trace
+	}
+	b := impls.DefaultConfig(traces, 128)
+	b.Cores = 5
+	b.ConsumerCores = 4
+	cfg := DefaultConfig(b)
+	cfg.SlotSize = 5 * simtime.Millisecond
+	cfg.MaxLatency = 100 * simtime.Millisecond
+	cfg.Consolidate = true
+	cfg.PlaceInterval = 25 * simtime.Millisecond
+	cfg.PlaceBudgetRate = 8000
+	return cfg
+}
+
+// runCapped executes the workload with the given cap (a huge cap is an
+// uncapped probe) and returns the report plus the per-tick trace.
+func runCapped(t *testing.T, cfg Config, capMW float64, pace bool) (metrics.Report, []capSample) {
+	t.Helper()
+	var samples []capSample
+	cfg.PowerCapMilliwatts = capMW
+	cfg.PowerCapInterval = 10 * simtime.Millisecond
+	cfg.PowerCapPace = pace
+	cfg.CapTrace = func(at simtime.Time, mw float64, step int) {
+		samples = append(samples, capSample{at, mw, step})
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("capped run (cap %.0fmW): %v", capMW, err)
+	}
+	return rep, samples
+}
+
+// peakWindowMW returns the largest windowed power observation.
+func peakWindowMW(samples []capSample) float64 {
+	var peak float64
+	for _, s := range samples {
+		if s.mw > peak {
+			peak = s.mw
+		}
+	}
+	return peak
+}
+
+// TestPowerCapFlashCrowd is the acceptance test: with the cap at ~60%
+// of the uncapped peak windowed power on the flash-crowd trace,
+// estimated power stays at or under the cap at every controller tick,
+// every pair's latency bound still holds, and after the burst decays
+// the controller relaxes fully back — no sticky throttle — so the run
+// consumes everything the uncapped run does.
+func TestPowerCapFlashCrowd(t *testing.T) {
+	cfg := flashCrowdConfig()
+
+	// Uncapped baseline for throughput parity.
+	uncapped, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("uncapped run: %v", err)
+	}
+	// Probe: a cap far above anything the workload draws measures the
+	// uncapped peak windowed power without perturbing the run.
+	_, probe := runCapped(t, cfg, 1e9, false)
+	peak := peakWindowMW(probe)
+	if peak <= cfg.Base.Model.BackgroundMilliwatts {
+		t.Fatalf("probe peak %.1fmW not above the background floor", peak)
+	}
+
+	budget := 0.6 * peak
+	capped, samples := runCapped(t, cfg, budget, false)
+	t.Logf("uncapped peak %.1fmW, cap %.1fmW, throttle events %d, min freq %.1f",
+		peak, budget, capped.ThrottleEvents, capped.MinFrequency)
+
+	if len(samples) == 0 {
+		t.Fatal("controller never ticked")
+	}
+	for _, s := range samples {
+		if s.mw > budget {
+			t.Fatalf("tick %v: windowed power %.1fmW exceeds cap %.1fmW (step %d)",
+				s.at, s.mw, budget, s.step)
+		}
+	}
+	if capped.ThrottleEvents == 0 {
+		t.Fatal("a cap at 60% of peak must throttle during the flash crowd")
+	}
+	// Latency bound: PBPL's planner never reserves past MaxLatency, so
+	// throttling batches harder must not break the bound (the run-level
+	// invariant allows the usual drain slack of two slots).
+	if capped.LatencyP99 > cfg.MaxLatency {
+		t.Fatalf("p99 latency %v exceeds bound %v while throttled", capped.LatencyP99, cfg.MaxLatency)
+	}
+	if bound := cfg.MaxLatency + 2*cfg.SlotSize; capped.MaxLatency > bound {
+		t.Fatalf("max latency %v exceeds bound %v while throttled", capped.MaxLatency, bound)
+	}
+	// No sticky throttle: after the burst decays the controller must
+	// have stepped all the way back down...
+	if last := samples[len(samples)-1]; last.step != 0 {
+		t.Fatalf("throttle stuck at step %d after the burst", last.step)
+	}
+	// ...and throughput matches the uncapped baseline (conservation
+	// holds in both runs; nothing was shed to meet the cap).
+	if capped.Produced != capped.Consumed {
+		t.Fatalf("conservation: produced %d consumed %d", capped.Produced, capped.Consumed)
+	}
+	if capped.Consumed != uncapped.Consumed {
+		t.Fatalf("capped run consumed %d, uncapped %d", capped.Consumed, uncapped.Consumed)
+	}
+}
+
+// TestPowerCapConvergence drives a constant-rate workload against a
+// tight cap and requires the controller to converge: after a settle
+// window it must sit on one ladder rung (the hysteresis dead band —
+// no oscillation) with every observation at or under the cap.
+func TestPowerCapConvergence(t *testing.T) {
+	dur := 6 * simtime.Second
+	base := trace.Generate(trace.Constant(3000), dur, 42)
+	b := impls.DefaultConfig(base.PhaseShifts(8), 128)
+	b.Cores = 5
+	b.ConsumerCores = 4
+	cfg := DefaultConfig(b)
+	cfg.SlotSize = 5 * simtime.Millisecond
+	cfg.MaxLatency = 100 * simtime.Millisecond
+	cfg.Consolidate = true
+	cfg.PlaceInterval = 25 * simtime.Millisecond
+	cfg.PlaceBudgetRate = 8000
+
+	_, probe := runCapped(t, cfg, 1e9, false)
+	peak := peakWindowMW(probe)
+	budget := 0.6 * peak
+	capped, samples := runCapped(t, cfg, budget, false)
+	t.Logf("steady uncapped peak %.1fmW, cap %.1fmW, events %d", peak, budget, capped.ThrottleEvents)
+
+	if capped.ThrottleEvents == 0 {
+		t.Fatal("a 60% cap on a steady workload must throttle")
+	}
+	settle := simtime.Time(2 * simtime.Second)
+	steps := make(map[int]int)
+	for _, s := range samples {
+		if s.at < settle {
+			continue
+		}
+		steps[s.step]++
+		if s.mw > budget {
+			t.Fatalf("tick %v after settle: %.1fmW exceeds cap %.1fmW", s.at, s.mw, budget)
+		}
+	}
+	if len(steps) != 1 {
+		t.Fatalf("controller oscillates after settle: steps observed %v", steps)
+	}
+	if capped.LatencyP99 > cfg.MaxLatency {
+		t.Fatalf("p99 latency %v exceeds bound %v under steady throttle", capped.LatencyP99, cfg.MaxLatency)
+	}
+}
+
+// TestPowerCapSlackNeverThrottles: with the cap comfortably above the
+// workload's draw the controller must never arm, and the run must be
+// behaviorally identical to an uncapped one (same wakeups, same items).
+func TestPowerCapSlackNeverThrottles(t *testing.T) {
+	cfg := flashCrowdConfig()
+	uncapped, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("uncapped run: %v", err)
+	}
+	_, probe := runCapped(t, cfg, 1e9, false)
+	peak := peakWindowMW(probe)
+
+	capped, samples := runCapped(t, cfg, 2*peak, false)
+	if capped.ThrottleEvents != 0 {
+		t.Fatalf("cap with 2x slack produced %d throttle events", capped.ThrottleEvents)
+	}
+	for _, s := range samples {
+		if s.step != 0 {
+			t.Fatalf("tick %v: throttled to step %d with slack", s.at, s.step)
+		}
+	}
+	if capped.Wakeups != uncapped.Wakeups || capped.Consumed != uncapped.Consumed {
+		t.Fatalf("slack cap perturbed the run: wakeups %d vs %d, consumed %d vs %d",
+			capped.Wakeups, uncapped.Wakeups, capped.Consumed, uncapped.Consumed)
+	}
+	if capped.MinFrequency != 1 {
+		t.Fatalf("DVFS engaged (min freq %v) with slack", capped.MinFrequency)
+	}
+}
+
+// TestPowerCapPacePolicy checks the policy switch: under the same tight
+// cap the pace ladder reaches for frequency first (min frequency < 1),
+// while race-to-idle holds f=1 until batching is exhausted.
+func TestPowerCapPacePolicy(t *testing.T) {
+	cfg := flashCrowdConfig()
+	_, probe := runCapped(t, cfg, 1e9, false)
+	peak := peakWindowMW(probe)
+	budget := 0.6 * peak
+
+	pace, _ := runCapped(t, cfg, budget, true)
+	race, _ := runCapped(t, cfg, budget, false)
+	if pace.ThrottleEvents == 0 || race.ThrottleEvents == 0 {
+		t.Fatalf("both policies must throttle (pace %d, race %d)", pace.ThrottleEvents, race.ThrottleEvents)
+	}
+	if pace.MinFrequency >= 1 {
+		t.Fatalf("pace policy never lowered frequency (min %v)", pace.MinFrequency)
+	}
+	if pace.LatencyP99 > cfg.MaxLatency || race.LatencyP99 > cfg.MaxLatency {
+		t.Fatalf("latency bound broken: pace p99 %v, race p99 %v (bound %v)",
+			pace.LatencyP99, race.LatencyP99, cfg.MaxLatency)
+	}
+}
+
+// TestCapControlHysteresis pins the throttle state machine's dead band:
+// samples between the relax and arm thresholds never move the step,
+// relaxing takes CapCalmTicks consecutive calm samples, and a sample
+// far over the arm threshold escalates several rungs at once.
+func TestCapControlHysteresis(t *testing.T) {
+	cc := NewCapControl(1000, false)
+
+	// Dead-band samples never move the step.
+	for i := 0; i < 10; i++ {
+		if cc.Observe(700) || cc.Observe(840) {
+			t.Fatal("dead-band sample changed the step")
+		}
+	}
+	if cc.StepIndex() != 0 || cc.ThrottleEvents() != 0 {
+		t.Fatalf("dead band moved state: step %d events %d", cc.StepIndex(), cc.ThrottleEvents())
+	}
+
+	// A mild overshoot escalates one rung; a huge one jumps several.
+	if !cc.Observe(900) || cc.StepIndex() != 1 {
+		t.Fatalf("mild overshoot: step %d", cc.StepIndex())
+	}
+	if !cc.Observe(2000) || cc.StepIndex() <= 2 {
+		t.Fatalf("large overshoot only reached step %d", cc.StepIndex())
+	}
+	events := cc.ThrottleEvents()
+	if events != 2 {
+		t.Fatalf("throttle events %d, want 2", events)
+	}
+
+	// Relaxing requires CapCalmTicks consecutive calm samples; a single
+	// dead-band sample in between resets the count.
+	from := cc.StepIndex()
+	cc.Observe(100)
+	cc.Observe(100)
+	cc.Observe(700) // dead band: resets calm
+	cc.Observe(100)
+	cc.Observe(100)
+	if cc.StepIndex() != from {
+		t.Fatalf("relaxed after interrupted calm run: step %d", cc.StepIndex())
+	}
+	cc.Observe(100)
+	if cc.StepIndex() != from-1 {
+		t.Fatalf("did not relax after %d calm ticks: step %d", CapCalmTicks, cc.StepIndex())
+	}
+
+	// Saturation: at the top rung further overshoot is not an event.
+	for cc.StepIndex() < len(cc.Ladder)-1 {
+		cc.Observe(5000)
+	}
+	events = cc.ThrottleEvents()
+	if cc.Observe(5000) {
+		t.Fatal("step changed at ladder top")
+	}
+	if cc.ThrottleEvents() != events {
+		t.Fatal("saturated overshoot counted as a throttle event")
+	}
+}

@@ -94,6 +94,7 @@ func Run(cfg Config) (metrics.Report, error) {
 	// consumer's predicted rate and host manager, plans, and applies the
 	// moves — the sim mirror of the live runtime's placement controller.
 	var migrations uint64
+	var placePl *place.Planner
 	if cfg.Consolidate && base.ConsumerCores > 1 {
 		pl, err := place.NewPlanner(place.Config{
 			Managers:   base.ConsumerCores,
@@ -102,6 +103,7 @@ func Run(cfg Config) (metrics.Report, error) {
 		if err != nil {
 			return metrics.Report{}, err
 		}
+		placePl = pl
 		interval := simtime.Time(cfg.PlaceInterval)
 		end := simtime.Time(base.Duration())
 		var replan func()
@@ -131,6 +133,81 @@ func Run(cfg Config) (metrics.Report, error) {
 			}
 		}
 		machine.Loop.Schedule(interval, replan)
+	}
+
+	// The power-cap control plane: a periodic event measures windowed
+	// estimated power over every core and walks the throttle ladder —
+	// inflating placement budgets (pack pairs onto fewer cores),
+	// scaling every planner's ω (consumers batch harder inside their
+	// latency bounds) and lowering the cores' DVFS operating point —
+	// to keep the smoothed estimate under the budget. Sim mirror of
+	// the live runtime's WithPowerCap controller.
+	var capCtl *CapControl
+	minFreq := 1.0
+	if cfg.PowerCapMilliwatts > 0 {
+		capCtl = NewCapControl(cfg.PowerCapMilliwatts, cfg.PowerCapPace)
+		omegaScale := planner.Scale
+		if omegaScale == nil {
+			// Per-pair planner copies made above share this handle, so
+			// one Set throttles every consumer.
+			omegaScale = &OmegaScale{}
+			planner.Scale = omegaScale
+			for _, c := range consumers {
+				c.planner.Scale = omegaScale
+			}
+		}
+		baseBudget := cfg.PlaceBudgetRate
+		if baseBudget <= 0 {
+			baseBudget = place.DefaultBudgetRate
+		}
+		idleFloor := model.IdleFloorMilliwatts(base.Cores)
+		interval := simtime.Time(cfg.PowerCapInterval)
+		end := simtime.Time(base.Duration())
+		var lastE float64
+		var lastT simtime.Time
+		tick := func() {}
+		tick = func() {
+			now := machine.Loop.Now()
+			res := machine.Snapshot()
+			var e float64
+			for i := 0; i < base.Cores; i++ {
+				e += model.EnergyMillijoules(res[i])
+			}
+			if dt := now.Sub(lastT); dt > 0 {
+				// Application-attributable power: energy above the
+				// all-idle floor, over every core (consumer managers
+				// and producers alike — all carry an operating point).
+				// The constant background draw is excluded — no
+				// throttle can remove it, so a cap that included it
+				// would go infeasible at light load.
+				win := (e-lastE)/dt.Seconds() - idleFloor
+				if capCtl.Observe(win) {
+					st := capCtl.Step()
+					omegaScale.Set(st.OmegaScale)
+					if placePl != nil {
+						budgets := make([]float64, base.ConsumerCores)
+						for i := range budgets {
+							budgets[i] = baseBudget * st.BudgetScale
+						}
+						placePl.SetBudgets(budgets)
+					}
+					for i := 0; i < base.Cores; i++ {
+						machine.Core(i).SetFrequency(st.Freq)
+					}
+					if st.Freq < minFreq {
+						minFreq = st.Freq
+					}
+				}
+				if cfg.CapTrace != nil {
+					cfg.CapTrace(now, capCtl.Smoothed(), capCtl.StepIndex())
+				}
+				lastE, lastT = e, now
+			}
+			if next := now + interval; next < end {
+				machine.Loop.Schedule(next, tick)
+			}
+		}
+		machine.Loop.Schedule(interval, tick)
 	}
 
 	machine.Loop.RunUntil(simtime.Time(base.Duration()))
@@ -183,10 +260,15 @@ func Run(cfg Config) (metrics.Report, error) {
 		PowerMilliwatts:   model.ExtraPowerMilliwatts(res, dur),
 		EnergyMillijoules: model.TotalEnergyMillijoules(res, dur),
 		AvgBufferQuota:    avgBuffer,
+		CapMilliwatts:     cfg.PowerCapMilliwatts,
 		MaxLatency:        m.MaxLatency,
 		SumLatency:        m.SumLatency,
 		LatencyP50:        m.Latencies.Percentile(50),
 		LatencyP99:        m.Latencies.Percentile(99),
+	}
+	if capCtl != nil {
+		rep.ThrottleEvents = capCtl.ThrottleEvents()
+		rep.MinFrequency = minFreq
 	}
 	if err := pool.CheckInvariant(); err != nil {
 		return rep, err

@@ -31,6 +31,8 @@ func ByID(id string, cfg Config) (Table, error) {
 		return Predictors(cfg)
 	case "racetoidle":
 		return RaceToIdle(cfg)
+	case "powercap":
+		return PowerCap(cfg)
 	case "alignment":
 		return Alignment(cfg)
 	case "place":
@@ -49,6 +51,6 @@ func IDs() []string {
 	return []string{
 		"fig3", "fig4", "corr", "fig9", "fig10", "fig11",
 		"wakeups", "buffer", "ablation", "latency", "predictors",
-		"racetoidle", "alignment", "place", "faults", "tenants",
+		"racetoidle", "powercap", "alignment", "place", "faults", "tenants",
 	}
 }

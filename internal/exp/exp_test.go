@@ -269,7 +269,7 @@ func TestAllTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantIDs := []string{"fig3", "fig4", "corr", "fig9", "fig10", "fig11", "wakeups", "buffer", "ablation", "latency", "predictors", "racetoidle", "alignment", "place", "faults"}
+	wantIDs := []string{"fig3", "fig4", "corr", "fig9", "fig10", "fig11", "wakeups", "buffer", "ablation", "latency", "predictors", "racetoidle", "powercap", "alignment", "place", "faults"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("tables = %d, want %d", len(tables), len(wantIDs))
 	}

@@ -443,7 +443,7 @@ func All(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	tables = append(tables, corr)
-	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, Alignment, Place, Faults} {
+	for _, f := range []func(Config) (Table, error){Fig9, Fig10, Fig11, WakeupAccounting, BufferOccupancy, Ablation, Latency, Predictors, RaceToIdle, PowerCap, Alignment, Place, Faults} {
 		tb, err := f(cfg)
 		if err != nil {
 			return nil, err

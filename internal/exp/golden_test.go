@@ -69,6 +69,48 @@ func TestGoldenWakeupAccounting(t *testing.T) {
 	}
 }
 
+// TestGoldenPowerCap pins the POWERCAP sweep at the golden seed: the
+// cap levels (fractions of the uncapped draw), the achieved power, the
+// escalation counts and the deepest DVFS rung each budget forces. The
+// throttle ladder runs entirely on the virtual clock, so any drift here
+// means the controller's escalation/relaxation sequencing (or the
+// power model pricing it) changed.
+func TestGoldenPowerCap(t *testing.T) {
+	tb, err := PowerCap(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[string]float64{
+		"flash-uncapped":    {KeyCapMW: 0, KeyPower: 250.2073231700001, KeyThrottles: 0, KeyMinFreq: 1, KeyWakeups: 71.5},
+		"flash-cap80":       {KeyCapMW: 200.1658585360001, KeyPower: 215.86686375, KeyThrottles: 8, KeyMinFreq: 0.4, KeyWakeups: 45.5},
+		"flash-cap60":       {KeyCapMW: 150.12439390200007, KeyPower: 202.04380328500008, KeyThrottles: 11, KeyMinFreq: 0.4, KeyWakeups: 45.5},
+		"flash-cap40":       {KeyCapMW: 100.08292926800004, KeyPower: 198.23112909499991, KeyThrottles: 3, KeyMinFreq: 0.4, KeyWakeups: 45.5},
+		"worldcup-uncapped": {KeyCapMW: 0, KeyPower: 537.7083710049999, KeyThrottles: 0, KeyMinFreq: 1, KeyWakeups: 527.5},
+		"worldcup-cap80":    {KeyCapMW: 430.1666968039999, KeyPower: 379.58878046999996, KeyThrottles: 4, KeyMinFreq: 0.6, KeyWakeups: 310.5},
+		"worldcup-cap60":    {KeyCapMW: 322.62502260299993, KeyPower: 355.38216498500003, KeyThrottles: 2, KeyMinFreq: 0.4, KeyWakeups: 304},
+		"worldcup-cap40":    {KeyCapMW: 215.08334840199996, KeyPower: 354.62131088500007, KeyThrottles: 1, KeyMinFreq: 0.4, KeyWakeups: 304},
+	}
+	assertGolden(t, "powercap", tb, want)
+
+	// Every capped row must draw less than its workload's uncapped row,
+	// and p99 must stay inside the 100ms bound at every budget.
+	for _, wl := range []string{"flash", "worldcup"} {
+		base, _ := tb.Row(wl + "-uncapped")
+		for _, frac := range []string{"80", "60", "40"} {
+			row, ok := tb.Row(wl + "-cap" + frac)
+			if !ok {
+				t.Fatalf("missing row %s-cap%s", wl, frac)
+			}
+			if row.Values[KeyPower] >= base.Values[KeyPower] {
+				t.Errorf("%s: capped power %.1f not below uncapped %.1f", row.Label, row.Values[KeyPower], base.Values[KeyPower])
+			}
+			if p99 := row.Values[KeyLatencyP99]; p99 > 100 {
+				t.Errorf("%s: p99 %.3fms exceeds the 100ms bound", row.Label, p99)
+			}
+		}
+	}
+}
+
 // assertGolden checks each expected row/key against the table. Counter
 // keys must match exactly; the derived power/usage values (pure
 // functions of the counters) get a 1e-9 relative tolerance only to
@@ -87,7 +129,7 @@ func assertGolden(t *testing.T, id string, tb Table, want map[string]map[string]
 		for k, v := range keys {
 			got := row.Values[k]
 			switch k {
-			case KeyPower, KeyUsage:
+			case KeyPower, KeyUsage, KeyCapMW:
 				if math.Abs(got-v) > 1e-9*math.Abs(v) {
 					t.Errorf("%s %s[%s] = %v, want %v", id, label, k, got, v)
 				}

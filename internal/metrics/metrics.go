@@ -76,6 +76,14 @@ type Report struct {
 	// at every resize decision (≡ allocated B when resizing is off).
 	AvgBufferQuota float64
 
+	// Power-cap controller accounting (zero unless a cap is set).
+	// CapMilliwatts echoes the configured budget; ThrottleEvents counts
+	// controller escalations; MinFrequency is the lowest per-core
+	// operating point the run reached (1 when DVFS never engaged).
+	CapMilliwatts  float64
+	ThrottleEvents uint64
+	MinFrequency   float64
+
 	// Latency of items from production to the start of their batch
 	// drain: extremes, total, and sampled percentiles.
 	MaxLatency simtime.Duration
@@ -170,6 +178,10 @@ type Aggregate struct {
 	LatencyP50  stats.Summary // median item latency, ms
 	LatencyP99  stats.Summary // tail item latency, ms
 	MaxLatency  simtime.Duration
+	// Throttles and MinFreq summarize the power-cap controller
+	// (zero/1 when no cap was configured).
+	Throttles stats.Summary // cap-controller escalations (count)
+	MinFreq   stats.Summary // lowest commanded DVFS operating point
 }
 
 // Aggregated builds an Aggregate from replicate reports. It panics on
@@ -179,7 +191,7 @@ func Aggregated(reports []Report) Aggregate {
 		panic("metrics: aggregating zero reports")
 	}
 	impl := reports[0].Impl
-	var wk, at, pw, us, sch, ov, mg, dr, qr, ab, bt, al, l50, l99 []float64
+	var wk, at, pw, us, sch, ov, mg, dr, qr, ab, bt, al, l50, l99, th, mf []float64
 	agg := Aggregate{Impl: impl, Replicates: len(reports)}
 	for _, r := range reports {
 		if r.Impl != impl {
@@ -199,6 +211,8 @@ func Aggregated(reports []Report) Aggregate {
 		al = append(al, float64(r.AvgLatency())/float64(simtime.Millisecond))
 		l50 = append(l50, float64(r.LatencyP50)/float64(simtime.Millisecond))
 		l99 = append(l99, float64(r.LatencyP99)/float64(simtime.Millisecond))
+		th = append(th, float64(r.ThrottleEvents))
+		mf = append(mf, r.MinFrequency)
 		if r.MaxLatency > agg.MaxLatency {
 			agg.MaxLatency = r.MaxLatency
 		}
@@ -217,6 +231,8 @@ func Aggregated(reports []Report) Aggregate {
 	agg.AvgLatency = stats.Summarize(al)
 	agg.LatencyP50 = stats.Summarize(l50)
 	agg.LatencyP99 = stats.Summarize(l99)
+	agg.Throttles = stats.Summarize(th)
+	agg.MinFreq = stats.Summarize(mf)
 	return agg
 }
 

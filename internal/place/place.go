@@ -66,9 +66,13 @@ type Config struct {
 	MinDwell int
 }
 
+// DefaultBudgetRate is the per-manager load budget applied when
+// Config.BudgetRate is zero.
+const DefaultBudgetRate = 50000
+
 func (c Config) withDefaults() Config {
 	if c.BudgetRate <= 0 {
-		c.BudgetRate = 50000
+		c.BudgetRate = DefaultBudgetRate
 	}
 	if c.TargetUtil <= 0 || c.TargetUtil > 1 {
 		c.TargetUtil = 0.7
@@ -150,6 +154,17 @@ func NewPlanner(cfg Config) (*Planner, error) {
 		return nil, err
 	}
 	return &Planner{cfg: cfg.withDefaults(), dwell: make(map[int]int)}, nil
+}
+
+// SetBudgets replaces the per-manager budget overrides (Config.Budgets)
+// on a live planner; nil restores BudgetRate everywhere. The power-cap
+// controller drives this: inflating kept managers' budgets makes the
+// next Plan pack pairs onto fewer cores — trading per-manager headroom
+// for wakeups under a power emergency — and restoring them spreads back
+// out. Entries ≤ 0 fall back to BudgetRate, as in Config.Budgets. Not
+// goroutine-safe; callers serialize with Plan.
+func (pl *Planner) SetBudgets(budgets []float64) {
+	pl.cfg.Budgets = append([]float64(nil), budgets...)
 }
 
 // Plan packs the snapshot onto the fewest managers that keep every

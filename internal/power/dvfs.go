@@ -2,26 +2,42 @@ package power
 
 import "fmt"
 
+// DVFSLeakage is the static/leakage fraction of active power that does
+// not scale with frequency — a 30% floor typical of mobile silicon.
+const DVFSLeakage = 0.30
+
+// DVFSScale is the relative active-power factor at frequency f ∈ (0, 1]:
+// dynamic power follows P_d = C·V²·f with the voltage tracking frequency
+// down to a floor, so
+//
+//	scale(f) = leakage + (1−leakage)·f²
+//
+// DVFSScale(1) == 1 exactly, and the leakage floor bounds it below.
+// Callers that need the inverse time cost remember work takes 1/f
+// longer at frequency f.
+func DVFSScale(f float64) float64 {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("power: invalid relative frequency %v", f))
+	}
+	return DVFSLeakage + (1-DVFSLeakage)*f*f
+}
+
 // AtFrequency derives the model for a core running at relative
-// frequency f ∈ (0, 1]: dynamic power follows P_d = C·V²·f with the
-// voltage tracking frequency down to a floor, so
+// frequency f ∈ (0, 1]:
 //
-//	Active(f) = Active · (leakage + (1−leakage)·f²)
+//	Active(f) = Active · DVFSScale(f)
 //
-// with a 30% leakage/static floor typical of mobile silicon. Work takes
-// 1/f longer at frequency f — the caller scales its service times.
+// Work takes 1/f longer at frequency f — the caller scales its service
+// times (or uses sim.Core.SetFrequency, which stretches internally).
 // This is the §II DVFS model behind the race-to-idle analysis: slowing
 // down saves dynamic power but stretches execution over time the core
 // could have spent in deep idle.
 func (m Model) AtFrequency(f float64) Model {
-	if f <= 0 || f > 1 {
-		panic(fmt.Sprintf("power: invalid relative frequency %v", f))
-	}
-	const leakage = 0.30
+	scale := DVFSScale(f)
 	scaled := m
-	scaled.ActiveMilliwatts = m.ActiveMilliwatts * (leakage + (1-leakage)*f*f)
+	scaled.ActiveMilliwatts = m.ActiveMilliwatts * scale
 	// Shallow power scales the same way (a clocked-but-waiting core).
-	scaled.ShallowMilliwatts = m.ShallowMilliwatts * (leakage + (1-leakage)*f*f)
+	scaled.ShallowMilliwatts = m.ShallowMilliwatts * scale
 	if scaled.ShallowMilliwatts < scaled.IdleMilliwatts {
 		scaled.ShallowMilliwatts = scaled.IdleMilliwatts
 	}

@@ -87,3 +87,17 @@ func (e Estimator) ExtraPowerMilliwatts(c Counters, elapsed simtime.Duration) fl
 	}
 	return e.Model.ExtraPowerMilliwatts(e.Residencies(c, elapsed), elapsed)
 }
+
+// AtFrequency derives the estimator for cores clocked at relative
+// frequency f ∈ (0, 1]: the model's active/shallow draw scales by
+// DVFSScale(f) while the per-invocation and per-item service times
+// stretch by 1/f, so the same counter deltas reconstruct a longer,
+// lower-power busy window. Composes with Model.AtFrequency — the two
+// views agree on energy for the same work.
+func (e Estimator) AtFrequency(f float64) Estimator {
+	scaled := e
+	scaled.Model = e.Model.AtFrequency(f)
+	scaled.OverheadMicro = e.OverheadMicro / f
+	scaled.PerItemMicro = e.PerItemMicro / f
+	return scaled
+}

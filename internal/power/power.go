@@ -110,6 +110,16 @@ type Residency struct {
 	Idle     simtime.Duration
 	Wakeups  uint64
 	Derating float64 // 0 means 1.0
+
+	// ActiveScaled and ShallowScaled are the DVFS-weighted occupancy:
+	// each active (shallow) segment contributes its duration times
+	// DVFSScale(f) of the frequency it ran at, so energy integration
+	// stays exact across mid-run frequency changes. Zero means the core
+	// never changed frequency (ran at f=1 throughout) and the unscaled
+	// fields apply — unambiguous because DVFSScale ≥ DVFSLeakage > 0, so
+	// any nonzero Active yields a nonzero ActiveScaled.
+	ActiveScaled  simtime.Duration
+	ShallowScaled simtime.Duration
 }
 
 // Span returns the total time covered by the residency.
@@ -123,8 +133,15 @@ func (m Model) EnergyMillijoules(r Residency) float64 {
 	if derating == 0 {
 		derating = 1
 	}
-	activeMJ := m.ActiveMilliwatts * derating * r.Active.Seconds()
-	shallowMJ := m.ShallowMilliwatts * r.Shallow.Seconds()
+	active, shallow := r.Active, r.Shallow
+	if r.ActiveScaled != 0 {
+		active = r.ActiveScaled
+	}
+	if r.ShallowScaled != 0 {
+		shallow = r.ShallowScaled
+	}
+	activeMJ := m.ActiveMilliwatts * derating * active.Seconds()
+	shallowMJ := m.ShallowMilliwatts * shallow.Seconds()
 	idleMJ := m.IdleMilliwatts * r.Idle.Seconds()
 	wakeMJ := m.WakeEnergyMicrojoules * float64(r.Wakeups) / 1000
 	return activeMJ + shallowMJ + idleMJ + wakeMJ

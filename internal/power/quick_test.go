@@ -1,0 +1,139 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+// clampFreq folds an arbitrary float into the valid relative-frequency
+// domain (0, 1]; property generators produce anything.
+func clampFreq(raw float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 1
+	}
+	f := math.Abs(raw)
+	f = f - math.Floor(f) // (‥) → [0, 1)
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// TestQuickDVFSScaleShape property-checks the §II scaling law: the
+// factor is bounded by the leakage floor and 1, hits exactly 1 at full
+// clock, and is strictly monotone in f (a lower operating point always
+// draws less while clocked).
+func TestQuickDVFSScaleShape(t *testing.T) {
+	prop := func(rawA, rawB float64) bool {
+		a, b := clampFreq(rawA), clampFreq(rawB)
+		sa, sb := DVFSScale(a), DVFSScale(b)
+		if sa < DVFSLeakage || sa > 1 {
+			return false
+		}
+		if a < b && sa >= sb {
+			return false
+		}
+		if a > b && sa <= sb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if s := DVFSScale(1); s != 1 {
+		t.Errorf("DVFSScale(1) = %v, want exactly 1", s)
+	}
+}
+
+// TestQuickModelAtFrequencyMonotoneAndFloored property-checks
+// Model.AtFrequency: active and shallow draw shrink monotonically with
+// f, shallow never scales below the idle draw (a clocked core cannot
+// undercut an idle one), and idle/background/wake costs are untouched
+// (they are not frequency-scaled hardware states).
+func TestQuickModelAtFrequencyMonotoneAndFloored(t *testing.T) {
+	m := Default()
+	prop := func(rawA, rawB float64) bool {
+		a, b := clampFreq(rawA), clampFreq(rawB)
+		if a > b {
+			a, b = b, a
+		}
+		ma, mb := m.AtFrequency(a), m.AtFrequency(b)
+		if ma.ActiveMilliwatts > mb.ActiveMilliwatts || ma.ShallowMilliwatts > mb.ShallowMilliwatts {
+			return false
+		}
+		if ma.ShallowMilliwatts < ma.IdleMilliwatts {
+			return false
+		}
+		if ma.IdleMilliwatts != m.IdleMilliwatts ||
+			ma.BackgroundMilliwatts != m.BackgroundMilliwatts ||
+			ma.WakeEnergyMicrojoules != m.WakeEnergyMicrojoules ||
+			ma.WakeLatency != m.WakeLatency {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimatorAtFrequencyComposition property-checks the live
+// estimator's DVFS view: AtFrequency scales the model and stretches the
+// per-work service times by exactly 1/f (so the same counters
+// reconstruct 1/f more busy time), AtFrequency(1) is the identity, and
+// the busy energy the two views charge for unclamped work agrees with
+// the model's own scaling law — scale(f)/f of the full-clock busy
+// energy.
+func TestQuickEstimatorAtFrequencyComposition(t *testing.T) {
+	base := Estimator{
+		Model:         Default(),
+		Cores:         2,
+		OverheadMicro: 6.8,
+		PerItemMicro:  1.7,
+	}
+	if got := base.AtFrequency(1); got != base {
+		t.Fatalf("AtFrequency(1) = %+v, want identity", got)
+	}
+	prop := func(rawF float64, invocations, items uint16) bool {
+		f := clampFreq(rawF)
+		scaled := base.AtFrequency(f)
+		if scaled.Model != base.Model.AtFrequency(f) {
+			return false
+		}
+		if math.Abs(scaled.OverheadMicro-base.OverheadMicro/f) > 1e-12 ||
+			math.Abs(scaled.PerItemMicro-base.PerItemMicro/f) > 1e-12 {
+			return false
+		}
+		// Busy-energy agreement over a window long enough that the
+		// stretched busy time is never clamped to core capacity. Idle
+		// draw fills the rest of the window in both views, so comparing
+		// extra power above the all-idle floor isolates the busy term.
+		c := Counters{Invocations: uint64(invocations), Items: uint64(items)}
+		elapsed := 60 * simtime.Second
+		pwFull := base.ExtraPowerMilliwatts(c, elapsed)
+		pwScaled := scaled.ExtraPowerMilliwatts(c, elapsed)
+		// Busy energy above idle: (Active·scale − Idle)·(t/f) versus
+		// (Active − Idle)·t at full clock; ExtraPower adds only the
+		// constant background on top of that busy term.
+		m := base.Model
+		busyMicros := float64(c.Invocations)*base.OverheadMicro + float64(c.Items)*base.PerItemMicro
+		tSec := busyMicros * 1e-6
+		wantFull := (m.ActiveMilliwatts - m.IdleMilliwatts) * tSec / elapsed.Seconds()
+		wantScaled := (m.ActiveMilliwatts*DVFSScale(f) - m.IdleMilliwatts) * (tSec / f) / elapsed.Seconds()
+		bg := m.BackgroundMilliwatts
+		if math.Abs(pwFull-bg-wantFull) > 1e-6*(1+math.Abs(wantFull)) {
+			return false
+		}
+		if math.Abs(pwScaled-bg-wantScaled) > 1e-6*(1+math.Abs(wantScaled)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

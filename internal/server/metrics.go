@@ -86,6 +86,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if pl := s.rt.Placement(); pl.Enabled {
 		p.Counter("pcd_placement_plans_total", "Completed placement planning rounds.", float64(pl.Plans))
 	}
+	s.powerMetrics(p, mgrs)
 
 	streams := s.snapshotStreams()
 	p.Gauge("pcd_streams", "Open ingest streams (producer-consumer pairs).", float64(len(streams)))
@@ -114,6 +115,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
+}
+
+// powerMetrics exports the pcd_power_* families: the configured cap,
+// the smoothed application-attributable estimate the cap governs, the
+// throttle ladder position and the per-manager DVFS operating point.
+// Silent without WithPowerCap (the unconditional
+// pcd_estimated_power_milliwatts gauge still covers the uncapped case).
+func (s *Server) powerMetrics(p *metrics.Prom, mgrs []repro.ManagerSnapshot) {
+	ps := s.rt.PowerCap()
+	if !ps.Enabled {
+		return
+	}
+	p.Gauge("pcd_power_cap_milliwatts", "Configured power budget above the all-idle floor.", ps.CapMilliwatts)
+	p.Gauge("pcd_power_estimated_milliwatts", "EWMA-smoothed application-attributable power estimate the cap governs.", ps.EstimatedMilliwatts)
+	p.Gauge("pcd_power_window_milliwatts", "Last raw measurement window of the cap controller.", ps.WindowMilliwatts)
+	p.Gauge("pcd_power_throttled", "1 while the cap controller sits above ladder rung 0.", boolGauge(ps.Throttled))
+	p.Gauge("pcd_power_step", "Current throttle-ladder rung (0 = unthrottled).", float64(ps.Step))
+	p.Gauge("pcd_power_omega_scale", "Commanded multiplier on the planner's per-wakeup cost omega.", ps.OmegaScale)
+	p.Gauge("pcd_power_budget_scale", "Commanded multiplier on per-manager placement budgets.", ps.BudgetScale)
+	p.Counter("pcd_power_throttle_events_total", "Cap-controller escalations up the throttle ladder.", float64(ps.ThrottleEvents))
+	for _, m := range mgrs {
+		// One operating point is commanded fleet-wide today; labelled
+		// per manager so dashboards survive a future per-core policy.
+		p.Gauge("pcd_power_frequency", "Commanded relative DVFS operating point (1 = full clock).", ps.Frequency, "manager", strconv.Itoa(m.ID))
+	}
 }
 
 // tenantMetrics exports the pcd_tenant_* families: per-tenant

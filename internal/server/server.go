@@ -618,6 +618,44 @@ func (s *Server) placementStatus() placementz {
 	return out
 }
 
+// powerz is the power-cap section of /statusz: the configured budget,
+// the smoothed estimate the cap governs, and where the throttle ladder
+// currently sits.
+type powerz struct {
+	Enabled        bool    `json:"enabled"`
+	Pace           bool    `json:"pace"`
+	CapMilliwatts  float64 `json:"cap_milliwatts"`
+	EstimatedMW    float64 `json:"estimated_milliwatts"`
+	WindowMW       float64 `json:"window_milliwatts"`
+	Step           int     `json:"step"`
+	Throttled      bool    `json:"throttled"`
+	Frequency      float64 `json:"frequency"`
+	OmegaScale     float64 `json:"omega_scale"`
+	BudgetScale    float64 `json:"budget_scale"`
+	ThrottleEvents uint64  `json:"throttle_events_total"`
+}
+
+// powerStatus assembles the power-cap section; nil without WithPowerCap.
+func (s *Server) powerStatus() *powerz {
+	ps := s.rt.PowerCap()
+	if !ps.Enabled {
+		return nil
+	}
+	return &powerz{
+		Enabled:        true,
+		Pace:           ps.Pace,
+		CapMilliwatts:  ps.CapMilliwatts,
+		EstimatedMW:    ps.EstimatedMilliwatts,
+		WindowMW:       ps.WindowMilliwatts,
+		Step:           ps.Step,
+		Throttled:      ps.Throttled,
+		Frequency:      ps.Frequency,
+		OmegaScale:     ps.OmegaScale,
+		BudgetScale:    ps.BudgetScale,
+		ThrottleEvents: ps.ThrottleEvents,
+	}
+}
+
 // statusz is the JSON shape served by /statusz.
 type statusz struct {
 	UptimeSeconds    float64                  `json:"uptime_seconds"`
@@ -633,6 +671,7 @@ type statusz struct {
 	QuarantinedTCP   uint64                   `json:"quarantined_tcp"`
 	StreamRejects    uint64                   `json:"stream_rejects"`
 	Placement        placementz               `json:"placement"`
+	Power            *powerz                  `json:"power,omitempty"`
 	Cluster          *clusterz                `json:"cluster,omitempty"`
 	Tenants          *tenant.RegistrySnapshot `json:"tenants,omitempty"`
 	Streams          []streamSnapshot         `json:"streams"`
@@ -688,6 +727,7 @@ func (s *Server) statusSnapshot() statusz {
 		QuarantinedTCP:   s.quarantinedTCP.Load(),
 		StreamRejects:    s.streamRejects.Load(),
 		Placement:        s.placementStatus(),
+		Power:            s.powerStatus(),
 		Cluster:          s.clusterStatus(),
 		Tenants:          s.tenantStatus(),
 		Streams:          s.snapshotStreams(),

@@ -53,16 +53,27 @@ func (m *Machine) Now() simtime.Time { return m.Loop.Now() }
 // Finish closes residency accounting at the loop's current time and
 // returns per-core residencies. Call once, after the run completes.
 func (m *Machine) Finish() []power.Residency {
+	return m.Snapshot()
+}
+
+// Snapshot integrates residency up to the loop's current time and
+// returns per-core residencies. Unlike the historical Finish name
+// suggests, it is repeatable: controllers call it every tick to compute
+// windowed power as an energy delta, then once more at the end of the
+// run for the final report.
+func (m *Machine) Snapshot() []power.Residency {
 	end := m.Loop.Now()
 	out := make([]power.Residency, len(m.cores))
 	for i, c := range m.cores {
 		c.account(end)
 		out[i] = power.Residency{
-			Active:   c.activeTime,
-			Shallow:  c.shallowTime,
-			Idle:     c.idleTime,
-			Wakeups:  c.wakeups,
-			Derating: c.derating,
+			Active:        c.activeTime,
+			Shallow:       c.shallowTime,
+			Idle:          c.idleTime,
+			Wakeups:       c.wakeups,
+			Derating:      c.derating,
+			ActiveScaled:  c.activeScaled,
+			ShallowScaled: c.shallowScaled,
 		}
 	}
 	return out
@@ -96,6 +107,16 @@ type Core struct {
 	idleTime    simtime.Duration
 	wakeups     uint64
 	derating    float64 // active-power scale; 0 = 1.0
+
+	// DVFS operating point. freq 0 means the core has never left f=1
+	// and the scaled residencies stay zero (see power.Residency); once
+	// SetFrequency is called, dvfs latches and active/shallow segments
+	// additionally accrue into the DVFS-weighted accumulators at
+	// power.DVFSScale of the frequency they ran at.
+	freq          float64
+	dvfs          bool
+	activeScaled  simtime.Duration
+	shallowScaled simtime.Duration
 }
 
 // ID returns the core index.
@@ -112,6 +133,34 @@ func (c *Core) SetDerating(f float64) {
 	}
 	c.derating = f
 }
+
+// Frequency returns the core's relative frequency (1.0 when never set).
+func (c *Core) Frequency() float64 {
+	if c.freq == 0 {
+		return 1
+	}
+	return c.freq
+}
+
+// SetFrequency moves the core to relative frequency f ∈ (0, 1].
+// Residency up to now is integrated at the old operating point first, so
+// mid-run transitions keep energy accounting exact; work enqueued after
+// the call stretches by 1/f inside RunFor. Panics outside (0, 1].
+func (c *Core) SetFrequency(f float64) {
+	power.DVFSScale(f) // validates f
+	c.account(c.machine.Loop.Now())
+	if !c.dvfs {
+		// Everything so far ran at f=1 (scale 1): seed the weighted
+		// accumulators so they stay a complete integral from t=0.
+		c.dvfs = true
+		c.activeScaled = c.activeTime
+		c.shallowScaled = c.shallowTime
+	}
+	c.freq = f
+}
+
+// scale is the active-power factor for the current operating point.
+func (c *Core) scale() float64 { return power.DVFSScale(c.Frequency()) }
 
 // PinAwake marks the core permanently active (busy-wait and yield
 // spinners). Residency becomes all-active; no wakeups accrue.
@@ -136,13 +185,16 @@ func (c *Core) ActiveAt(t simtime.Time) bool {
 // BusyUntil returns the end of the current busy horizon.
 func (c *Core) BusyUntil() simtime.Time { return c.busyUntil }
 
-// account integrates residency up to t.
+// account integrates residency up to t. Active segments additionally
+// accrue into the DVFS-weighted accumulator once SetFrequency has been
+// called; SetFrequency accounts before switching, so no segment ever
+// spans two operating points.
 func (c *Core) account(t simtime.Time) {
 	if t <= c.accounted {
 		return
 	}
 	if c.pinnedAwake {
-		c.activeTime += t.Sub(c.accounted)
+		c.bookActive(t.Sub(c.accounted))
 		c.accounted = t
 		return
 	}
@@ -151,12 +203,30 @@ func (c *Core) account(t simtime.Time) {
 		activeEnd = t
 	}
 	if activeEnd > c.accounted {
-		c.activeTime += activeEnd.Sub(c.accounted)
+		c.bookActive(activeEnd.Sub(c.accounted))
 		c.accounted = activeEnd
 	}
 	if t > c.accounted {
 		c.idleTime += t.Sub(c.accounted)
 		c.accounted = t
+	}
+}
+
+// bookActive records d of active residency at the current operating
+// point.
+func (c *Core) bookActive(d simtime.Duration) {
+	c.activeTime += d
+	if c.dvfs {
+		c.activeScaled += simtime.Duration(float64(d) * c.scale())
+	}
+}
+
+// bookShallow records d of shallow (C1/WFI) residency at the current
+// operating point.
+func (c *Core) bookShallow(d simtime.Duration) {
+	c.shallowTime += d
+	if c.dvfs {
+		c.shallowScaled += simtime.Duration(float64(d) * c.scale())
 	}
 }
 
@@ -174,6 +244,11 @@ func (c *Core) account(t simtime.Time) {
 func (c *Core) RunFor(d simtime.Duration) simtime.Time {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative work %v", d))
+	}
+	if f := c.Frequency(); f != 1 {
+		// Work stretches by 1/f at reduced frequency. The wake latency
+		// below is a hardware transition and does not stretch.
+		d = simtime.Duration(float64(d) / f)
 	}
 	now := c.machine.Loop.Now()
 	if c.pinnedAwake {
@@ -196,7 +271,7 @@ func (c *Core) RunFor(d simtime.Duration) simtime.Time {
 		// Short gap: the core lingered in C1. Close the active segment,
 		// book the gap as shallow residency, resume without wake cost.
 		c.account(c.busyUntil)
-		c.shallowTime += gap
+		c.bookShallow(gap)
 		c.accounted = now
 		c.busyUntil = now.Add(d)
 	default:

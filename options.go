@@ -41,6 +41,7 @@ type options struct {
 	observer   func(Event)
 
 	consolidate *ConsolidationConfig
+	powercap    *PowerCapConfig
 
 	histograms  bool
 	timelineCap int
@@ -113,6 +114,14 @@ func (o options) validate() error {
 	}
 	if o.timelineCap < 0 {
 		return fmt.Errorf("repro: timeline capacity %d < 0", o.timelineCap)
+	}
+	if o.powercap != nil {
+		if o.powercap.Milliwatts <= 0 {
+			return fmt.Errorf("repro: power cap %v mW <= 0", o.powercap.Milliwatts)
+		}
+		if o.powercap.Interval < 0 {
+			return fmt.Errorf("repro: power cap interval %v < 0", o.powercap.Interval)
+		}
 	}
 	return nil
 }

@@ -127,6 +127,11 @@ type placementController struct {
 	mu    sync.Mutex
 	plans uint64
 	last  PlacementPlan
+
+	// appliedScale is the power-cap budget multiplier last applied to
+	// the planner (the planner is not goroutine-safe, so the scale is
+	// read atomically here and applied on this goroutine).
+	appliedScale float64
 }
 
 func newPlacementController(rt *Runtime, cfg ConsolidationConfig) (*placementController, error) {
@@ -140,7 +145,7 @@ func newPlacementController(rt *Runtime, cfg ConsolidationConfig) (*placementCon
 	if err != nil {
 		return nil, err
 	}
-	return &placementController{rt: rt, cfg: cfg, pl: pl, done: make(chan struct{})}, nil
+	return &placementController{rt: rt, cfg: cfg, pl: pl, done: make(chan struct{}), appliedScale: 1}, nil
 }
 
 func (pc *placementController) loop() {
@@ -159,6 +164,28 @@ func (pc *placementController) loop() {
 // step runs one planning round: snapshot, plan, migrate.
 func (pc *placementController) step() {
 	rt := pc.rt
+	if cp := rt.capper; cp != nil {
+		// Apply the power-cap controller's budget multiplier: an
+		// inflated budget lets the planner pack pairs onto fewer
+		// managers, so the parked ones stop waking at all. Scale 1
+		// restores the configured budgets.
+		if sc := cp.budgetScale(); sc != pc.appliedScale {
+			if sc == 1 {
+				pc.pl.SetBudgets(nil)
+			} else {
+				base := pc.cfg.BudgetRate
+				if base <= 0 {
+					base = place.DefaultBudgetRate
+				}
+				budgets := make([]float64, len(rt.managers))
+				for i := range budgets {
+					budgets[i] = base * sc
+				}
+				pc.pl.SetBudgets(budgets)
+			}
+			pc.appliedScale = sc
+		}
+	}
 	rt.pairMu.Lock()
 	states := make([]*pairState, 0, len(rt.pairs))
 	for _, st := range rt.pairs {

@@ -1,0 +1,193 @@
+package repro
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPowerCapDisabledZeroState verifies the zero-value state and
+// counter when no cap is configured.
+func TestPowerCapDisabledZeroState(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if st := rt.PowerCap(); st.Enabled {
+		t.Fatalf("PowerCap().Enabled = true without WithPowerCap: %+v", st)
+	}
+	if s := rt.Stats(); s.PowerThrottles != 0 {
+		t.Fatalf("Stats.PowerThrottles = %d without a cap", s.PowerThrottles)
+	}
+}
+
+// TestPowerCapValidation verifies New rejects nonsense budgets.
+func TestPowerCapValidation(t *testing.T) {
+	if _, err := New(WithPowerCap(PowerCapConfig{Milliwatts: 0})); err == nil {
+		t.Fatal("New accepted a zero power cap")
+	}
+	if _, err := New(WithPowerCap(PowerCapConfig{Milliwatts: -5})); err == nil {
+		t.Fatal("New accepted a negative power cap")
+	}
+	if _, err := New(WithPowerCap(PowerCapConfig{Milliwatts: 100, Interval: -time.Second})); err == nil {
+		t.Fatal("New accepted a negative cap interval")
+	}
+}
+
+// TestPowerCapIdleStateReporting verifies the controller reports its
+// configuration and stays unthrottled on an idle runtime.
+func TestPowerCapIdleStateReporting(t *testing.T) {
+	rt, err := New(WithPowerCap(PowerCapConfig{
+		Milliwatts: 5000,
+		Interval:   5 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	time.Sleep(50 * time.Millisecond) // several controller ticks
+	st := rt.PowerCap()
+	if !st.Enabled || st.Pace {
+		t.Fatalf("state = %+v, want Enabled race-to-idle", st)
+	}
+	if st.CapMilliwatts != 5000 {
+		t.Fatalf("CapMilliwatts = %v, want 5000", st.CapMilliwatts)
+	}
+	if st.Throttled || st.Step != 0 || st.ThrottleEvents != 0 {
+		t.Fatalf("idle runtime throttled: %+v", st)
+	}
+	if st.Frequency != 1 || st.OmegaScale != 1 || st.BudgetScale != 1 {
+		t.Fatalf("idle knobs moved: %+v", st)
+	}
+}
+
+// TestPowerCapThrottlesUnderLoad drives real traffic under an
+// unattainably tight budget and verifies the live controller walks the
+// ladder (events counted in Stats, knobs applied, frequency lowered)
+// while the runtime still delivers every item. Run with -race: the
+// controller, the placement goroutine and the managers all touch the
+// shared knobs.
+func TestPowerCapThrottlesUnderLoad(t *testing.T) {
+	rt, err := New(
+		WithManagers(4),
+		WithSlotSize(2*time.Millisecond),
+		WithMaxLatency(20*time.Millisecond),
+		WithConsolidation(ConsolidationConfig{Interval: 5 * time.Millisecond}),
+		WithPowerCap(PowerCapConfig{
+			// ~0 budget: any measurable activity must escalate.
+			Milliwatts: 0.5,
+			Interval:   5 * time.Millisecond,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pairsN = 4
+	const perPair = 2000
+	var delivered atomic.Uint64
+	pairs := make([]*Pair[int], pairsN)
+	for i := range pairs {
+		pairs[i], err = Open(rt, Batch(func(batch []int) {
+			delivered.Add(uint64(len(batch)))
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		for i := 0; i < perPair; i++ {
+			if err := p.PutWait(i, time.Second); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+
+	// The controller needs a few windows with traffic in them; keep a
+	// trickle going until it visibly throttles.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.PowerCap().ThrottleEvents == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller never throttled: %+v", rt.PowerCap())
+		}
+		for _, p := range pairs {
+			_ = p.PutWait(0, time.Second)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st := rt.PowerCap()
+	if !st.Throttled || st.Step == 0 {
+		t.Fatalf("ThrottleEvents > 0 but state unthrottled: %+v", st)
+	}
+	if st.OmegaScale < 1 || st.BudgetScale < 1 || st.Frequency > 1 {
+		t.Fatalf("ladder knobs out of range: %+v", st)
+	}
+	if st.OmegaScale == 1 && st.BudgetScale == 1 && st.Frequency == 1 {
+		t.Fatalf("throttled but no knob moved: %+v", st)
+	}
+	if s := rt.Stats(); s.PowerThrottles != st.ThrottleEvents {
+		t.Fatalf("Stats.PowerThrottles = %d, state = %d", s.PowerThrottles, st.ThrottleEvents)
+	}
+
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := rt.Stats()
+	if total.ItemsOut != total.ItemsIn {
+		t.Fatalf("ItemsOut %d != ItemsIn %d after Close (throttling lost items)", total.ItemsOut, total.ItemsIn)
+	}
+	if delivered.Load() != total.ItemsOut {
+		t.Fatalf("handler saw %d items, stats say %d", delivered.Load(), total.ItemsOut)
+	}
+}
+
+// TestPowerCapRecoversWithSlack verifies the controller relaxes back to
+// rung 0 once load stops: no sticky throttle in the live runtime.
+func TestPowerCapRecoversWithSlack(t *testing.T) {
+	rt, err := New(
+		WithSlotSize(2*time.Millisecond),
+		WithMaxLatency(20*time.Millisecond),
+		WithPowerCap(PowerCapConfig{
+			Milliwatts: 40,
+			Interval:   5 * time.Millisecond,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	p, err := Open(rt, Batch(func([]int) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst until throttled, then go quiet and wait for full relax.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.PowerCap().ThrottleEvents == 0 {
+		if time.Now().After(deadline) {
+			t.Skip("burst never tripped the 40mW cap on this machine")
+		}
+		for i := 0; i < 500; i++ {
+			_ = p.PutWait(i, time.Second)
+		}
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := rt.PowerCap()
+		if st.Step == 0 && !st.Throttled {
+			if st.Frequency != 1 || st.OmegaScale != 1 || st.BudgetScale != 1 {
+				t.Fatalf("relaxed to rung 0 but knobs stuck: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("throttle stuck after load stopped: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -51,6 +51,9 @@ type Stats struct {
 	// Migrations counts pairs moved between managers by the placement
 	// controller (see WithConsolidation).
 	Migrations uint64
+	// PowerThrottles counts power-cap ladder escalations (see
+	// WithPowerCap). Zero unless a cap is configured.
+	PowerThrottles uint64
 	// HandedOff counts items extracted unprocessed by Pair.Handoff for
 	// cross-process migration; they re-enter some runtime's ItemsIn when
 	// the new owner ingests them.
@@ -73,6 +76,7 @@ type counters struct {
 	itemsDropped    atomic.Uint64
 	migrations      atomic.Uint64
 	handedOff       atomic.Uint64
+	powerThrottles  atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -92,6 +96,7 @@ func (c *counters) snapshot() Stats {
 		ItemsDropped:    c.itemsDropped.Load(),
 		Migrations:      c.migrations.Load(),
 		HandedOff:       c.handedOff.Load(),
+		PowerThrottles:  c.powerThrottles.Load(),
 	}
 }
 
@@ -103,6 +108,7 @@ type Runtime struct {
 	planner  *core.Planner
 	managers []*manager
 	placer   *placementController // nil unless WithConsolidation
+	capper   *powerCapController  // nil unless WithPowerCap
 	stats    counters
 	obs      *obsState // nil unless WithHistograms/WithTimeline
 
@@ -143,6 +149,10 @@ func New(opts ...Option) (*Runtime, error) {
 			DisableLatching:   o.disableLatching,
 			DisableResizing:   o.disableResizing,
 			DisablePrediction: o.disablePrediction,
+			// Shared ω multiplier: pair-specific planner copies (per-pair
+			// MaxLatency) inherit the handle, so the power-cap controller
+			// throttles every pair with one Set.
+			Scale: &core.OmegaScale{},
 		},
 	}
 	if o.histograms || o.timelineCap > 0 {
@@ -158,6 +168,9 @@ func New(opts ...Option) (*Runtime, error) {
 		}
 		rt.placer = pc
 	}
+	if o.powercap != nil {
+		rt.capper = newPowerCapController(rt, *o.powercap)
+	}
 	for _, m := range rt.managers {
 		m := m
 		rt.wg.Add(1)
@@ -171,6 +184,13 @@ func New(opts ...Option) (*Runtime, error) {
 		go func() {
 			defer rt.wg.Done()
 			rt.placer.loop()
+		}()
+	}
+	if rt.capper != nil {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.capper.loop()
 		}()
 	}
 	return rt, nil
@@ -256,6 +276,9 @@ func (rt *Runtime) Close() error {
 	}
 	if rt.placer != nil {
 		close(rt.placer.done)
+	}
+	if rt.capper != nil {
+		close(rt.capper.done)
 	}
 	for _, m := range rt.managers {
 		close(m.done)
